@@ -1,0 +1,42 @@
+"""ABLATION — sensitivity to the buffer set-point b0.
+
+The paper fixes b0 = B/2 (Section VI-C) and argues it balances queueing
+delay against underflow risk (Section V-C).  This bench sweeps the
+fraction and checks B/2 is on the throughput plateau.
+"""
+
+from repro.core.policies import AcesPolicy
+from repro.experiments.sweeps import sweep
+
+FRACTIONS = (0.125, 0.25, 0.5, 0.75)
+
+
+def run_ablation(config):
+    result = sweep(
+        config, [AcesPolicy()], "system.b0_fraction", list(FRACTIONS)
+    )
+    rows = []
+    for point in result.points:
+        summary = point.result.policies["aces"]
+        rows.append(
+            {
+                "b0_fraction": point.value,
+                "throughput": summary.weighted_throughput.mean,
+                "latency_ms": summary.latency_mean.mean * 1000,
+                "occupancy": summary.reports[0].mean_buffer_occupancy,
+            }
+        )
+    return rows
+
+
+def test_ablation_b0_fraction(benchmark, base_experiment, record_table):
+    rows = benchmark.pedantic(
+        run_ablation, args=(base_experiment,), rounds=1, iterations=1
+    )
+    record_table("ablation_b0", rows, precision=3)
+    by_fraction = {row["b0_fraction"]: row for row in rows}
+    best = max(row["throughput"] for row in rows)
+    # The paper's choice sits within 5% of the best fraction swept.
+    assert by_fraction[0.5]["throughput"] >= 0.95 * best
+    # Larger set-points hold more inventory.
+    assert by_fraction[0.75]["occupancy"] > by_fraction[0.125]["occupancy"]

@@ -1,0 +1,51 @@
+"""ABLATION — LQR-designed gains vs a naive proportional controller.
+
+The paper motivates the LQR design ("a robust and provably convergent
+design method"); this bench swaps Eq. 7's Riccati gains for a hand-tuned
+P controller at two gain settings and compares.
+"""
+
+from repro.core.policies import AcesPolicy
+from repro.experiments.runner import run_cell
+
+
+class ProportionalSoft(AcesPolicy):
+    name = "p-soft"
+
+    def __init__(self):
+        super().__init__(controller="proportional", proportional_gain=5.0)
+
+
+class ProportionalHot(AcesPolicy):
+    name = "p-hot"
+
+    def __init__(self):
+        # Near the stability boundary (gain ~ 2/dt is unstable).
+        super().__init__(controller="proportional", proportional_gain=150.0)
+
+
+def run_ablation(config):
+    cell = run_cell(config, [AcesPolicy(), ProportionalSoft(), ProportionalHot()])
+    return [
+        {
+            "policy": name,
+            "throughput": summary.weighted_throughput.mean,
+            "latency_ms": summary.latency_mean.mean * 1000,
+            "latency_std_ms": summary.latency_std.mean * 1000,
+            "drops": summary.buffer_drops.mean,
+        }
+        for name, summary in cell.policies.items()
+    ]
+
+
+def test_ablation_lqr_vs_proportional(
+    benchmark, base_experiment, record_table
+):
+    rows = benchmark.pedantic(
+        run_ablation, args=(base_experiment,), rounds=1, iterations=1
+    )
+    record_table("ablation_controller", rows, precision=3)
+    by_name = {row["policy"]: row for row in rows}
+    # The Riccati design at least matches both hand tunings.
+    assert by_name["aces"]["throughput"] >= 0.95 * by_name["p-soft"]["throughput"]
+    assert by_name["aces"]["throughput"] >= 0.95 * by_name["p-hot"]["throughput"]

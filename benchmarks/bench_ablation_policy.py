@@ -1,0 +1,45 @@
+"""ABLATION — max-flow vs min-flow under the same ACES controller.
+
+Isolates the Eq. 8 aggregation choice (the paper's Section III-D argument)
+from everything else: both variants run the identical LQR flow controller
+and token-bucket CPU scheduler; only the downstream-feedback aggregation
+differs.
+"""
+
+from repro.core.policies import AcesPolicy
+from repro.experiments.runner import run_cell
+
+
+class MinFlowAces(AcesPolicy):
+    """ACES with the min-flow aggregation (named for the cell report)."""
+
+    name = "aces-minflow"
+
+    def __init__(self):
+        super().__init__(aggregation="min")
+
+
+def run_ablation(config):
+    cell = run_cell(config, [AcesPolicy(), MinFlowAces()])
+    return [
+        {
+            "policy": name,
+            "throughput": summary.weighted_throughput.mean,
+            "latency_ms": summary.latency_mean.mean * 1000,
+            "wasted_work": summary.wasted_work.mean,
+        }
+        for name, summary in cell.policies.items()
+    ]
+
+
+def test_ablation_max_vs_min_flow(benchmark, base_experiment, record_table):
+    rows = benchmark.pedantic(
+        run_ablation, args=(base_experiment,), rounds=1, iterations=1
+    )
+    record_table("ablation_policy", rows, precision=3)
+    by_name = {row["policy"]: row for row in rows}
+    # Max-flow must not lose to min-flow in weighted throughput.
+    assert (
+        by_name["aces"]["throughput"]
+        >= 0.97 * by_name["aces-minflow"]["throughput"]
+    )

@@ -1,0 +1,43 @@
+"""ABLATION — token-bucket CPU control vs strict nominal enforcement.
+
+The paper's Section V-D token mechanism lets congested PEs spend banked
+allocation.  This bench compares the full ACES scheduler against the
+strict baseline enforcement with the flow controller left unchanged.
+"""
+
+from repro.core.policies import AcesPolicy
+from repro.experiments.runner import run_cell
+
+
+class StrictCpuAces(AcesPolicy):
+    name = "aces-strictcpu"
+
+    def __init__(self):
+        super().__init__(scheduler="strict")
+
+
+def run_ablation(config):
+    cell = run_cell(config, [AcesPolicy(), StrictCpuAces()])
+    return [
+        {
+            "policy": name,
+            "throughput": summary.weighted_throughput.mean,
+            "latency_ms": summary.latency_mean.mean * 1000,
+            "cpu": summary.cpu_utilization.mean,
+        }
+        for name, summary in cell.policies.items()
+    ]
+
+
+def test_ablation_tokens_vs_strict(benchmark, base_experiment, record_table):
+    rows = benchmark.pedantic(
+        run_ablation, args=(base_experiment,), rounds=1, iterations=1
+    )
+    record_table("ablation_tokens", rows, precision=3)
+    by_name = {row["policy"]: row for row in rows}
+    # The token scheduler (occupancy-aware, Eq. 8-capped) must be at least
+    # competitive with strict enforcement.
+    assert (
+        by_name["aces"]["throughput"]
+        >= 0.9 * by_name["aces-strictcpu"]["throughput"]
+    )

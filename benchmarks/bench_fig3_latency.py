@@ -1,0 +1,35 @@
+"""FIG3 — Figure 3: end-to-end latency (mean and first standard deviation),
+ACES vs Lock-Step, across buffer sizes.
+
+Paper claim: ACES's latency mean is lower at matched operating points and
+its standard deviation is much smaller than Lock-Step's.
+"""
+
+from repro.experiments.figures import figure3_latency
+
+
+def test_fig3_latency(benchmark, base_experiment, record_table):
+    rows = benchmark.pedantic(
+        figure3_latency,
+        kwargs=dict(config=base_experiment, buffer_sizes=(5, 10, 20, 50)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig3_latency",
+        rows,
+        columns=[
+            "buffer_size",
+            "aces_latency_ms",
+            "aces_latency_std_ms",
+            "lockstep_latency_ms",
+            "lockstep_latency_std_ms",
+        ],
+        precision=1,
+    )
+    # Shape assertions: latency grows with buffer size for both systems,
+    # and ACES's latency std does not blow up relative to Lock-Step's.
+    aces_latencies = [row["aces_latency_ms"] for row in rows]
+    assert aces_latencies == sorted(aces_latencies)
+    for row in rows:
+        assert row["aces_latency_std_ms"] < 3.0 * row["lockstep_latency_std_ms"]

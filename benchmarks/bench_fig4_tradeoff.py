@@ -1,0 +1,38 @@
+"""FIG4 + CLAIM-LAT — Figure 4: mean latency vs weighted throughput
+(parametric in buffer size), ACES vs Lock-Step.
+
+Paper claims: ACES has the superior trade-off; at the high-throughput end
+its latency is as little as a third of Lock-Step's.
+"""
+
+from repro.experiments.figures import figure4_tradeoff
+
+
+def test_fig4_tradeoff(benchmark, base_experiment, record_table):
+    rows = benchmark.pedantic(
+        figure4_tradeoff,
+        kwargs=dict(config=base_experiment, buffer_sizes=(5, 10, 20, 50)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig4_tradeoff",
+        rows,
+        columns=[
+            "buffer_size",
+            "aces_throughput",
+            "aces_latency_ms",
+            "lockstep_throughput",
+            "lockstep_latency_ms",
+        ],
+        precision=1,
+    )
+    # Shape: throughput rises with B for both systems (more buffering
+    # absorbs more burstiness) and at the largest B — the high-throughput
+    # end — ACES achieves at least Lock-Step's throughput without a
+    # latency penalty beyond 25%.
+    aces = [row["aces_throughput"] for row in rows]
+    assert aces == sorted(aces)
+    top = rows[-1]
+    assert top["aces_throughput"] >= 0.95 * top["lockstep_throughput"]
+    assert top["aces_latency_ms"] <= 1.25 * top["lockstep_latency_ms"]

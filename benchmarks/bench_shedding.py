@@ -1,0 +1,44 @@
+"""EXTENSION — ACES vs open-loop load shedding (related work, paper §II).
+
+Load shedding (Aurora-style, Zdonik et al. [19]) drops tuples from input
+queues based on thresholds, without feedback.  This bench adds it as a
+fourth system across the buffer-size sweep: shedding keeps queues (and
+latency) short, but discards work the closed loop would have routed to
+productive egress streams.
+"""
+
+from repro.core.policies import AcesPolicy, LoadSheddingPolicy, UdpPolicy
+from repro.experiments.sweeps import sweep
+
+BUFFERS = (5, 20, 50)
+
+
+def run_comparison(config):
+    result = sweep(
+        config,
+        [AcesPolicy(), UdpPolicy(), LoadSheddingPolicy()],
+        "system.buffer_size",
+        list(BUFFERS),
+    )
+    rows = []
+    for point in result.points:
+        cell = point.result
+        row = {"buffer_size": point.value}
+        for name in ("aces", "udp", "shedding"):
+            summary = cell.policies[name]
+            row[f"{name}_throughput"] = summary.weighted_throughput.mean
+            row[f"{name}_latency_ms"] = summary.latency_mean.mean * 1000
+        rows.append(row)
+    return rows
+
+
+def test_shedding_comparison(benchmark, base_experiment, record_table):
+    rows = benchmark.pedantic(
+        run_comparison, args=(base_experiment,), rounds=1, iterations=1
+    )
+    record_table("shedding", rows, precision=2)
+    for row in rows:
+        # Shedding buys low latency...
+        assert row["shedding_latency_ms"] <= row["udp_latency_ms"] * 1.1
+        # ...but the closed loop turns more of the load into output.
+        assert row["aces_throughput"] >= 0.95 * row["shedding_throughput"]

@@ -1,0 +1,61 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every paper figure/claim has one ``bench_*`` file.  By default the benches
+run at a reduced but structurally faithful scale (the paper's 60 PE /
+10 node calibration size, shorter runs, fewer replications) so the whole
+suite finishes in minutes.  Set ``REPRO_FULL=1`` to run the paper's full
+200 PE / 80 node scale with longer windows.
+
+Each bench prints its table and appends it to ``results/<bench>.txt`` so
+EXPERIMENTS.md can quote the exact numbers produced on this machine.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    calibration_experiment,
+    main_experiment,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def experiment_scale() -> ExperimentConfig:
+    """The experiment cell all figure benches share."""
+    if FULL_SCALE:
+        return main_experiment(duration=20.0, replications=3)
+    config = calibration_experiment(duration=8.0, replications=2)
+    return config.with_system(warmup=4.0)
+
+
+@pytest.fixture(scope="session")
+def base_experiment() -> ExperimentConfig:
+    return experiment_scale()
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a bench's rendered table under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture()
+def record_table():
+    """Fixture: call with (name, rows, columns) to print + persist."""
+
+    from repro.experiments.reporting import format_table
+
+    def recorder(name, rows, columns=None, precision=2):
+        table = format_table(rows, columns=columns, precision=precision)
+        print(f"\n== {name} ==\n{table}")
+        save_result(name, table)
+        return table
+
+    return recorder

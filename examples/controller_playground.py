@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Controller playground: watch Eq. 7 stabilize a single buffer.
+
+A minimal, fully observable setup for understanding the flow controller:
+one bursty producer feeding one PE, with the LQR controller advertising
+r_max upstream.  Prints an ASCII strip-chart of buffer occupancy for
+three controller tunings, plus the closed-loop poles of each design.
+
+This example uses the *components* directly (no SimulatedSystem), which
+is also how you would embed the controller in your own system.
+
+Run:  python examples/controller_playground.py
+"""
+
+import numpy as np
+
+from repro.core.flow_control import FlowController
+from repro.core.lqr import closed_loop_poles, design_gains
+from repro.model.params import PEProfile
+from repro.model.statemachine import TwoStateMachine
+
+BUFFER = 50.0
+B0 = 25.0
+DT = 0.01
+STEPS = 600
+
+
+def simulate(gains, seed=0):
+    """One PE draining a buffer at a state-modulated rate; upstream sends
+    exactly what the controller asks for (one interval late)."""
+    controller = FlowController(gains, target_occupancy=B0, buffer_capacity=BUFFER)
+    profile = PEProfile(pe_id="demo", t0=0.002, t1=0.020, lambda_s=15.0)
+    machine = TwoStateMachine(profile, np.random.default_rng(seed))
+
+    occupancy = 0.0
+    pending_rate = 0.0
+    trace = []
+    for step in range(STEPS):
+        now = step * DT
+        service = machine.service_time_at(now)
+        drain_rate = 0.5 / service  # CPU share 0.5
+        occupancy += DT * (pending_rate - drain_rate)
+        occupancy = max(0.0, min(BUFFER, occupancy))
+        pending_rate = controller.update(occupancy, drain_rate)
+        trace.append(occupancy)
+    return trace
+
+
+def strip_chart(trace, width=72, height=10):
+    """Render a trace as ASCII art."""
+    step = max(1, len(trace) // width)
+    samples = [trace[i] for i in range(0, len(trace), step)][:width]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = BUFFER * level / height
+        row = "".join("#" if s >= threshold else " " for s in samples)
+        marker = "<- b0" if abs(threshold - B0) < BUFFER / height / 2 else ""
+        rows.append(f"{threshold:5.0f} |{row}| {marker}")
+    rows.append("      +" + "-" * len(samples) + "+")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    tunings = [
+        ("balanced (q=1, r=1e-3, delay-aware)", design_gains(DT)),
+        ("sluggish (q=1, r=1)", design_gains(DT, r=1.0)),
+        ("near-deadbeat (q=1, r=1e-8)", design_gains(DT, r=1e-8)),
+    ]
+    for label, gains in tunings:
+        poles = ", ".join(
+            f"{abs(p):.3f}" for p in closed_loop_poles(gains)
+        )
+        print(f"\n=== {label}")
+        print(
+            f"lambdas={[round(l, 2) for l in gains.lambdas]} "
+            f"mus={[round(m, 3) for m in gains.mus]} |poles|=({poles})"
+        )
+        trace = simulate(gains)
+        print(strip_chart(trace))
+        tail = trace[len(trace) // 2 :]
+        print(
+            f"steady-state occupancy: mean={np.mean(tail):5.1f} "
+            f"std={np.std(tail):5.1f} (target b0={B0:.0f})"
+        )
+
+    print(
+        "\nAll three designs are provably stable (poles inside the unit "
+        "circle), but the r-weight trades response speed against rate "
+        "smoothness — the paper's lambda-vs-mu discussion in Section V-C."
+    )
+
+
+if __name__ == "__main__":
+    main()

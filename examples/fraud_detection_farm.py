@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""High-performance transaction processing: a fraud-detection farm.
+
+The paper's second motivating domain (Section I) is high performance
+transaction processing.  This example models a payment-fraud pipeline:
+
+    regional gateways -> normalize -> enrich -> {rules, ml-scoring}
+                       -> case triage
+
+and demonstrates the *operational* side of the library:
+
+* reacting to a traffic regime change (flash-sale spike) without
+  re-solving Tier 1 — the Tier-2 controller absorbs it;
+* then re-running Tier 1 for the new regime and comparing, i.e. the
+  paper's two-timescale story (minutes vs sub-second).
+
+Run:  python examples/fraud_detection_farm.py
+"""
+
+import numpy as np
+
+from repro import (
+    AcesPolicy,
+    PEProfile,
+    ProcessingGraph,
+    SystemConfig,
+    TopologySpec,
+    run_system,
+    solve_global_allocation,
+)
+from repro.graph.topology import Topology
+
+REGIONS = ("emea", "apac", "amer")
+
+
+def build_farm() -> ProcessingGraph:
+    graph = ProcessingGraph()
+    for region in REGIONS:
+        graph.add_pe(
+            PEProfile(
+                pe_id=f"gw-{region}", weight=0.0,
+                t0=0.0005, t1=0.001, lambda_s=4.0,
+            )
+        )
+        graph.add_pe(
+            PEProfile(
+                pe_id=f"normalize-{region}", weight=0.0,
+                t0=0.001, t1=0.003, lambda_s=6.0,
+            )
+        )
+        graph.add_edge(f"gw-{region}", f"normalize-{region}")
+
+    # Shared enrichment joins reference data; state-dependent cost.
+    graph.add_pe(
+        PEProfile(pe_id="enrich", weight=0.0, t0=0.002, t1=0.015, lambda_s=10.0)
+    )
+    for region in REGIONS:
+        graph.add_edge(f"normalize-{region}", "enrich")
+
+    # Two detectors read the same enriched stream at different costs.
+    graph.add_pe(
+        PEProfile(pe_id="rules", weight=0.0, t0=0.001, t1=0.002, lambda_s=4.0)
+    )
+    graph.add_pe(
+        PEProfile(pe_id="ml-score", weight=0.0, t0=0.008, t1=0.030, lambda_s=12.0)
+    )
+    graph.add_edge("enrich", "rules")
+    graph.add_edge("enrich", "ml-score")
+
+    # Triage fuses both detectors; its case stream is the product.
+    graph.add_pe(
+        PEProfile(pe_id="triage", weight=5.0, t0=0.002, t1=0.004, lambda_s=4.0)
+    )
+    graph.add_edge("rules", "triage")
+    graph.add_edge("ml-score", "triage")
+    return graph
+
+
+def build_topology(rate_per_region: float) -> Topology:
+    graph = build_farm()
+    placement = {
+        "gw-emea": 0, "normalize-emea": 0,
+        "gw-apac": 1, "normalize-apac": 1,
+        "gw-amer": 2, "normalize-amer": 2,
+        "enrich": 3,
+        "rules": 4, "ml-score": 4,
+        "triage": 3,
+    }
+    spec = TopologySpec(
+        num_nodes=5, num_ingress=3, num_egress=1, num_intermediate=7
+    )
+    source_rates = {f"gw-{region}": rate_per_region for region in REGIONS}
+    return Topology(
+        spec=spec, graph=graph, placement=placement,
+        source_rates=source_rates,
+    )
+
+
+def run_regime(topology: Topology, targets, label: str) -> None:
+    report = run_system(
+        topology,
+        AcesPolicy(),
+        duration=25.0,
+        targets=targets,
+        config=SystemConfig(buffer_size=50, warmup=5.0, seed=11),
+    )
+    cases = report.egress_detail["triage"][1] / report.duration
+    print(
+        f"{label:34s} cases={cases:7.1f}/s "
+        f"lat={report.latency.mean * 1000:7.1f} ms "
+        f"drops={report.buffer_drops:5d} rej={report.source_rejections:5d}"
+    )
+
+
+def main() -> None:
+    # Normal regime: 20 tx/s per region — comfortably inside capacity
+    # (the ml-score stage sustains ~80 tx/s on a full node).
+    normal = build_topology(rate_per_region=20.0)
+    tier1_normal = solve_global_allocation(
+        normal.graph, normal.placement, normal.source_rates
+    ).targets
+    print("Tier-1 targets (normal regime):")
+    for pe_id in ("enrich", "rules", "ml-score", "triage"):
+        print(f"  {pe_id:10s} cpu={tier1_normal.cpu[pe_id]:.2f}")
+
+    print("\n-- normal load (targets match regime) --")
+    run_regime(normal, tier1_normal, "normal load, matched targets")
+
+    # Flash-sale spike: 3x traffic, but Tier 1 has not re-run yet.
+    spike = build_topology(rate_per_region=60.0)
+    print("\n-- 3x spike, STALE Tier-1 targets (Tier 2 absorbs) --")
+    run_regime(spike, tier1_normal, "spike load, stale targets")
+
+    # The meta-scheduler catches up: Tier 1 re-solved for the spike.
+    tier1_spike = solve_global_allocation(
+        spike.graph, spike.placement, spike.source_rates
+    ).targets
+    print("\n-- 3x spike, refreshed Tier-1 targets --")
+    run_regime(spike, tier1_spike, "spike load, refreshed targets")
+
+    print(
+        "\nThe stale-target run keeps producing cases — the distributed "
+        "controller reallocates within nodes — and the Tier-1 refresh "
+        "then recovers most of the remaining gap.  This is the paper's "
+        "two-timescale design working as intended."
+    )
+
+
+if __name__ == "__main__":
+    main()

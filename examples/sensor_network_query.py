@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Continuous queries over sensor data (the paper's TelegraphCQ domain).
+
+Builds a sensor-network monitoring query from *semantic operators*
+(`repro.model.operators`) instead of raw PE profiles:
+
+    sensor gateways (3 regions)
+      -> parse (map)
+      -> anomaly filter (selectivity 0.15)
+      -> window aggregation (1 summary / 10 readings)
+      -> cross-region correlation (join)      [weighted egress]
+    plus a raw archival branch per region (aggregate 1/50, low weight)
+
+Demonstrates:
+* fractional lambda_m flowing through Tier 1 (the optimizer provisions
+  downstream operators for the *reduced* stream, not the raw one);
+* weighted throughput steering CPU toward the anomaly path over the
+  archival path when the sensors flood.
+
+Run:  python examples/sensor_network_query.py
+"""
+
+import numpy as np
+
+from repro import (
+    AcesPolicy,
+    ProcessingGraph,
+    SystemConfig,
+    TopologySpec,
+    UdpPolicy,
+    run_system,
+    solve_global_allocation,
+)
+from repro.graph.topology import Topology
+from repro.model.operators import aggregate_pe, filter_pe, join_pe, map_pe
+
+REGIONS = ("north", "south", "west")
+
+
+def build_query() -> Topology:
+    graph = ProcessingGraph()
+    placement = {}
+    for index, region in enumerate(REGIONS):
+        gw = f"gw-{region}"
+        parse = f"parse-{region}"
+        anomaly = f"anomaly-{region}"
+        window = f"window-{region}"
+        archive = f"archive-{region}"
+
+        graph.add_pe(map_pe(gw, t0=0.0005, t1=0.001, lambda_s=4.0))
+        graph.add_pe(map_pe(parse, t0=0.001, t1=0.002, lambda_s=6.0))
+        graph.add_pe(
+            filter_pe(anomaly, selectivity=0.15, t0=0.002, t1=0.008,
+                      lambda_s=10.0)
+        )
+        graph.add_pe(
+            aggregate_pe(window, window=10, t0=0.001, t1=0.002,
+                         lambda_s=4.0)
+        )
+        # Archival branch: heavy reduction, low importance.
+        graph.add_pe(
+            aggregate_pe(archive, window=50, weight=0.2, t0=0.001,
+                         t1=0.003, lambda_s=4.0)
+        )
+        graph.add_edge(gw, parse)
+        graph.add_edge(parse, anomaly)
+        graph.add_edge(anomaly, window)
+        graph.add_edge(parse, archive)
+
+        placement[gw] = index
+        placement[parse] = index
+        placement[anomaly] = 3  # anomaly scoring on a shared node
+        placement[window] = 4
+        placement[archive] = index
+
+    graph.add_pe(
+        join_pe("correlate", weight=4.0, t0=0.002, t1=0.006, lambda_s=4.0)
+    )
+    for region in REGIONS:
+        graph.add_edge(f"window-{region}", "correlate")
+    placement["correlate"] = 4
+
+    spec = TopologySpec(
+        num_nodes=5,
+        num_ingress=3,
+        num_egress=4,
+        num_intermediate=len(graph) - 7,
+    )
+    # 400 readings/s per region: floods the anomaly scorers.
+    source_rates = {f"gw-{region}": 400.0 for region in REGIONS}
+    return Topology(
+        spec=spec, graph=graph, placement=placement,
+        source_rates=source_rates,
+    )
+
+
+def main() -> None:
+    topology = build_query()
+    tier1 = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    )
+    print("Tier-1 fluid plan (per-stage rates, region north):")
+    for stage in ("gw-north", "parse-north", "anomaly-north",
+                  "window-north", "correlate"):
+        targets = tier1.targets
+        print(
+            f"  {stage:14s} cpu={targets.cpu[stage]:5.2f} "
+            f"in={targets.rate_in[stage]:7.1f}/s "
+            f"out={targets.rate_out[stage]:7.1f}/s"
+        )
+
+    config = SystemConfig(buffer_size=30, warmup=5.0, seed=4)
+    print(f"\n{'policy':8s} {'wthr':>7s} {'latency':>11s} "
+          f"{'alerts/s':>9s} {'archive/s':>10s}")
+    for policy in (AcesPolicy(), UdpPolicy()):
+        report = run_system(
+            topology, policy, duration=25.0, targets=tier1.targets,
+            config=config,
+        )
+        alerts = report.egress_detail["correlate"][1] / report.duration
+        archived = sum(
+            report.egress_detail[f"archive-{r}"][1] for r in REGIONS
+        ) / report.duration
+        print(
+            f"{report.policy:8s} {report.weighted_throughput:7.1f} "
+            f"{report.latency.mean * 1000:8.1f} ms "
+            f"{alerts:9.2f} {archived:10.2f}"
+        )
+
+    print(
+        "\nNote the fluid plan: after the 0.15-selectivity filter and the "
+        "10-reading windows, the correlator is provisioned for ~1/67 of "
+        "the raw sensor rate — fractional selectivity propagating through "
+        "the Tier-1 flow constraints."
+    )
+
+
+if __name__ == "__main__":
+    main()

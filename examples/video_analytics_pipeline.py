@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""A hand-built video-analytics pipeline (the paper's motivating domain).
+
+The paper's Section III uses video processing as its running example:
+PEs need whole frames or Groups-Of-Pictures before a step, so processing
+is bursty, and multiple analytics read the same decoded stream at
+different rates (Figure 2).  This example builds that scenario explicitly
+instead of using the random generator:
+
+    camera feeds -> decode -> {motion detection, face recognition,
+                               archival transcode} -> alert fusion
+
+* ``decode`` fans out to three consumers with very different per-SDO
+  costs (motion is cheap, faces are expensive).
+* Face recognition carries the highest output weight: its alerts are the
+  valuable product.
+* The system is overloaded on purpose; the interesting question is where
+  the controller spends the scarce CPU.
+
+Run:  python examples/video_analytics_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    AcesPolicy,
+    LockStepPolicy,
+    PEProfile,
+    ProcessingGraph,
+    SystemConfig,
+    TopologySpec,
+    UdpPolicy,
+    run_system,
+    solve_global_allocation,
+)
+from repro.graph.topology import Topology
+
+
+def build_pipeline() -> Topology:
+    graph = ProcessingGraph()
+
+    # Two camera ingest PEs: cheap, steady (demux/packetize).
+    for cam in ("cam-a", "cam-b"):
+        graph.add_pe(
+            PEProfile(pe_id=cam, weight=0.0, t0=0.001, t1=0.002, lambda_s=5.0)
+        )
+
+    # Decoders: GOP-bursty — a keyframe costs ~10x a delta frame.
+    for cam in ("cam-a", "cam-b"):
+        graph.add_pe(
+            PEProfile(
+                pe_id=f"decode-{cam}",
+                weight=0.0,
+                t0=0.002,
+                t1=0.020,
+                lambda_s=10.0,
+                rho=0.3,
+            )
+        )
+        graph.add_edge(cam, f"decode-{cam}")
+
+    # Three analytics per camera, reading the same decoded stream at very
+    # different costs (the Figure-2 situation).
+    analytics = {
+        "motion": dict(t0=0.001, t1=0.004, weight=0.5),
+        "faces": dict(t0=0.010, t1=0.040, weight=2.0),
+        "archive": dict(t0=0.004, t1=0.008, weight=0.2),
+    }
+    for cam in ("cam-a", "cam-b"):
+        for name, params in analytics.items():
+            pe_id = f"{name}-{cam}"
+            graph.add_pe(
+                PEProfile(
+                    pe_id=pe_id,
+                    weight=params["weight"],
+                    t0=params["t0"],
+                    t1=params["t1"],
+                    lambda_s=8.0,
+                )
+            )
+            graph.add_edge(f"decode-{cam}", pe_id)
+
+    # Alert fusion: correlates motion + faces across both cameras.
+    graph.add_pe(
+        PEProfile(pe_id="fusion", weight=3.0, t0=0.002, t1=0.006, lambda_s=5.0)
+    )
+    for cam in ("cam-a", "cam-b"):
+        graph.add_edge(f"motion-{cam}", "fusion")
+    graph.add_edge("faces-cam-a", "fusion")
+
+    # Egress streams (no downstream): fusion, faces-cam-b, and the two
+    # archives; their profile weights are the ones that count in the
+    # weighted-throughput metric.
+
+    placement = {
+        "cam-a": 0,
+        "cam-b": 0,
+        "decode-cam-a": 1,
+        "decode-cam-b": 2,
+        "motion-cam-a": 3,
+        "faces-cam-a": 4,
+        "archive-cam-a": 3,
+        "motion-cam-b": 5,
+        "faces-cam-b": 4,
+        "archive-cam-b": 5,
+        "fusion": 0,
+    }
+    spec = TopologySpec(
+        num_nodes=6,
+        num_ingress=2,
+        num_egress=4,
+        num_intermediate=5,
+    )
+    # 60 fps per camera, bursty arrival (scene-dependent bitrate); this
+    # overloads the face recognizers, so the controller has to choose
+    # where the scarce CPU goes.
+    source_rates = {"cam-a": 60.0, "cam-b": 60.0}
+    return Topology(
+        spec=spec, graph=graph, placement=placement,
+        source_rates=source_rates,
+    )
+
+
+def main() -> None:
+    topology = build_pipeline()
+    egress = topology.graph.egress_ids
+    print("Egress streams:", ", ".join(sorted(egress)))
+
+    tier1 = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    )
+    print("\nTier-1 CPU targets (video pipeline):")
+    for pe_id in topology.graph.topological_order():
+        cpu = tier1.targets.cpu[pe_id]
+        rate = tier1.targets.rate_in[pe_id]
+        print(f"  {pe_id:16s} cpu={cpu:5.2f}  rate_in={rate:7.1f}/s")
+
+    config = SystemConfig(buffer_size=20, warmup=5.0, seed=3)
+    print(f"\n{'policy':10s} {'wthr':>8s} {'latency':>12s} "
+          f"{'faces-a rate':>13s} {'fusion rate':>12s}")
+    for policy in (AcesPolicy(), UdpPolicy(), LockStepPolicy()):
+        report = run_system(
+            topology, policy, duration=30.0, targets=tier1.targets,
+            config=config,
+        )
+        fusion_rate = report.egress_detail["fusion"][1] / report.duration
+        faces_rate = (
+            report.egress_detail["faces-cam-b"][1] / report.duration
+        )
+        print(
+            f"{report.policy:10s} {report.weighted_throughput:8.1f} "
+            f"{report.latency.mean * 1000:8.1f} ms "
+            f"{faces_rate:10.1f}/s {fusion_rate:9.1f}/s"
+        )
+
+    print(
+        "\nThe decode stage fans out to consumers that differ 10x in "
+        "cost; under min-flow (Lock-Step) the expensive face recognizer "
+        "throttles the cheap motion detector, starving the high-weight "
+        "fusion stream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,315 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``      generate a topology and print its structure
+``solve``     run the Tier-1 optimization and print allocation targets
+``run``       simulate one policy on a random topology
+``compare``   simulate several policies on the same topology
+``figure``    regenerate one of the paper's figures/claims
+``calibrate`` run the simulator-vs-threaded-runtime comparison
+
+Examples::
+
+    python -m repro info --pes 60 --nodes 10
+    python -m repro compare --policies aces,udp,lockstep --buffer 20
+    python -m repro figure fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+import numpy as np
+
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import policy_by_name
+from repro.experiments import figures
+from repro.experiments.calibration import calibration_spec, run_calibration
+from repro.experiments.config import calibration_experiment, main_experiment
+from repro.experiments.reporting import print_table
+from repro.graph.topology import Topology, TopologySpec, generate_topology
+from repro.systems.simulated import SystemConfig, run_system
+
+
+def _topology_from_args(args: argparse.Namespace) -> Topology:
+    ingress = max(1, args.pes // 5)
+    egress = max(1, args.pes // 5)
+    spec = TopologySpec(
+        num_nodes=args.nodes,
+        num_ingress=ingress,
+        num_egress=egress,
+        num_intermediate=max(0, args.pes - ingress - egress),
+        lambda_s=args.lambda_s,
+        load_factor=args.load,
+    )
+    return generate_topology(spec, np.random.default_rng(args.seed))
+
+
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pes", type=int, default=60, help="total PE count")
+    parser.add_argument("--nodes", type=int, default=10, help="node count")
+    parser.add_argument("--seed", type=int, default=0, help="topology seed")
+    parser.add_argument(
+        "--lambda-s", dest="lambda_s", type=float, default=10.0,
+        help="burstiness scale (paper lambda_s)",
+    )
+    parser.add_argument(
+        "--load", type=float, default=1.2,
+        help="offered load relative to fair-share capacity",
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--buffer", type=int, default=50, help="buffer size B")
+    parser.add_argument(
+        "--duration", type=float, default=20.0, help="measured seconds"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=5.0, help="warm-up seconds"
+    )
+    parser.add_argument(
+        "--reoptimize", type=float, default=None, metavar="SECONDS",
+        help="refresh Tier-1 targets every SECONDS from measured rates",
+    )
+    parser.add_argument(
+        "--link-bandwidth", dest="link_bandwidth", type=float, default=None,
+        help="finite inter-node link bandwidth (SDO sizes / second)",
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    topology = _topology_from_args(args)
+    graph = topology.graph
+    print(
+        f"PEs: {len(graph)} (ingress {len(graph.ingress_ids)}, "
+        f"egress {len(graph.egress_ids)}, "
+        f"intermediate {len(graph.intermediate_ids)})"
+    )
+    print(f"Edges: {len(graph.edges())}, depth: {graph.depth()}")
+    print(f"Nodes: {topology.num_nodes}")
+    multi = sum(
+        1
+        for p in graph.pe_ids
+        if graph.fan_in(p) > 1 or graph.fan_out(p) > 1
+    )
+    print(f"Multi-IO PEs: {multi} ({multi / len(graph):.0%})")
+    components = graph.connected_components()
+    print(f"Connected components: {len(components)}")
+    offered = sum(topology.source_rates.values())
+    print(f"Offered load: {offered:.1f} SDO/s over "
+          f"{len(topology.source_rates)} input streams")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    topology = _topology_from_args(args)
+    result = solve_global_allocation(
+        topology.graph,
+        topology.placement,
+        topology.source_rates,
+        solver=args.solver,
+    )
+    print(
+        f"solver={result.solver} objective={result.objective:.3f} "
+        f"converged={result.converged} "
+        f"violation={result.max_violation:.2e}"
+    )
+    rows = [
+        {
+            "pe": pe_id,
+            "node": topology.placement[pe_id],
+            "cpu": result.targets.cpu[pe_id],
+            "rate_in": result.targets.rate_in[pe_id],
+            "rate_out": result.targets.rate_out[pe_id],
+            "weight": topology.graph.profile(pe_id).weight,
+        }
+        for pe_id in topology.graph.topological_order()
+    ]
+    print_table(rows, title="Tier-1 allocation targets", precision=3)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    topology = _topology_from_args(args)
+    policy = policy_by_name(args.policy)
+    report = run_system(
+        topology,
+        policy,
+        duration=args.duration,
+        config=SystemConfig(
+            buffer_size=args.buffer,
+            warmup=args.warmup,
+            seed=args.seed + 1,
+            reoptimize_interval=args.reoptimize,
+            link_bandwidth=args.link_bandwidth,
+        ),
+    )
+    print(report.one_line())
+    print(
+        f"cpu={report.cpu_utilization:.2f} "
+        f"occupancy={report.mean_buffer_occupancy:.1f} "
+        f"wasted={report.wasted_work_fraction:.3f} "
+        f"input_loss={report.input_loss_rate:.3f}"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    topology = _topology_from_args(args)
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    rows = []
+    for name in args.policies.split(","):
+        policy = policy_by_name(name.strip())
+        report = run_system(
+            topology,
+            policy,
+            duration=args.duration,
+            targets=targets,
+            config=SystemConfig(
+                buffer_size=args.buffer,
+                warmup=args.warmup,
+                seed=args.seed + 1,
+                reoptimize_interval=args.reoptimize,
+                link_bandwidth=args.link_bandwidth,
+            ),
+        )
+        rows.append(
+            {
+                "policy": report.policy,
+                "weighted_throughput": report.weighted_throughput,
+                "latency_ms": report.latency.mean * 1000,
+                "latency_std_ms": report.latency.std * 1000,
+                "drops": report.buffer_drops,
+                "rejections": report.source_rejections,
+                "cpu": report.cpu_utilization,
+            }
+        )
+    print_table(rows, title=f"{len(topology.graph)} PEs, B={args.buffer}")
+    return 0
+
+
+_FIGURES: _t.Dict[str, _t.Callable] = {
+    "fig3": figures.figure3_latency,
+    "fig4": figures.figure4_tradeoff,
+    "fig5": figures.figure5_burstiness,
+    "buffer-sweep": figures.buffer_sweep,
+    "robustness": figures.robustness,
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    function = _FIGURES[args.name]
+    if args.full:
+        config = main_experiment(duration=20.0, replications=3)
+    else:
+        config = calibration_experiment(
+            duration=8.0, replications=2
+        ).with_system(warmup=4.0)
+    rows = function(config=config)
+    print_table(rows, title=f"{args.name} ({config.name})", precision=3)
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    topology = generate_topology(
+        calibration_spec(scale=args.scale), np.random.default_rng(args.seed)
+    )
+    rows = run_calibration(
+        topology=topology,
+        sim_duration=args.duration,
+        runtime_duration=max(2.0, args.duration / 2),
+        seed=args.seed,
+    )
+    print_table(
+        [
+            {
+                "policy": row.policy,
+                "sim_throughput": row.simulator_throughput,
+                "runtime_throughput": row.runtime_throughput,
+                "ratio": row.throughput_ratio,
+            }
+            for row in rows
+        ],
+        title="simulator vs threaded runtime",
+        precision=2,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ACES reproduction: adaptive control of extreme-scale stream "
+            "processing systems (ICDCS 2006)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="describe a random topology")
+    _add_topology_arguments(info)
+    info.set_defaults(handler=cmd_info)
+
+    solve = subparsers.add_parser("solve", help="Tier-1 allocation targets")
+    _add_topology_arguments(solve)
+    solve.add_argument(
+        "--solver", choices=("auto", "slsqp", "projected_gradient"),
+        default="auto",
+    )
+    solve.set_defaults(handler=cmd_solve)
+
+    run = subparsers.add_parser("run", help="simulate one policy")
+    _add_topology_arguments(run)
+    _add_run_arguments(run)
+    run.add_argument(
+        "--policy", default="aces",
+        choices=("aces", "udp", "lockstep", "shedding"),
+    )
+    run.set_defaults(handler=cmd_run)
+
+    compare = subparsers.add_parser(
+        "compare", help="simulate several policies on one topology"
+    )
+    _add_topology_arguments(compare)
+    _add_run_arguments(compare)
+    compare.add_argument(
+        "--policies", default="aces,udp,lockstep",
+        help="comma-separated policy names",
+    )
+    compare.set_defaults(handler=cmd_compare)
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate a paper figure/claim"
+    )
+    figure.add_argument("name", choices=sorted(_FIGURES))
+    figure.add_argument(
+        "--full", action="store_true",
+        help="paper scale (200 PEs / 80 nodes) instead of the quick scale",
+    )
+    figure.set_defaults(handler=cmd_figure)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="simulator vs threaded runtime"
+    )
+    calibrate.add_argument("--scale", type=float, default=0.4)
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument("--duration", type=float, default=6.0)
+    calibrate.set_defaults(handler=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

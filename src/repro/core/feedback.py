@@ -1,0 +1,103 @@
+"""Upstream feedback propagation of ``r_max`` (paper Eq. 8, Section V-E).
+
+Each PE publishes its maximum sustainable input rate; a producer reads the
+*maximum* over its consumers' published rates — the max-flow policy: produce
+fast enough for your fastest consumer, let slower consumers' buffers police
+themselves.
+
+The bus models the distributed reality of the algorithm: values become
+visible only after a configurable propagation delay (default one control
+interval), and readers always see the most recent *visible* value, exactly
+like the paper's "most recent updates on the maximum input rates received"
+(Section V-E).  Nodes ticking at unsynchronized offsets therefore read
+slightly stale values, which is part of what the stability analysis must
+tolerate.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+
+@dataclass
+class _Entry:
+    value: float
+    visible_at: float
+
+
+class FeedbackBus:
+    """Shared (but asynchronously updated) r_max blackboard.
+
+    Parameters
+    ----------
+    delay:
+        Propagation delay in seconds before a published value becomes
+        visible to readers.  Zero models an idealized instantaneous network.
+    """
+
+    def __init__(self, delay: float = 0.0):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+        self._current: _t.Dict[str, float] = {}
+        self._pending: _t.Dict[str, _t.List[_Entry]] = {}
+        self.publishes = 0
+
+    def publish(self, pe_id: str, r_max: float, now: float) -> None:
+        """Announce PE ``pe_id``'s maximum sustainable input rate."""
+        if r_max < 0:
+            raise ValueError(f"{pe_id}: r_max must be >= 0, got {r_max}")
+        self.publishes += 1
+        if self.delay == 0.0:
+            self._current[pe_id] = r_max
+            return
+        self._pending.setdefault(pe_id, []).append(
+            _Entry(value=r_max, visible_at=now + self.delay)
+        )
+
+    def _settle(self, pe_id: str, now: float) -> None:
+        pending = self._pending.get(pe_id)
+        if not pending:
+            return
+        ripe = [entry for entry in pending if entry.visible_at <= now]
+        if ripe:
+            self._current[pe_id] = ripe[-1].value
+            self._pending[pe_id] = [
+                entry for entry in pending if entry.visible_at > now
+            ]
+
+    def latest(self, pe_id: str, now: float) -> _t.Optional[float]:
+        """Most recent visible r_max for ``pe_id`` (None if never heard)."""
+        self._settle(pe_id, now)
+        return self._current.get(pe_id)
+
+    def max_downstream_rate(
+        self, downstream_ids: _t.Sequence[str], now: float
+    ) -> float:
+        """Eq. 8: the producer's output-rate bound.
+
+        ``max{r_max,i : i in D(p_j)}`` over the visible values.  Egress PEs
+        (empty downstream set) and consumers that have not yet published
+        are unconstrained (+inf) — before the first feedback arrives the
+        system behaves optimistically, and the controller reins it in.
+        """
+        if not downstream_ids:
+            return float("inf")
+        rates = []
+        for pe_id in downstream_ids:
+            value = self.latest(pe_id, now)
+            rates.append(float("inf") if value is None else value)
+        return max(rates)
+
+    def min_downstream_rate(
+        self, downstream_ids: _t.Sequence[str], now: float
+    ) -> float:
+        """The min-flow variant (ablation: ACES control + min-flow policy)."""
+        if not downstream_ids:
+            return float("inf")
+        rates = []
+        for pe_id in downstream_ids:
+            value = self.latest(pe_id, now)
+            rates.append(float("inf") if value is None else value)
+        return min(rates)

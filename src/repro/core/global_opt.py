@@ -1,0 +1,473 @@
+"""Tier 1: the global weighted-throughput optimization (paper Section V-B).
+
+The program, in the paper's notation::
+
+    maximize    sum_j  w_j * U(r̄_out,j)                          (Eq. 3)
+    subject to  sum_{j in node i} c̄_j <= 1        for all nodes   (Eq. 4)
+                r̄_in,j <= r̄_out,i   for every edge i -> j         (Eq. 5)
+                r̄_in,j <= source rate       for ingress PEs
+                r̄_in,j  = h_j(c̄_j) = a_j c̄_j - b_j                (Eq. 6)
+                r̄_out,j = m_j * r̄_in,j
+
+with decision variables ``c̄_j`` (one CPU share per PE).  The objective is
+concave and the feasible set is a polytope, so the optimum is unique in the
+rates (paper Section V-B).
+
+Two solvers are provided:
+
+* ``"slsqp"`` — :func:`scipy.optimize.minimize` on the exact program;
+* ``"projected_gradient"`` — a from-scratch normalized projected-gradient
+  method: exact projection onto the per-node capacity simplices, cyclic
+  halfspace projections for the (linear) flow and ingress constraints, and
+  a final topological feasibility sweep.
+
+``"auto"`` runs SLSQP and falls back to the projected-gradient solver if
+SLSQP fails to converge.  The two agree to within ~2% on random instances
+(see ``tests/test_global_opt.py``) — the cross-check behind the paper's
+observation that any concave solver reaches the same unique optimum.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.targets import AllocationTargets
+from repro.core.utility import LogUtility, UtilityFunction
+from repro.graph.dag import ProcessingGraph
+from repro.graph.placement import Placement
+
+
+@dataclass
+class GlobalOptimizationResult:
+    """Solver output: targets plus diagnostics."""
+
+    targets: AllocationTargets
+    objective: float
+    solver: str
+    iterations: int
+    converged: bool
+    max_violation: float
+    messages: _t.List[str] = field(default_factory=list)
+
+
+class _Program:
+    """Vectorized view of the optimization program."""
+
+    def __init__(
+        self,
+        graph: ProcessingGraph,
+        placement: Placement,
+        source_rates: _t.Mapping[str, float],
+        utility: UtilityFunction,
+    ):
+        self.graph = graph
+        self.placement = placement
+        self.utility = utility
+        self.pe_ids = graph.topological_order()
+        self.index = {pe_id: k for k, pe_id in enumerate(self.pe_ids)}
+        n = len(self.pe_ids)
+
+        profiles = [graph.profile(p) for p in self.pe_ids]
+        self.slope = np.array([pr.rate_slope for pr in profiles])
+        self.overhead = np.array([pr.overhead for pr in profiles])
+        self.mult = np.array([pr.lambda_m for pr in profiles])
+        self.weight = np.array([pr.weight for pr in profiles])
+
+        # Node membership.
+        self.nodes = sorted(set(placement[p] for p in self.pe_ids))
+        self.node_members: _t.List[np.ndarray] = [
+            np.array(
+                [self.index[p] for p in self.pe_ids if placement[p] == node],
+                dtype=int,
+            )
+            for node in self.nodes
+        ]
+
+        # Flow edges as index pairs (producer, consumer).
+        self.edges = np.array(
+            [
+                (self.index[src], self.index[dst])
+                for src, dst in graph.edges()
+            ],
+            dtype=int,
+        ).reshape(-1, 2)
+
+        # Flow constraints are per *consumer*: a PE's input buffer merges
+        # all of its upstream streams, so the fluid constraint is
+        # r_in,j <= sum_{i in U(j)} r_out,i.  (The paper writes Eq. 5 per
+        # edge; for single-input PEs — the overwhelming majority — the two
+        # forms coincide, and the sum form matches the merged-buffer
+        # semantics of the simulator and of the SPC runtime.)
+        self.consumers = [
+            self.index[pe_id]
+            for pe_id in self.pe_ids
+            if graph.upstream(pe_id)
+        ]
+        self.producer_sets = [
+            np.array(
+                [self.index[u] for u in graph.upstream(self.pe_ids[k])],
+                dtype=int,
+            )
+            for k in self.consumers
+        ]
+
+        # Ingress caps.
+        self.ingress = np.array(
+            [self.index[p] for p in graph.ingress_ids], dtype=int
+        )
+        self.ingress_rate = np.array(
+            [float(source_rates.get(p, np.inf)) for p in graph.ingress_ids]
+        )
+
+        # Bounds: c in [b/a, 1] so that h(c) >= 0 everywhere.
+        self.lower = self.overhead / self.slope
+        self.upper = np.ones(n)
+
+    # -- model -----------------------------------------------------------
+
+    def rate_in(self, c: np.ndarray) -> np.ndarray:
+        return self.slope * c - self.overhead
+
+    def rate_out(self, c: np.ndarray) -> np.ndarray:
+        return self.mult * self.rate_in(c)
+
+    def objective(self, c: np.ndarray) -> float:
+        rates = np.maximum(self.rate_out(c), 0.0)
+        return float(
+            sum(
+                w * self.utility.value(r)
+                for w, r in zip(self.weight, rates)
+                if w > 0
+            )
+        )
+
+    def objective_gradient(self, c: np.ndarray) -> np.ndarray:
+        rates = np.maximum(self.rate_out(c), 0.0)
+        grad = np.zeros_like(c)
+        for k, (w, r) in enumerate(zip(self.weight, rates)):
+            if w > 0:
+                grad[k] = w * self.utility.derivative(r) * self.mult[k] * self.slope[k]
+        return grad
+
+    # -- constraint residuals (<= 0 when satisfied) -----------------------
+
+    def node_residuals(self, c: np.ndarray) -> np.ndarray:
+        return np.array(
+            [c[members].sum() - 1.0 for members in self.node_members]
+        )
+
+    def flow_residuals(self, c: np.ndarray) -> np.ndarray:
+        """Per-consumer residuals: r_in,j - sum of upstream r_out (<= 0 ok)."""
+        if not self.consumers:
+            return np.zeros(0)
+        rin = self.rate_in(c)
+        rout = self.rate_out(c)
+        return np.array(
+            [
+                rin[consumer] - rout[producers].sum()
+                for consumer, producers in zip(
+                    self.consumers, self.producer_sets
+                )
+            ]
+        )
+
+    def ingress_residuals(self, c: np.ndarray) -> np.ndarray:
+        if len(self.ingress) == 0:
+            return np.zeros(0)
+        rin = self.rate_in(c)
+        finite = np.isfinite(self.ingress_rate)
+        residuals = rin[self.ingress] - self.ingress_rate
+        return np.where(finite, residuals, 0.0)
+
+    def max_violation(self, c: np.ndarray) -> float:
+        residuals = np.concatenate(
+            [
+                self.node_residuals(c),
+                self.flow_residuals(c),
+                self.ingress_residuals(c),
+                self.lower - c,
+                c - self.upper,
+            ]
+        )
+        return float(np.maximum(residuals, 0.0).max(initial=0.0))
+
+    def initial_guess(self) -> np.ndarray:
+        c = np.zeros(len(self.pe_ids))
+        for members in self.node_members:
+            c[members] = 1.0 / len(members)
+        return np.clip(c, self.lower, self.upper)
+
+    def to_targets(self, c: np.ndarray) -> AllocationTargets:
+        rin = np.maximum(self.rate_in(c), 0.0)
+        rout = self.mult * rin
+        return AllocationTargets(
+            cpu={p: float(c[k]) for p, k in self.index.items()},
+            rate_in={p: float(rin[k]) for p, k in self.index.items()},
+            rate_out={p: float(rout[k]) for p, k in self.index.items()},
+        )
+
+
+def _project_node_capacity(program: _Program, c: np.ndarray) -> np.ndarray:
+    """Project c onto box [lower, upper] intersect node simplices.
+
+    Exact per-node projection: clip to the box, then for nodes over
+    capacity, solve the shifted-simplex projection with bisection on the
+    dual variable.
+    """
+    projected = np.clip(c, program.lower, program.upper)
+    for members in program.node_members:
+        total = projected[members].sum()
+        if total <= 1.0:
+            continue
+        values = c[members]
+        low_bounds = program.lower[members]
+        high_bounds = program.upper[members]
+
+        def mass(tau: float) -> float:
+            return float(
+                np.clip(values - tau, low_bounds, high_bounds).sum()
+            )
+
+        lo, hi = 0.0, float(values.max() - low_bounds.min()) + 1.0
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            if mass(mid) > 1.0:
+                lo = mid
+            else:
+                hi = mid
+        projected[members] = np.clip(values - hi, low_bounds, high_bounds)
+    return projected
+
+
+def _project_feasible(
+    program: _Program, c: np.ndarray, passes: int = 4
+) -> np.ndarray:
+    """Approximate projection onto the full feasible polytope.
+
+    Alternates the exact node-capacity/box projection with cyclic
+    projections onto each (linear) flow and ingress halfspace.  A few
+    passes suffice to reach violations below the sweep's tolerance; the
+    final :func:`_feasibility_sweep` makes the point exactly feasible.
+    """
+    projected = _project_node_capacity(program, c)
+    for _ in range(passes):
+        moved = False
+        # Flow halfspaces: slope_j c_j - sum_i mult_i slope_i c_i <= b.
+        for consumer, producers in zip(
+            program.consumers, program.producer_sets
+        ):
+            lhs = program.slope[consumer] * projected[consumer] - (
+                program.mult[producers]
+                * (
+                    program.slope[producers] * projected[producers]
+                    - program.overhead[producers]
+                )
+            ).sum() - program.overhead[consumer]
+            if lhs <= 0:
+                continue
+            norm_sq = program.slope[consumer] ** 2 + float(
+                np.square(
+                    program.mult[producers] * program.slope[producers]
+                ).sum()
+            )
+            scale = lhs / norm_sq
+            projected[consumer] -= scale * program.slope[consumer]
+            projected[producers] += scale * (
+                program.mult[producers] * program.slope[producers]
+            )
+            moved = True
+        # Ingress halfspaces: slope_k c_k <= rate + overhead.
+        ingress_residuals = program.ingress_residuals(projected)
+        for position, residual in enumerate(ingress_residuals):
+            if residual <= 0:
+                continue
+            k = program.ingress[position]
+            projected[k] -= residual / program.slope[k]
+            moved = True
+        projected = _project_node_capacity(program, projected)
+        if not moved:
+            break
+    return projected
+
+
+def _solve_projected_gradient(
+    program: _Program,
+    max_iterations: int = 1200,
+    tolerance: float = 1e-9,
+) -> _t.Tuple[np.ndarray, int, bool, _t.List[str]]:
+    """Projected gradient ascent (from-scratch solver).
+
+    Normalized-gradient steps with a diminishing step size, projected onto
+    the feasible polytope after every step.  For a concave objective over
+    a convex polytope this converges to the global optimum; we track the
+    best feasible iterate seen.
+    """
+    messages: _t.List[str] = []
+    c = _project_feasible(program, program.initial_guess())
+    best = c.copy()
+    best_objective = program.objective(_feasibility_sweep(program, c))
+
+    # Step length scale: a small fraction of the typical CPU-share scale.
+    base_step = 0.2 / max(1.0, np.sqrt(len(program.pe_ids)))
+    iterations = 0
+    stall = 0
+    for k in range(max_iterations):
+        iterations += 1
+        grad = program.objective_gradient(c)
+        norm = float(np.linalg.norm(grad))
+        if norm < 1e-14:
+            break
+        step = base_step / np.sqrt(k + 1.0)
+        c = _project_feasible(program, c + step * grad / norm)
+
+        if (k + 1) % 25 == 0:
+            objective = program.objective(_feasibility_sweep(program, c))
+            if objective > best_objective + tolerance * (1 + abs(objective)):
+                best_objective = objective
+                best = c.copy()
+                stall = 0
+            else:
+                stall += 1
+                if stall >= 6:
+                    break
+
+    c = _feasibility_sweep(program, best)
+    converged = program.max_violation(c) < 1e-4
+    if not converged:
+        messages.append(
+            f"projected gradient residual {program.max_violation(c):.2e}"
+        )
+    return c, iterations, converged, messages
+
+
+def _feasibility_sweep(program: _Program, c: np.ndarray) -> np.ndarray:
+    """Make c exactly feasible by clamping consumers below producers.
+
+    Walk PEs in topological order; cap each PE's input rate at the min of
+    its producers' output rates (and the source rate for ingress), reducing
+    its CPU share accordingly.  Capacity constraints are untouched (shares
+    only shrink).
+    """
+    c = c.copy()
+    rin = program.rate_in(c)
+    rout = program.rate_out(c)
+    order = program.pe_ids
+    for pe_id in order:
+        k = program.index[pe_id]
+        upstream = program.graph.upstream(pe_id)
+        limit = np.inf
+        if upstream:
+            limit = sum(rout[program.index[producer]] for producer in upstream)
+        position = np.where(program.ingress == k)[0]
+        if position.size:
+            limit = min(limit, program.ingress_rate[position[0]])
+        if rin[k] > limit:
+            rin[k] = max(0.0, limit)
+            c[k] = (rin[k] + program.overhead[k]) / program.slope[k]
+            rout[k] = program.mult[k] * rin[k]
+    return c
+
+
+def _solve_slsqp(
+    program: _Program,
+) -> _t.Tuple[np.ndarray, int, bool, _t.List[str]]:
+    from scipy.optimize import NonlinearConstraint, minimize
+
+    def negative_objective(c: np.ndarray) -> float:
+        return -program.objective(c)
+
+    def negative_gradient(c: np.ndarray) -> np.ndarray:
+        return -program.objective_gradient(c)
+
+    constraints = []
+
+    def node_fn(c: np.ndarray) -> np.ndarray:
+        return -program.node_residuals(c)
+
+    constraints.append({"type": "ineq", "fun": node_fn})
+
+    if program.consumers:
+        constraints.append(
+            {"type": "ineq", "fun": lambda c: -program.flow_residuals(c)}
+        )
+    if len(program.ingress):
+        constraints.append(
+            {"type": "ineq", "fun": lambda c: -program.ingress_residuals(c)}
+        )
+
+    bounds = list(zip(program.lower, program.upper))
+    result = minimize(
+        negative_objective,
+        program.initial_guess(),
+        jac=negative_gradient,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-9},
+    )
+    c = np.clip(result.x, program.lower, program.upper)
+    c = _project_node_capacity(program, c)
+    c = _feasibility_sweep(program, c)
+    messages = [] if result.success else [str(result.message)]
+    return c, int(result.nit), bool(result.success), messages
+
+
+def solve_global_allocation(
+    graph: ProcessingGraph,
+    placement: Placement,
+    source_rates: _t.Mapping[str, float],
+    utility: _t.Optional[UtilityFunction] = None,
+    solver: str = "auto",
+) -> GlobalOptimizationResult:
+    """Solve the Tier-1 program and return allocation targets.
+
+    Parameters
+    ----------
+    graph, placement:
+        The processing graph and PE-to-node assignment.
+    source_rates:
+        Offered time-averaged input rate per ingress PE id (SDO/s).
+        Missing entries are treated as unconstrained.
+    utility:
+        The common concave utility ``U``; defaults to ``log(x + 1)``.
+    solver:
+        ``"slsqp"``, ``"projected_gradient"``, or ``"auto"``.
+    """
+    if utility is None:
+        utility = LogUtility()
+    program = _Program(graph, placement, source_rates, utility)
+
+    if solver not in ("auto", "slsqp", "projected_gradient"):
+        raise ValueError(f"unknown solver {solver!r}")
+
+    messages: _t.List[str] = []
+    if solver in ("auto", "slsqp"):
+        c, iterations, converged, solver_messages = _solve_slsqp(program)
+        messages.extend(solver_messages)
+        used = "slsqp"
+        if not converged and solver == "auto":
+            c2, it2, conv2, msg2 = _solve_projected_gradient(program)
+            if program.objective(c2) > program.objective(c) or not converged:
+                c, iterations, converged = c2, it2, conv2
+                messages.extend(msg2)
+                used = "projected_gradient"
+    else:
+        c, iterations, converged, solver_messages = _solve_projected_gradient(
+            program
+        )
+        messages.extend(solver_messages)
+        used = "projected_gradient"
+
+    targets = program.to_targets(c)
+    return GlobalOptimizationResult(
+        targets=targets,
+        objective=program.objective(c),
+        solver=used,
+        iterations=iterations,
+        converged=converged,
+        max_violation=program.max_violation(c),
+        messages=messages,
+    )

@@ -1,0 +1,106 @@
+"""Allocation targets: the interface between Tier 1 and Tier 2.
+
+Tier 1 produces an :class:`AllocationTargets` — per-PE time-averaged CPU
+shares ``c̄_j`` and the corresponding fluid rates ``r̄_in,j``/``r̄_out,j``.
+Tier 2 consumes the CPU shares as token-bucket fill rates.
+
+:func:`perturb_targets` injects multiplicative errors into the CPU targets;
+the paper's conclusion section reports ACES is robust to such allocation
+errors, and ``benchmarks/bench_robustness.py`` reproduces that claim.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.dag import ProcessingGraph
+from repro.graph.placement import Placement
+
+
+@dataclass
+class AllocationTargets:
+    """Time-averaged per-PE allocation targets (the paper's c̄, r̄ values)."""
+
+    cpu: _t.Dict[str, float]
+    rate_in: _t.Dict[str, float] = field(default_factory=dict)
+    rate_out: _t.Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pe_id, share in self.cpu.items():
+            if share < -1e-9:
+                raise ValueError(f"{pe_id}: negative CPU target {share}")
+
+    def node_utilization(self, placement: Placement) -> _t.Dict[int, float]:
+        """Sum of CPU targets per node."""
+        totals: _t.Dict[int, float] = {}
+        for pe_id, share in self.cpu.items():
+            node = placement[pe_id]
+            totals[node] = totals.get(node, 0.0) + share
+        return totals
+
+    def validate(self, placement: Placement, tolerance: float = 1e-6) -> None:
+        """Check per-node capacity feasibility (Eq. 4)."""
+        for node, total in self.node_utilization(placement).items():
+            if total > 1.0 + tolerance:
+                raise ValueError(
+                    f"node {node}: CPU targets sum to {total:.4f} > 1"
+                )
+
+
+def fair_share_targets(
+    graph: ProcessingGraph, placement: Placement
+) -> AllocationTargets:
+    """Equal split of each node's CPU among its resident PEs.
+
+    This is the naive baseline allocation (no weighted-throughput
+    optimization); useful as an optimizer starting point and as an ablation.
+    """
+    residents: _t.Dict[int, int] = {}
+    for node in placement.values():
+        residents[node] = residents.get(node, 0) + 1
+    cpu = {
+        pe_id: 1.0 / residents[placement[pe_id]] for pe_id in graph.pe_ids
+    }
+    rate_in = {
+        pe_id: graph.profile(pe_id).rate_at(cpu[pe_id])
+        for pe_id in graph.pe_ids
+    }
+    rate_out = {
+        pe_id: graph.profile(pe_id).lambda_m * rate_in[pe_id]
+        for pe_id in graph.pe_ids
+    }
+    return AllocationTargets(cpu=cpu, rate_in=rate_in, rate_out=rate_out)
+
+
+def perturb_targets(
+    targets: AllocationTargets,
+    epsilon: float,
+    rng: np.random.Generator,
+    placement: _t.Optional[Placement] = None,
+) -> AllocationTargets:
+    """Multiply each CPU target by ``1 + e``, ``e ~ Uniform(-eps, +eps)``.
+
+    When ``placement`` is given, per-node sums are rescaled back under
+    capacity so the perturbed targets remain feasible — the error then shows
+    up as *misallocation between PEs* rather than as infeasible totals,
+    which is the robustness question the paper poses.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    noisy = {
+        pe_id: share * (1.0 + float(rng.uniform(-epsilon, epsilon)))
+        for pe_id, share in targets.cpu.items()
+    }
+    if placement is not None:
+        totals: _t.Dict[int, float] = {}
+        for pe_id, share in noisy.items():
+            node = placement[pe_id]
+            totals[node] = totals.get(node, 0.0) + share
+        for pe_id in noisy:
+            total = totals[placement[pe_id]]
+            if total > 1.0:
+                noisy[pe_id] /= total
+    return AllocationTargets(cpu=noisy)

@@ -1,0 +1,192 @@
+"""One function per paper figure / quantitative claim.
+
+Each function runs the relevant sweep and returns a plain data structure
+(list of row dicts) that the corresponding benchmark prints.  The mapping
+to the paper (see DESIGN.md Section 4):
+
+* :func:`figure3_latency`      — Fig. 3 (latency mean ± std, ACES vs Lock-Step)
+* :func:`figure4_tradeoff`     — Fig. 4 (latency vs weighted throughput)
+* :func:`figure5_burstiness`   — Fig. 5 (throughput vs lambda_s, 3 systems)
+* :func:`buffer_sweep`         — the ">20% at small buffers" claim
+* :func:`robustness`           — the "robust to allocation errors" claim
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
+from repro.core.targets import AllocationTargets, perturb_targets
+from repro.experiments.config import ExperimentConfig, main_experiment
+from repro.experiments.runner import run_cell
+from repro.experiments.sweeps import sweep
+from repro.graph.topology import Topology
+
+Row = _t.Dict[str, object]
+
+#: Buffer sizes used for the Fig. 3/4 sweeps.
+BUFFER_SIZES = (5, 10, 20, 50, 100)
+#: Burstiness levels for the Fig. 5 sweep.
+LAMBDA_S_VALUES = (2.0, 5.0, 10.0, 25.0, 50.0)
+#: Allocation-error levels for the robustness claim.
+ERROR_LEVELS = (0.0, 0.2, 0.4, 0.8)
+
+
+def _default_config(config: _t.Optional[ExperimentConfig]) -> ExperimentConfig:
+    return config if config is not None else main_experiment()
+
+
+def figure3_latency(
+    config: _t.Optional[ExperimentConfig] = None,
+    buffer_sizes: _t.Sequence[int] = BUFFER_SIZES,
+) -> _t.List[Row]:
+    """Fig. 3: mean and std of end-to-end latency, ACES vs Lock-Step."""
+    config = _default_config(config)
+    result = sweep(
+        config,
+        [AcesPolicy(), LockStepPolicy()],
+        "system.buffer_size",
+        list(buffer_sizes),
+    )
+    rows: _t.List[Row] = []
+    for point in result.points:
+        row: Row = {"buffer_size": point.value}
+        for name in ("aces", "lockstep"):
+            summary = point.result.policies[name]
+            row[f"{name}_latency_ms"] = summary.latency_mean.mean * 1000
+            row[f"{name}_latency_std_ms"] = summary.latency_std.mean * 1000
+        rows.append(row)
+    return rows
+
+
+def figure4_tradeoff(
+    config: _t.Optional[ExperimentConfig] = None,
+    buffer_sizes: _t.Sequence[int] = BUFFER_SIZES,
+) -> _t.List[Row]:
+    """Fig. 4: the (weighted throughput, mean latency) frontier over B."""
+    config = _default_config(config)
+    result = sweep(
+        config,
+        [AcesPolicy(), LockStepPolicy()],
+        "system.buffer_size",
+        list(buffer_sizes),
+    )
+    rows: _t.List[Row] = []
+    for point in result.points:
+        row: Row = {"buffer_size": point.value}
+        for name in ("aces", "lockstep"):
+            summary = point.result.policies[name]
+            row[f"{name}_throughput"] = summary.weighted_throughput.mean
+            row[f"{name}_latency_ms"] = summary.latency_mean.mean * 1000
+        rows.append(row)
+    return rows
+
+
+def figure5_burstiness(
+    config: _t.Optional[ExperimentConfig] = None,
+    lambda_s_values: _t.Sequence[float] = LAMBDA_S_VALUES,
+) -> _t.List[Row]:
+    """Fig. 5: weighted throughput vs burstiness for the three systems.
+
+    Both the absolute weighted throughput and the fluid-optimum-normalized
+    value are reported.  The normalized series is the shape-comparable one:
+    under the frozen-at-start cost semantics raw capacity itself varies
+    with ``lambda_s``, so control quality (achieved / achievable) is what
+    declines with burstiness as in the paper's figure.
+    """
+    config = _default_config(config)
+    result = sweep(
+        config,
+        [AcesPolicy(), UdpPolicy(), LockStepPolicy()],
+        "spec.lambda_s",
+        list(lambda_s_values),
+    )
+    rows: _t.List[Row] = []
+    for point in result.points:
+        row: Row = {"lambda_s": point.value}
+        for name in ("aces", "udp", "lockstep"):
+            summary = point.result.policies[name]
+            row[f"{name}_throughput"] = summary.weighted_throughput.mean
+            row[f"{name}_normalized"] = summary.normalized_throughput.mean
+        rows.append(row)
+    return rows
+
+
+def buffer_sweep(
+    config: _t.Optional[ExperimentConfig] = None,
+    buffer_sizes: _t.Sequence[int] = (3, 5, 10, 20, 50),
+) -> _t.List[Row]:
+    """CLAIM-BUF: weighted-throughput ratio of ACES over each baseline."""
+    config = _default_config(config)
+    result = sweep(
+        config,
+        [AcesPolicy(), UdpPolicy(), LockStepPolicy()],
+        "system.buffer_size",
+        list(buffer_sizes),
+    )
+    rows: _t.List[Row] = []
+    for point in result.points:
+        cell = point.result
+        rows.append(
+            {
+                "buffer_size": point.value,
+                "aces_throughput": cell.policies["aces"].weighted_throughput.mean,
+                "udp_throughput": cell.policies["udp"].weighted_throughput.mean,
+                "lockstep_throughput": cell.policies[
+                    "lockstep"
+                ].weighted_throughput.mean,
+                "aces_over_udp": cell.ratio("aces", "udp"),
+                "aces_over_lockstep": cell.ratio("aces", "lockstep"),
+            }
+        )
+    return rows
+
+
+def robustness(
+    config: _t.Optional[ExperimentConfig] = None,
+    error_levels: _t.Sequence[float] = ERROR_LEVELS,
+    policies: _t.Optional[_t.Sequence[Policy]] = None,
+) -> _t.List[Row]:
+    """CLAIM-ROBUST: degradation under perturbed Tier-1 CPU targets.
+
+    Each point multiplies every CPU target by ``1 + Uniform(-eps, +eps)``
+    (renormalized to stay node-feasible) before running; the paper's claim
+    is that ACES's Tier-2 controller absorbs such errors.
+    """
+    config = _default_config(config)
+    if policies is None:
+        policies = [AcesPolicy(), UdpPolicy(), LockStepPolicy()]
+
+    rows: _t.List[Row] = []
+    for epsilon in error_levels:
+
+        def transform(
+            targets: AllocationTargets,
+            topology: Topology,
+            seed: int,
+            epsilon: float = epsilon,
+        ) -> AllocationTargets:
+            if epsilon == 0.0:
+                return targets
+            rng = np.random.default_rng(seed * 7919 + 13)
+            return perturb_targets(
+                targets, epsilon, rng, placement=topology.placement
+            )
+
+        cell = run_cell(config, policies, targets_transform=transform)
+        row: Row = {"epsilon": epsilon}
+        for name in cell.policies:
+            row[f"{name}_throughput"] = cell.policies[
+                name
+            ].weighted_throughput.mean
+        rows.append(row)
+
+    # Normalize each policy by its own eps=0 value to express degradation.
+    for name in (p.name for p in policies):
+        base = float(rows[0][f"{name}_throughput"])  # type: ignore[arg-type]
+        for row in rows:
+            value = float(row[f"{name}_throughput"])  # type: ignore[arg-type]
+            row[f"{name}_relative"] = value / base if base > 0 else 0.0
+    return rows

@@ -1,0 +1,159 @@
+"""Run experiment cells: (topology x policy) with replication averaging.
+
+A *cell* is one configuration; each replication generates a fresh random
+topology (new graph, placement, weights, service scales) and a fresh
+simulation seed, then runs every requested policy on the *same* topology
+with the *same* Tier-1 targets — the paired design the paper's comparisons
+need.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import Policy
+from repro.core.targets import AllocationTargets
+from repro.experiments.config import ExperimentConfig
+from repro.graph.topology import Topology, generate_topology
+from repro.metrics.collectors import MetricsReport
+from repro.metrics.stats import SummaryStats, summarize
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+
+@dataclass
+class PolicySummary:
+    """Replication-averaged outcome of one policy in a cell."""
+
+    policy: str
+    weighted_throughput: SummaryStats
+    latency_mean: SummaryStats
+    latency_std: SummaryStats
+    buffer_drops: SummaryStats
+    cpu_utilization: SummaryStats
+    wasted_work: SummaryStats
+    #: Weighted throughput normalized by the fluid-optimal value of the
+    #: same topology (isolates control quality from raw capacity).
+    normalized_throughput: SummaryStats
+    reports: _t.List[MetricsReport] = field(default_factory=list)
+
+
+@dataclass
+class CellResult:
+    """All policies' summaries for one experiment cell."""
+
+    config: ExperimentConfig
+    policies: _t.Dict[str, PolicySummary]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Mean weighted-throughput ratio between two policies."""
+        top = self.policies[numerator].weighted_throughput.mean
+        bottom = self.policies[denominator].weighted_throughput.mean
+        if bottom == 0:
+            return float("inf")
+        return top / bottom
+
+
+def fluid_optimal_throughput(
+    topology: Topology, targets: AllocationTargets
+) -> float:
+    """sum_j w_j r̄_out,j over egress PEs — the Tier-1 fluid optimum."""
+    total = 0.0
+    for pe_id in topology.graph.egress_ids:
+        weight = topology.graph.profile(pe_id).weight
+        total += weight * targets.rate_out.get(pe_id, 0.0)
+    return total
+
+
+def run_replication(
+    config: ExperimentConfig,
+    policies: _t.Sequence[Policy],
+    replication: int,
+    targets_transform: _t.Optional[
+        _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
+    ] = None,
+) -> _t.Tuple[Topology, _t.Dict[str, MetricsReport], float]:
+    """One topology, all policies; returns reports plus the fluid optimum."""
+    seed = config.base_seed + replication
+    topo_rng = np.random.default_rng(seed)
+    topology = generate_topology(config.spec, topo_rng)
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    optimum = fluid_optimal_throughput(topology, targets)
+
+    run_targets = targets
+    if targets_transform is not None:
+        run_targets = targets_transform(targets, topology, seed)
+
+    reports: _t.Dict[str, MetricsReport] = {}
+    for policy in policies:
+        system_config = SystemConfig(
+            **{
+                **config.system.__dict__,
+                "seed": seed * 1000 + 17,
+            }
+        )
+        system = SimulatedSystem(
+            topology, policy, targets=run_targets, config=system_config
+        )
+        reports[policy.name] = system.run(config.duration)
+    return topology, reports, optimum
+
+
+def run_cell(
+    config: ExperimentConfig,
+    policies: _t.Sequence[Policy],
+    targets_transform: _t.Optional[
+        _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
+    ] = None,
+) -> CellResult:
+    """Run every policy over ``config.replications`` random topologies."""
+    if not policies:
+        raise ValueError("at least one policy is required")
+    names = [policy.name for policy in policies]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate policy names in {names}")
+
+    per_policy: _t.Dict[str, _t.List[MetricsReport]] = {
+        name: [] for name in names
+    }
+    normalized: _t.Dict[str, _t.List[float]] = {name: [] for name in names}
+
+    for replication in range(config.replications):
+        _, reports, optimum = run_replication(
+            config, policies, replication, targets_transform
+        )
+        for name, report in reports.items():
+            per_policy[name].append(report)
+            if optimum > 0:
+                normalized[name].append(
+                    report.weighted_throughput / optimum
+                )
+
+    summaries: _t.Dict[str, PolicySummary] = {}
+    for name in names:
+        reports = per_policy[name]
+        summaries[name] = PolicySummary(
+            policy=name,
+            weighted_throughput=summarize(
+                [r.weighted_throughput for r in reports]
+            ),
+            latency_mean=summarize([r.latency.mean for r in reports]),
+            latency_std=summarize([r.latency.std for r in reports]),
+            buffer_drops=summarize(
+                [float(r.buffer_drops) for r in reports]
+            ),
+            cpu_utilization=summarize(
+                [r.cpu_utilization for r in reports]
+            ),
+            wasted_work=summarize(
+                [r.wasted_work_fraction for r in reports]
+            ),
+            normalized_throughput=summarize(normalized[name]),
+            reports=reports,
+        )
+    return CellResult(config=config, policies=summaries)

@@ -1,0 +1,32 @@
+"""Processing-graph substrate: DAG structure, topology generation, placement.
+
+* :mod:`repro.graph.dag` — the directed-acyclic processing graph of PE
+  profiles, with validation and traversal helpers.
+* :mod:`repro.graph.topology` — the random topology generator replicating
+  the paper's tool (Section VI-A): it takes the number of nodes, the number
+  of ingress/egress/intermediate PEs and the average interconnection degree,
+  and produces a PE graph, a placement, and PE parameters.
+* :mod:`repro.graph.placement` — PE-to-node assignment strategies.
+"""
+
+from repro.graph.dag import GraphValidationError, ProcessingGraph
+from repro.graph.placement import (
+    load_balanced_placement,
+    random_placement,
+    round_robin_placement,
+)
+from repro.graph.placement_opt import PlacementSearchResult, optimize_placement
+from repro.graph.topology import Topology, TopologySpec, generate_topology
+
+__all__ = [
+    "GraphValidationError",
+    "PlacementSearchResult",
+    "ProcessingGraph",
+    "Topology",
+    "TopologySpec",
+    "generate_topology",
+    "load_balanced_placement",
+    "optimize_placement",
+    "random_placement",
+    "round_robin_placement",
+]

@@ -1,0 +1,320 @@
+"""Random topology generator, replicating the paper's tool (Section VI-A).
+
+    "The topologies for the simulation were generated through a topology
+    generation tool that takes as input the number of CPUs in the system,
+    the number of ingress, egress and intermediate PEs in the system, and
+    the average degree of interconnectivity between the PEs.  The output of
+    the generator is a PE graph, the assignment of the PEs to the CPUs, the
+    time-averaged CPU allocations of the PEs and the parameters for each
+    PE."
+
+We generate a layered DAG: ingress PEs form layer 0, intermediate PEs are
+spread over interior layers, egress PEs form the last layer.  A backbone
+pass guarantees every PE lies on an ingress->egress path; an enrichment pass
+adds extra edges until the requested average degree (or the paper's 20%
+multi-input/multi-output fraction) is reached, honouring the fan-in <= 3 and
+fan-out <= 4 caps.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.dag import GraphValidationError, ProcessingGraph
+from repro.graph.placement import (
+    Placement,
+    load_balanced_placement,
+    random_placement,
+)
+from repro.model.calibration import calibrate_profile
+from repro.model.params import DEFAULTS, PEProfile
+
+
+@dataclass
+class TopologySpec:
+    """Inputs to the topology generator (the paper's tool interface)."""
+
+    num_nodes: int
+    num_ingress: int
+    num_egress: int
+    num_intermediate: int
+    #: Target average interconnection degree (edges per PE).  ``None`` lets
+    #: the multi-io fraction alone drive edge enrichment (the paper's
+    #: default parameterization fixes the multi-io fraction at 20%).
+    avg_degree: _t.Optional[float] = None
+    max_fan_in: int = DEFAULTS.max_fan_in
+    max_fan_out: int = DEFAULTS.max_fan_out
+    multi_io_fraction: float = DEFAULTS.multi_io_fraction
+    #: Offered load relative to a fair CPU share per PE; > 1 means the
+    #: proffered load exceeds available resources (the paper's regime).
+    load_factor: float = 1.2
+    #: Egress weights are drawn uniformly from this range.
+    weight_range: _t.Tuple[float, float] = (0.5, 2.0)
+    #: Per-PE service-cost heterogeneity: each PE's (t0, t1) pair is scaled
+    #: by a factor drawn log-uniformly from [1/h, h].  Heterogeneous costs
+    #: are what create the paper's Figure-2 rate mismatches among the
+    #: consumers of a shared stream; h = 1 disables the effect.
+    service_heterogeneity: float = 2.0
+    #: PE state-machine parameters (paper defaults).
+    lambda_s: float = DEFAULTS.lambda_s
+    lambda_m: float = DEFAULTS.lambda_m
+    rho: float = DEFAULTS.rho
+    t0: float = DEFAULTS.t0
+    t1: float = DEFAULTS.t1
+    placement_strategy: str = "load_balanced"
+    #: Measure each PE's rate model empirically (paper footnote 3) rather
+    #: than trusting the analytic stationary-mix approximation, which is
+    #: only exact in the long-dwell (very bursty) limit.
+    calibrate_rates: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.num_ingress <= 0 or self.num_egress <= 0:
+            raise ValueError("need at least one ingress and one egress PE")
+        if self.num_intermediate < 0:
+            raise ValueError("num_intermediate must be >= 0")
+        if self.max_fan_in < 1 or self.max_fan_out < 1:
+            raise ValueError("fan caps must be >= 1")
+        if not 0.0 <= self.multi_io_fraction <= 1.0:
+            raise ValueError("multi_io_fraction must lie in [0, 1]")
+        if self.load_factor <= 0:
+            raise ValueError("load_factor must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.num_ingress + self.num_egress + self.num_intermediate
+
+
+@dataclass
+class Topology:
+    """Generator output: graph, placement, and source rates."""
+
+    spec: TopologySpec
+    graph: ProcessingGraph
+    placement: Placement
+    #: Offered input rate (SDO/s) per ingress PE id.
+    source_rates: _t.Dict[str, float]
+    layers: _t.List[_t.List[str]] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    def pes_on_node(self, node: int) -> _t.List[str]:
+        return [pe for pe, n in self.placement.items() if n == node]
+
+
+def _build_layers(spec: TopologySpec) -> _t.List[_t.List[str]]:
+    """Assign PE ids to layers: ingress, interior layers, egress."""
+    ingress = [f"pe-{i}" for i in range(spec.num_ingress)]
+    intermediate = [
+        f"pe-{spec.num_ingress + i}" for i in range(spec.num_intermediate)
+    ]
+    egress = [
+        f"pe-{spec.num_ingress + spec.num_intermediate + i}"
+        for i in range(spec.num_egress)
+    ]
+
+    layers: _t.List[_t.List[str]] = [ingress]
+    if intermediate:
+        width = max(1, (spec.num_ingress + spec.num_egress) // 2)
+        num_layers = max(1, round(len(intermediate) / width))
+        per_layer = -(-len(intermediate) // num_layers)  # ceil division
+        for start in range(0, len(intermediate), per_layer):
+            layers.append(intermediate[start : start + per_layer])
+    layers.append(egress)
+    return layers
+
+
+def _eligible(
+    candidates: _t.Sequence[str],
+    predicate: _t.Callable[[str], bool],
+) -> _t.List[str]:
+    return [c for c in candidates if predicate(c)]
+
+
+def generate_topology(spec: TopologySpec, rng: np.random.Generator) -> Topology:
+    """Generate a random topology satisfying ``spec``.
+
+    Deterministic for a given ``rng`` state.  The produced graph always
+    validates against the spec's fan caps and full ingress/egress
+    reachability.
+    """
+    layers = _build_layers(spec)
+    graph = ProcessingGraph()
+
+    # -- profiles --------------------------------------------------------
+    egress_ids = set(layers[-1])
+    for layer in layers:
+        for pe_id in layer:
+            if pe_id in egress_ids:
+                low, high = spec.weight_range
+                weight = float(rng.uniform(low, high))
+            else:
+                # Only system-output streams carry positive weight in the
+                # effectiveness metric (paper Section III-A); interior PEs
+                # matter solely through the flow constraints.
+                weight = 0.0
+            h = spec.service_heterogeneity
+            if h < 1.0:
+                raise ValueError("service_heterogeneity must be >= 1")
+            if h > 1.0:
+                log_scale = rng.uniform(-np.log(h), np.log(h))
+                scale = float(np.exp(log_scale))
+            else:
+                scale = 1.0
+            profile = PEProfile(
+                pe_id=pe_id,
+                weight=weight,
+                t0=spec.t0 * scale,
+                t1=spec.t1 * scale,
+                lambda_s=spec.lambda_s,
+                rho=spec.rho,
+                lambda_m=spec.lambda_m,
+            )
+            if spec.calibrate_rates:
+                profile = calibrate_profile(profile)
+            graph.add_pe(profile)
+
+    # -- backbone: every non-ingress PE gets one upstream ------------------
+    def fan_out_ok(pe_id: str) -> bool:
+        return graph.fan_out(pe_id) < spec.max_fan_out
+
+    def fan_in_ok(pe_id: str) -> bool:
+        return graph.fan_in(pe_id) < spec.max_fan_in
+
+    for depth in range(1, len(layers)):
+        earlier = [pe for layer in layers[:depth] for pe in layer]
+        previous = layers[depth - 1]
+        for pe_id in layers[depth]:
+            # Prefer producers that do not yet have a consumer: this keeps
+            # the backbone close to a matching, so the multi-input/output
+            # fraction is controlled by the enrichment pass below rather
+            # than by backbone randomness.
+            pool = (
+                _eligible(previous, lambda p: graph.fan_out(p) == 0)
+                or _eligible(previous, fan_out_ok)
+                or _eligible(earlier, fan_out_ok)
+            )
+            if not pool:
+                # All earlier PEs saturated: relax the cap minimally by
+                # picking the least-loaded producer.
+                pool = [min(earlier, key=lambda p: (graph.fan_out(p), p))]
+            producer = pool[int(rng.integers(0, len(pool)))]
+            graph.add_edge(producer, pe_id)
+
+    # -- backbone: every non-egress PE gets one downstream ------------------
+    for depth in range(len(layers) - 1):
+        later = [pe for layer in layers[depth + 1 :] for pe in layer]
+        following = layers[depth + 1]
+        for pe_id in layers[depth]:
+            if graph.fan_out(pe_id) > 0:
+                continue
+            pool = _eligible(following, fan_in_ok) or _eligible(
+                later, fan_in_ok
+            )
+            if not pool:
+                pool = [min(later, key=lambda p: (graph.fan_in(p), p))]
+            consumer = pool[int(rng.integers(0, len(pool)))]
+            graph.add_edge(pe_id, consumer)
+
+    # -- enrichment: extra edges for multi-io fraction / average degree -----
+    all_ids = graph.pe_ids
+    if spec.avg_degree is None:
+        target_edges = len(graph.edges())
+    else:
+        target_edges = max(
+            len(graph.edges()),
+            int(round(spec.avg_degree * spec.num_pes)),
+        )
+    target_multi = int(round(spec.multi_io_fraction * spec.num_pes))
+
+    def multi_io_count() -> int:
+        return sum(
+            1
+            for pe in all_ids
+            if graph.fan_in(pe) > 1 or graph.fan_out(pe) > 1
+        )
+
+    attempts = 0
+    max_attempts = 50 * spec.num_pes
+    while (
+        len(graph.edges()) < target_edges or multi_io_count() < target_multi
+    ) and attempts < max_attempts:
+        attempts += 1
+        layer_index = int(rng.integers(0, len(layers) - 1))
+        producer_layer = layers[layer_index]
+        later = [pe for layer in layers[layer_index + 1 :] for pe in layer]
+        producers = _eligible(producer_layer, fan_out_ok)
+        consumers = _eligible(later, fan_in_ok)
+        if not producers or not consumers:
+            continue
+        producer = producers[int(rng.integers(0, len(producers)))]
+        consumer = consumers[int(rng.integers(0, len(consumers)))]
+        try:
+            graph.add_edge(producer, consumer)
+        except GraphValidationError:
+            continue
+
+    graph.validate(
+        expected_ingress=set(layers[0]),
+        expected_egress=set(layers[-1]),
+    )
+
+    # -- placement ---------------------------------------------------------
+    if spec.placement_strategy == "load_balanced":
+        placement = load_balanced_placement(graph, spec.num_nodes)
+    elif spec.placement_strategy == "random":
+        placement = random_placement(graph, spec.num_nodes, rng)
+    else:
+        raise ValueError(
+            f"unknown placement strategy {spec.placement_strategy!r}"
+        )
+
+    # -- offered source rates ------------------------------------------------
+    # A PE's fair CPU share is its node capacity divided by the resident PE
+    # count; the offered load multiplies the rate sustainable at that share.
+    residents: _t.Dict[int, int] = {}
+    for node in placement.values():
+        residents[node] = residents.get(node, 0) + 1
+    source_rates: _t.Dict[str, float] = {}
+    for pe_id in graph.ingress_ids:
+        profile = graph.profile(pe_id)
+        share = 1.0 / residents[placement[pe_id]]
+        source_rates[pe_id] = spec.load_factor * profile.rate_at(share)
+
+    return Topology(
+        spec=spec,
+        graph=graph,
+        placement=placement,
+        source_rates=source_rates,
+        layers=layers,
+    )
+
+
+def paper_calibration_spec(**overrides: object) -> TopologySpec:
+    """The 60 PE / 10 node calibration topology (paper Section VI-C)."""
+    params: _t.Dict[str, object] = dict(
+        num_nodes=DEFAULTS.calibration_nodes,
+        num_ingress=12,
+        num_egress=12,
+        num_intermediate=DEFAULTS.calibration_pes - 24,
+    )
+    params.update(overrides)
+    return TopologySpec(**params)  # type: ignore[arg-type]
+
+
+def paper_main_spec(**overrides: object) -> TopologySpec:
+    """The 200 PE / 80 node main topology (paper Section VI-C)."""
+    params: _t.Dict[str, object] = dict(
+        num_nodes=DEFAULTS.main_nodes,
+        num_ingress=40,
+        num_egress=40,
+        num_intermediate=DEFAULTS.main_pes - 80,
+    )
+    params.update(overrides)
+    return TopologySpec(**params)  # type: ignore[arg-type]

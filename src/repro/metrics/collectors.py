@@ -1,0 +1,151 @@
+"""Egress collection and the consolidated per-run metrics report.
+
+The :class:`EgressCollector` sits behind every egress PE; each SDO leaving
+the system records one weighted completion and one end-to-end latency
+sample.  Warm-up is handled with :meth:`EgressCollector.reset`: the system
+runs the transient period, resets, and the measured window starts clean.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.metrics.stats import StreamingMoments, SummaryStats
+from repro.model.sdo import SDO
+
+
+@dataclass
+class EgressRecord:
+    """Accumulated output of one egress PE."""
+
+    pe_id: str
+    weight: float
+    count: int = 0
+    latency: StreamingMoments = field(default_factory=StreamingMoments)
+
+    def record(self, sdo: SDO, now: float) -> None:
+        self.count += 1
+        self.latency.add(sdo.age(now))
+
+
+class EgressCollector:
+    """Collects weighted throughput and latency at the system outputs."""
+
+    def __init__(self) -> None:
+        self._records: _t.Dict[str, EgressRecord] = {}
+        self._window_start = 0.0
+
+    def register(self, pe_id: str, weight: float) -> None:
+        if pe_id in self._records:
+            raise ValueError(f"egress PE {pe_id!r} already registered")
+        self._records[pe_id] = EgressRecord(pe_id=pe_id, weight=weight)
+
+    def record(self, pe_id: str, sdo: SDO, now: float) -> None:
+        self._records[pe_id].record(sdo, now)
+
+    def reset(self, now: float) -> None:
+        """Discard warm-up samples; the measured window starts at ``now``."""
+        for record in self._records.values():
+            record.count = 0
+            record.latency = StreamingMoments()
+        self._window_start = now
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def window_start(self) -> float:
+        return self._window_start
+
+    def records(self) -> _t.Dict[str, EgressRecord]:
+        return dict(self._records)
+
+    def weighted_throughput(self, now: float) -> float:
+        """sum_j w_j * (egress SDO rate) over the measured window."""
+        duration = now - self._window_start
+        if duration <= 0:
+            return 0.0
+        return (
+            sum(r.weight * r.count for r in self._records.values()) / duration
+        )
+
+    def total_output(self) -> int:
+        return sum(r.count for r in self._records.values())
+
+    def latency_summary(self) -> SummaryStats:
+        """Pooled end-to-end latency over all egress streams."""
+        pooled = StreamingMoments()
+        for record in self._records.values():
+            # Merge by re-deriving from moments (exact for mean; for the
+            # pooled variance use the standard combination formula).
+            if record.latency.count == 0:
+                continue
+            _merge_moments(pooled, record.latency)
+        return pooled.summary()
+
+
+def _merge_moments(into: StreamingMoments, other: StreamingMoments) -> None:
+    """Chan et al. parallel-variance merge of ``other`` into ``into``."""
+    if other.count == 0:
+        return
+    if into.count == 0:
+        into.count = other.count
+        into._mean = other._mean
+        into._m2 = other._m2
+        into.minimum = other.minimum
+        into.maximum = other.maximum
+        return
+    total = into.count + other.count
+    delta = other._mean - into._mean
+    into._m2 = (
+        into._m2
+        + other._m2
+        + delta * delta * into.count * other.count / total
+    )
+    into._mean += delta * other.count / total
+    into.count = total
+    into.minimum = min(into.minimum, other.minimum)
+    into.maximum = max(into.maximum, other.maximum)
+
+
+@dataclass
+class MetricsReport:
+    """Everything one simulation run reports (over the measured window)."""
+
+    policy: str
+    duration: float
+    weighted_throughput: float
+    #: Weighted utility throughput sum_j w_j U(rate_j) for the log utility,
+    #: reported alongside the linear weighted throughput.
+    total_output_sdos: int
+    latency: SummaryStats
+    #: SDOs dropped at full input buffers inside the graph.
+    buffer_drops: int
+    #: SDOs rejected at the system input (sources found ingress full).
+    source_rejections: int
+    source_generated: int
+    #: Mean (over PEs) time-averaged buffer occupancy, in SDOs.
+    mean_buffer_occupancy: float
+    #: Per-egress detail: pe_id -> (weight, count, mean latency).
+    egress_detail: _t.Dict[str, _t.Tuple[float, int, float]] = field(
+        default_factory=dict
+    )
+    #: CPU seconds actually used across PEs / wall duration / node count.
+    cpu_utilization: float = 0.0
+    #: Fraction of emitted SDOs dropped downstream (wasted processing).
+    wasted_work_fraction: float = 0.0
+
+    @property
+    def input_loss_rate(self) -> float:
+        if self.source_generated == 0:
+            return 0.0
+        return self.source_rejections / self.source_generated
+
+    def one_line(self) -> str:
+        return (
+            f"{self.policy:9s} wthr={self.weighted_throughput:8.2f} "
+            f"lat={self.latency.mean * 1000:7.1f}ms "
+            f"(std {self.latency.std * 1000:6.1f}) "
+            f"out={self.total_output_sdos:7d} drops={self.buffer_drops:6d} "
+            f"rej={self.source_rejections:6d}"
+        )

@@ -1,0 +1,43 @@
+"""Processing nodes: hosts with normalized CPU capacity.
+
+A :class:`ProcessingNode` owns the PEs placed on it.  Its CPU capacity is
+normalized to 1.0 (the paper's Eq. 1/4 constraint ``sum_j c_j <= 1``); the
+per-interval division of that capacity among resident PEs is the job of the
+CPU controller in :mod:`repro.core.cpu_control`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.model.pe import PERuntime
+
+
+class ProcessingNode:
+    """One processing node (PN) hosting a set of PE runtimes."""
+
+    def __init__(self, node_id: str, cpu_capacity: float = 1.0):
+        if cpu_capacity <= 0:
+            raise ValueError(f"{node_id}: cpu_capacity must be positive")
+        self.node_id = node_id
+        self.cpu_capacity = cpu_capacity
+        self.pes: _t.List[PERuntime] = []
+
+    def place(self, pe: PERuntime) -> None:
+        """Place a PE runtime on this node."""
+        if any(existing.pe_id == pe.pe_id for existing in self.pes):
+            raise ValueError(
+                f"{self.node_id}: PE {pe.pe_id} already placed here"
+            )
+        self.pes.append(pe)
+
+    @property
+    def pe_ids(self) -> _t.List[str]:
+        return [pe.pe_id for pe in self.pes]
+
+    def total_backlog_work(self) -> float:
+        """Sum of queued CPU-seconds across resident PEs."""
+        return sum(pe.backlog_work for pe in self.pes)
+
+    def __repr__(self) -> str:
+        return f"ProcessingNode({self.node_id}, pes={len(self.pes)})"

@@ -1,0 +1,83 @@
+"""Semantic operator profiles: filter, map, aggregate, join, fan-out.
+
+The paper's PEs "filter, aggregate, correlate, classify, or transform"
+(Section I).  :class:`~repro.model.params.PEProfile` captures all of them
+through two knobs — per-SDO cost and the mean output count ``lambda_m`` —
+but picking those numbers by operator intent is easier with these
+constructors:
+
+=============  ================  =========================================
+constructor    lambda_m           models
+=============  ================  =========================================
+filter_pe      selectivity < 1    predicate filters, classifiers that
+                                  forward only positives
+map_pe         1                  transforms, annotators, classifiers that
+                                  label every SDO
+aggregate_pe   1 / window         windowed aggregation (one summary per
+                                  ``window`` inputs)
+join_pe        1                  correlation of several input streams
+                                  (wire multiple upstream edges to it)
+fanout_pe      copies >= 1        re-packetizers / splitters emitting
+                                  several SDOs per input
+=============  ================  =========================================
+
+All constructors accept the standard burstiness parameters (``t0``,
+``t1``, ``lambda_s``, ``rho``) and a ``weight`` for egress streams.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.model.params import DEFAULTS, PEProfile
+
+
+def _base_kwargs(kwargs: _t.Dict[str, object]) -> _t.Dict[str, object]:
+    defaults: _t.Dict[str, object] = dict(
+        t0=DEFAULTS.t0,
+        t1=DEFAULTS.t1,
+        lambda_s=DEFAULTS.lambda_s,
+        rho=DEFAULTS.rho,
+        weight=0.0,
+    )
+    defaults.update(kwargs)
+    return defaults
+
+
+def filter_pe(
+    pe_id: str, selectivity: float, **kwargs: object
+) -> PEProfile:
+    """A predicate filter forwarding a ``selectivity`` fraction of SDOs."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(
+            f"{pe_id}: selectivity must lie in (0, 1], got {selectivity}"
+        )
+    return PEProfile(
+        pe_id=pe_id, lambda_m=selectivity, **_base_kwargs(kwargs)
+    )
+
+
+def map_pe(pe_id: str, **kwargs: object) -> PEProfile:
+    """A one-in/one-out transform (classify, annotate, convert)."""
+    return PEProfile(pe_id=pe_id, lambda_m=1.0, **_base_kwargs(kwargs))
+
+
+def aggregate_pe(pe_id: str, window: int, **kwargs: object) -> PEProfile:
+    """A windowed aggregator emitting one summary per ``window`` inputs."""
+    if window < 1:
+        raise ValueError(f"{pe_id}: window must be >= 1, got {window}")
+    return PEProfile(
+        pe_id=pe_id, lambda_m=1.0 / window, **_base_kwargs(kwargs)
+    )
+
+
+def join_pe(pe_id: str, **kwargs: object) -> PEProfile:
+    """A correlator of several streams (add multiple upstream edges)."""
+    return PEProfile(pe_id=pe_id, lambda_m=1.0, **_base_kwargs(kwargs))
+
+
+def fanout_pe(pe_id: str, copies: float, **kwargs: object) -> PEProfile:
+    """A splitter/re-packetizer emitting ``copies`` SDOs per input."""
+    if copies < 1:
+        raise ValueError(f"{pe_id}: copies must be >= 1, got {copies}")
+    return PEProfile(pe_id=pe_id, lambda_m=copies, **_base_kwargs(kwargs))

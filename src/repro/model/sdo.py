@@ -1,0 +1,79 @@
+"""Stream Data Objects — the fundamental unit of a data stream.
+
+Every SDO carries provenance needed for the paper's metrics:
+
+* ``origin_time`` — the virtual time the *original* system-input SDO entered
+  the system.  Derived SDOs inherit the earliest origin time of their inputs,
+  so the end-to-end latency measured at an egress PE spans the whole
+  processing chain.
+* ``hops`` — number of PEs that have processed ancestors of this SDO, used
+  as a sanity check on the processing-graph depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+from dataclasses import dataclass, field
+
+_SDO_IDS = itertools.count()
+
+
+@dataclass
+class SDO:
+    """One Stream Data Object.
+
+    Parameters
+    ----------
+    stream_id:
+        Identifier of the stream (source or producing PE) this SDO belongs to.
+    origin_time:
+        Virtual time at which the ancestral system-input SDO was created.
+    size:
+        Size in bytes (the paper measures rates in bytes; with fixed-size
+        SDOs the two units are interchangeable).
+    hops:
+        Number of PE processing steps applied to this SDO's lineage.
+    payload:
+        Optional application payload (unused by the control algorithms).
+    """
+
+    stream_id: str
+    origin_time: float
+    size: float = 1.0
+    hops: int = 0
+    payload: object = None
+    sdo_id: int = field(default_factory=lambda: next(_SDO_IDS))
+
+    def derive(self, stream_id: str, size: _t.Optional[float] = None) -> "SDO":
+        """Create an output SDO descended from this one.
+
+        The derived SDO inherits the origin time (for end-to-end latency)
+        and increments the hop count.
+        """
+        return SDO(
+            stream_id=stream_id,
+            origin_time=self.origin_time,
+            size=self.size if size is None else size,
+            hops=self.hops + 1,
+        )
+
+    @staticmethod
+    def merge(parents: _t.Sequence["SDO"], stream_id: str) -> "SDO":
+        """Create an SDO derived from several parents (multi-input PEs).
+
+        The earliest parent origin time is inherited so latency reflects the
+        slowest input path.
+        """
+        if not parents:
+            raise ValueError("merge requires at least one parent SDO")
+        return SDO(
+            stream_id=stream_id,
+            origin_time=min(parent.origin_time for parent in parents),
+            size=max(parent.size for parent in parents),
+            hops=max(parent.hops for parent in parents) + 1,
+        )
+
+    def age(self, now: float) -> float:
+        """End-to-end latency of this SDO's lineage as of ``now``."""
+        return now - self.origin_time

@@ -1,0 +1,178 @@
+"""System-input stream sources (workload generators).
+
+A source is a simulation process that creates SDOs and pushes them into the
+ingress PEs' input buffers via a *sink callable*.  Three traffic models cover
+the paper's evaluation needs:
+
+* :class:`ConstantRateSource` — deterministic CBR traffic;
+* :class:`PoissonSource` — memoryless arrivals;
+* :class:`OnOffSource` — two-state Markov-modulated (bursty) arrivals, the
+  network-side counterpart of the PE processing burstiness.
+
+Sources tag each SDO with its creation time, which seeds the end-to-end
+latency measurement at the egress.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.sdo import SDO
+from repro.sim.engine import Environment
+from repro.sim.rng import exponential
+
+#: A sink accepts (sdo, now) and returns True when the SDO was admitted.
+Sink = _t.Callable[[SDO, float], bool]
+
+
+@dataclass
+class SourceStats:
+    """Counters for one source."""
+
+    generated: int = 0
+    admitted: int = 0
+    rejected: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.generated == 0:
+            return 0.0
+        return self.rejected / self.generated
+
+
+class _SourceBase:
+    """Common machinery: the arrival loop and admission accounting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        sdo_size: float = 1.0,
+    ):
+        self.env = env
+        self.stream_id = stream_id
+        self.sink = sink
+        self.sdo_size = sdo_size
+        self.stats = SourceStats()
+        self.process = env.process(self._run())
+
+    def _interarrival(self) -> float:
+        raise NotImplementedError
+
+    def _run(self) -> _t.Generator:
+        while True:
+            gap = self._interarrival()
+            if gap > 0:
+                yield self.env.timeout(gap)
+            else:
+                # Zero-gap sources still need to yield control.
+                yield self.env.timeout(0.0)
+            self._emit_one()
+
+    def _emit_one(self) -> None:
+        now = self.env.now
+        sdo = SDO(stream_id=self.stream_id, origin_time=now, size=self.sdo_size)
+        self.stats.generated += 1
+        if self.sink(sdo, now):
+            self.stats.admitted += 1
+        else:
+            self.stats.rejected += 1
+
+
+class ConstantRateSource(_SourceBase):
+    """Deterministic arrivals at ``rate`` SDO/s."""
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        rate: float,
+        sdo_size: float = 1.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def _interarrival(self) -> float:
+        return 1.0 / self.rate
+
+
+class PoissonSource(_SourceBase):
+    """Poisson arrivals at mean ``rate`` SDO/s."""
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        rate: float,
+        rng: np.random.Generator,
+        sdo_size: float = 1.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self._rng = rng
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def _interarrival(self) -> float:
+        return exponential(self._rng, 1.0 / self.rate)
+
+
+class OnOffSource(_SourceBase):
+    """Markov-modulated on/off arrivals (bursty network traffic).
+
+    During an ON period (exponential, mean ``mean_on``) SDOs arrive as a
+    Poisson process at ``peak_rate``; during an OFF period (mean
+    ``mean_off``) nothing arrives.  The long-run average rate is
+    ``peak_rate * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        peak_rate: float,
+        mean_on: float,
+        mean_off: float,
+        rng: np.random.Generator,
+        sdo_size: float = 1.0,
+    ):
+        if peak_rate <= 0:
+            raise ValueError(f"peak_rate must be positive, got {peak_rate}")
+        if mean_on <= 0 or mean_off < 0:
+            raise ValueError("mean_on must be > 0 and mean_off >= 0")
+        self.peak_rate = peak_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._rng = rng
+        self._on_until = 0.0
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate."""
+        duty = self.mean_on / (self.mean_on + self.mean_off)
+        return self.peak_rate * duty
+
+    def _run(self) -> _t.Generator:
+        while True:
+            on_duration = exponential(self._rng, self.mean_on)
+            self._on_until = self.env.now + on_duration
+            while self.env.now < self._on_until:
+                gap = exponential(self._rng, 1.0 / self.peak_rate)
+                if self.env.now + gap > self._on_until:
+                    yield self.env.timeout(self._on_until - self.env.now)
+                    break
+                yield self.env.timeout(gap)
+                self._emit_one()
+            off_duration = exponential(self._rng, self.mean_off)
+            if off_duration > 0:
+                yield self.env.timeout(off_duration)

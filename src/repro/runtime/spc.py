@@ -1,0 +1,325 @@
+"""The SPC runtime orchestrator: topology -> threads -> metrics.
+
+Builds a running system from the same inputs as the simulator
+(:class:`~repro.graph.topology.Topology`, a policy name, Tier-1 targets),
+with real worker threads, real bounded queues, wall-clock node control
+loops, and source threads.  Time is dilated: one model second takes
+``dilation`` wall seconds, so a 60-PE calibration run finishes quickly.
+
+The control loop per node is a line-for-line mirror of
+:meth:`repro.systems.simulated.SimulatedSystem._tick_node`, operating the
+identical controller classes — that equivalence is what the calibration
+experiment (paper Section VI-C) measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cpu_control import AcesCpuScheduler
+from repro.core.feedback import FeedbackBus
+from repro.core.flow_control import FlowController
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
+from repro.core.targets import AllocationTargets
+from repro.graph.topology import Topology
+from repro.metrics.collectors import EgressCollector
+from repro.metrics.stats import SummaryStats
+from repro.model.sdo import SDO
+from repro.runtime.worker import RuntimePE
+from repro.sim.rng import RandomStreams, exponential
+
+
+@dataclass
+class RuntimeConfig:
+    """Configuration of a threaded runtime experiment."""
+
+    buffer_size: int = 50
+    b0_fraction: float = 0.5
+    dt: float = 0.05
+    #: Wall-seconds per model-second (< 1 runs faster than real time is not
+    #: possible here because work is emulated with sleeps; 1.0 = real time).
+    dilation: float = 1.0
+    warmup: float = 1.0
+    source_kind: str = "poisson"
+    seed: int = 0
+
+
+@dataclass
+class RuntimeReport:
+    """Measured outcome of one threaded run (model-time units)."""
+
+    policy: str
+    duration: float
+    weighted_throughput: float
+    total_output_sdos: int
+    latency: SummaryStats
+    buffer_drops: int
+    cpu_utilization: float
+    per_egress_counts: _t.Dict[str, int] = field(default_factory=dict)
+
+
+class SPCRuntime:
+    """A running threaded stream-processing system."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: Policy,
+        targets: _t.Optional[AllocationTargets] = None,
+        config: _t.Optional[RuntimeConfig] = None,
+    ):
+        self.topology = topology
+        self.policy = policy
+        self.config = config or RuntimeConfig()
+        if targets is None:
+            targets = solve_global_allocation(
+                topology.graph, topology.placement, topology.source_rates
+            ).targets
+        self.targets = targets
+        self.streams = RandomStreams(seed=self.config.seed)
+
+        self._start_wall: _t.Optional[float] = None
+        self._collector = EgressCollector()
+        self._collector_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: _t.List[threading.Thread] = []
+
+        self._build()
+
+    # -- model clock --------------------------------------------------------
+
+    def now(self) -> float:
+        """Current model time (seconds since start)."""
+        if self._start_wall is None:
+            return 0.0
+        return (time.monotonic() - self._start_wall) / self.config.dilation
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        graph = self.topology.graph
+        config = self.config
+        ingress = set(graph.ingress_ids)
+        egress = set(graph.egress_ids)
+
+        self.pes: _t.Dict[str, RuntimePE] = {}
+        for pe_id in graph.topological_order():
+            pe = RuntimePE(
+                profile=graph.profile(pe_id),
+                channel_capacity=config.buffer_size,
+                rng=self.streams.stream(f"pe:{pe_id}"),
+                dilation=config.dilation,
+                is_ingress=pe_id in ingress,
+                is_egress=pe_id in egress,
+            )
+            if isinstance(self.policy, LockStepPolicy):
+                pe.min_flow_gate = True
+                pe.blocking_emission = True
+            self.pes[pe_id] = pe
+        for src, dst in graph.edges():
+            self.pes[src].link_downstream(self.pes[dst])
+
+        for pe_id in egress:
+            self._collector.register(pe_id, graph.profile(pe_id).weight)
+
+        def make_sink(pe_id: str) -> _t.Callable[[SDO], None]:
+            def sink(sdo: SDO) -> None:
+                with self._collector_lock:
+                    self._collector.record(pe_id, sdo, self.now())
+
+            return sink
+
+        for pe_id, pe in self.pes.items():
+            pe.attach(
+                clock=self.now,
+                egress_sink=make_sink(pe_id) if pe.is_egress else None,
+            )
+
+        # Node control threads (mirror of the simulator's _tick_node).
+        self._nodes: _t.List[_t.List[RuntimePE]] = []
+        self._schedulers = []
+        self._controllers: _t.Dict[str, FlowController] = {}
+        self._bus = FeedbackBus(delay=0.0)
+        uses_feedback = self.policy.uses_feedback
+        if uses_feedback:
+            gains = self.policy.controller_gains(config.dt)
+            b0 = config.b0_fraction * config.buffer_size
+            for pe_id in self.pes:
+                self._controllers[pe_id] = FlowController(
+                    gains,
+                    target_occupancy=b0,
+                    buffer_capacity=config.buffer_size,
+                )
+        for node_index in range(self.topology.num_nodes):
+            members = [
+                self.pes[pe_id]
+                for pe_id in graph.topological_order()
+                if self.topology.placement[pe_id] == node_index
+            ]
+            if not members:
+                continue
+            scheduler = self.policy.make_scheduler(
+                members, self.targets.cpu, 1.0, config.dt
+            )
+            self._nodes.append(members)
+            self._schedulers.append(scheduler)
+            self._threads.append(
+                threading.Thread(
+                    target=self._control_loop,
+                    args=(members, scheduler),
+                    name=f"ctl-node-{node_index}",
+                    daemon=True,
+                )
+            )
+
+        # Source threads.
+        for pe_id, rate in sorted(self.topology.source_rates.items()):
+            self._threads.append(
+                threading.Thread(
+                    target=self._source_loop,
+                    args=(pe_id, rate),
+                    name=f"src-{pe_id}",
+                    daemon=True,
+                )
+            )
+
+    # -- threads ------------------------------------------------------------
+
+    def _control_loop(self, members: _t.List[RuntimePE], scheduler) -> None:
+        config = self.config
+        period_wall = config.dt * config.dilation
+        last_used = {pe.pe_id: 0.0 for pe in members}
+        while not self._stop.is_set():
+            now = self.now()
+            if self.policy.uses_feedback:
+                aggregate = self.policy.aggregate_feedback()
+                caps = {}
+                for pe in members:
+                    ids = [d.pe_id for d in pe.downstream]
+                    if aggregate == "max":
+                        caps[pe.pe_id] = self._bus.max_downstream_rate(ids, now)
+                    else:
+                        caps[pe.pe_id] = self._bus.min_downstream_rate(ids, now)
+                if isinstance(scheduler, AcesCpuScheduler):
+                    allocations = scheduler.allocate(config.dt, caps)
+                else:
+                    allocations = scheduler.allocate(config.dt)
+                for pe in members:
+                    cpu_effective = max(
+                        allocations.get(pe.pe_id, 0.0),
+                        self.targets.cpu.get(pe.pe_id, 0.0),
+                    )
+                    rho = pe.processing_rate(cpu_effective)
+                    r_max = self._controllers[pe.pe_id].update(
+                        pe.channel.occupancy, rho
+                    )
+                    self._bus.publish(pe.pe_id, r_max, now)
+            else:
+                allocations = scheduler.allocate(config.dt, blocked=set())
+
+            for pe in members:
+                pe.allocation = allocations.get(pe.pe_id, 0.0)
+                used_total = pe.cpu_used
+                scheduler.settle(
+                    pe.pe_id,
+                    max(0.0, used_total - last_used[pe.pe_id]),
+                    config.dt,
+                )
+                last_used[pe.pe_id] = used_total
+            time.sleep(period_wall)
+
+    def _source_loop(self, pe_id: str, rate: float) -> None:
+        config = self.config
+        rng = self.streams.stream(f"src:{pe_id}")
+        pe = self.pes[pe_id]
+        while not self._stop.is_set():
+            if config.source_kind == "poisson":
+                gap = exponential(rng, 1.0 / rate)
+            else:
+                gap = 1.0 / rate
+            time.sleep(gap * config.dilation)
+            sdo = SDO(
+                stream_id=f"src:{pe_id}",
+                origin_time=self.now(),
+            )
+            pe.channel.offer(sdo)
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self, duration: float) -> RuntimeReport:
+        """Run for ``duration`` model-seconds (plus warm-up) and report."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        config = self.config
+        self._start_wall = time.monotonic()
+        for pe in self.pes.values():
+            pe.start()
+        for thread in self._threads:
+            thread.start()
+
+        time.sleep(config.warmup * config.dilation)
+        with self._collector_lock:
+            self._collector.reset(self.now())
+        drops_at_start = sum(
+            pe.channel.stats.dropped for pe in self.pes.values()
+        )
+        cpu_at_start = sum(pe.cpu_used for pe in self.pes.values())
+        started = self.now()
+
+        time.sleep(duration * config.dilation)
+        ended = self.now()
+
+        self._stop.set()
+        for pe in self.pes.values():
+            pe.stop()
+
+        with self._collector_lock:
+            throughput = self._collector.weighted_throughput(ended)
+            latency = self._collector.latency_summary()
+            total = self._collector.total_output()
+            per_egress = {
+                pe_id: record.count
+                for pe_id, record in self._collector.records().items()
+            }
+        window = ended - started
+        return RuntimeReport(
+            policy=self.policy.name,
+            duration=window,
+            weighted_throughput=throughput,
+            total_output_sdos=total,
+            latency=latency,
+            buffer_drops=sum(
+                pe.channel.stats.dropped for pe in self.pes.values()
+            )
+            - drops_at_start,
+            cpu_utilization=(
+                (sum(pe.cpu_used for pe in self.pes.values()) - cpu_at_start)
+                / (window * max(1, self.topology.num_nodes))
+            ),
+            per_egress_counts=per_egress,
+        )
+
+
+def run_runtime(
+    topology: Topology,
+    policy_name: str = "aces",
+    duration: float = 4.0,
+    targets: _t.Optional[AllocationTargets] = None,
+    config: _t.Optional[RuntimeConfig] = None,
+) -> RuntimeReport:
+    """One-call entry point mirroring :func:`repro.systems.run_system`."""
+    policies: _t.Dict[str, Policy] = {
+        "aces": AcesPolicy(),
+        "udp": UdpPolicy(),
+        "lockstep": LockStepPolicy(),
+    }
+    runtime = SPCRuntime(
+        topology, policies[policy_name], targets=targets, config=config
+    )
+    return runtime.run(duration)

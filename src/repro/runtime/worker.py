@@ -1,0 +1,184 @@
+"""PE worker threads for the SPC runtime.
+
+Each :class:`RuntimePE` pairs one worker thread with one input
+:class:`~repro.runtime.transport.Channel`.  The worker:
+
+1. waits for an SDO (or for Lock-Step clearance),
+2. emulates ``T_S`` CPU-seconds of work by sleeping ``T_S / c`` dilated
+   wall-seconds at its current fractional allocation ``c``,
+3. emits the derived SDOs downstream (or into the egress collector).
+
+The fractional allocation is written by the node's control thread; the
+worker reads it per SDO.  ``RuntimePE`` also exposes the small protocol the
+CPU schedulers consume (``pe_id``, ``profile``, ``buffer.occupancy``,
+``backlog_work``, ``cpu_for_output_rate_now``), so the same scheduler code
+drives both substrates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import typing as _t
+
+import numpy as np
+
+from repro.model.params import PEProfile
+from repro.model.sdo import SDO
+from repro.model.statemachine import TwoStateMachine
+from repro.runtime.transport import Channel
+
+#: Floor on the fractional allocation while emulating work, so a starved
+#: worker cannot sleep unboundedly long on one SDO.
+_MIN_SHARE = 0.02
+
+
+class _ChannelView:
+    """Adapter giving a Channel the simulator buffer's attribute names."""
+
+    def __init__(self, channel: Channel):
+        self._channel = channel
+
+    @property
+    def occupancy(self) -> int:
+        return self._channel.occupancy
+
+    @property
+    def free(self) -> int:
+        return self._channel.free
+
+
+class RuntimePE:
+    """One PE (worker thread + input channel) in the threaded runtime."""
+
+    def __init__(
+        self,
+        profile: PEProfile,
+        channel_capacity: int,
+        rng: np.random.Generator,
+        dilation: float,
+        is_ingress: bool = False,
+        is_egress: bool = False,
+    ):
+        self.profile = profile
+        self.pe_id = profile.pe_id
+        self.channel = Channel(channel_capacity, name=f"{profile.pe_id}:in")
+        self.buffer = _ChannelView(self.channel)
+        self.machine = TwoStateMachine(profile, rng)
+        self._machine_lock = threading.Lock()
+        self.dilation = dilation
+        self.is_ingress = is_ingress
+        self.is_egress = is_egress
+
+        self.downstream: _t.List["RuntimePE"] = []
+        #: Current fractional allocation, written by the node controller.
+        self.allocation = 0.0
+        #: Blocking admission (Lock-Step) vs drop-on-full (ACES/UDP).
+        self.blocking_emission = False
+        #: Lock-Step gate: require room in every downstream channel.
+        self.min_flow_gate = False
+
+        self.consumed = 0
+        self.emitted = 0
+        self.cpu_used = 0.0  # emulated CPU-seconds
+        self._egress_sink: _t.Optional[_t.Callable[[SDO], None]] = None
+        self._clock: _t.Optional[_t.Callable[[], float]] = None
+
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"pe-{profile.pe_id}", daemon=True
+        )
+
+    # -- scheduler protocol --------------------------------------------------
+
+    @property
+    def backlog_work(self) -> float:
+        return self.channel.occupancy / self.profile.rate_slope
+
+    @property
+    def current_service_time(self) -> float:
+        return self.profile.t1 if self.machine.state == 1 else self.profile.t0
+
+    def processing_rate(self, cpu: float) -> float:
+        return cpu / self.current_service_time
+
+    def cpu_for_output_rate_now(self, rate: float) -> float:
+        if rate <= 0:
+            return 0.0
+        return (rate / self.profile.lambda_m) * self.current_service_time
+
+    @property
+    def blocked_last_interval(self) -> bool:
+        """The threaded runtime blocks inside the worker; never pre-empted."""
+        return False
+
+    # -- wiring -----------------------------------------------------------
+
+    def link_downstream(self, other: "RuntimePE") -> None:
+        self.downstream.append(other)
+
+    def attach(
+        self,
+        clock: _t.Callable[[], float],
+        egress_sink: _t.Optional[_t.Callable[[SDO], None]] = None,
+    ) -> None:
+        self._clock = clock
+        self._egress_sink = egress_sink
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._clock is None:
+            raise RuntimeError(f"{self.pe_id}: attach() before start()")
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+
+    # -- worker loop --------------------------------------------------------
+
+    def _gate_open(self) -> bool:
+        expected_m = max(1, int(round(self.profile.lambda_m)))
+        return all(
+            consumer.channel.free >= expected_m
+            for consumer in self.downstream
+        )
+
+    def _run(self) -> None:
+        poll = 0.002
+        while not self._stop.is_set():
+            if self.min_flow_gate and self.downstream and not self._gate_open():
+                time.sleep(poll)
+                continue
+
+            sdo = self.channel.get(timeout=poll)
+            if sdo is None:
+                continue
+
+            share = max(self.allocation, _MIN_SHARE)
+            assert self._clock is not None
+            with self._machine_lock:
+                cost = self.machine.service_time_at(self._clock())
+            time.sleep(cost / share * self.dilation)
+            self.cpu_used += cost
+            self.consumed += 1
+            self._emit(sdo)
+
+    def _emit(self, sdo: SDO) -> None:
+        count = max(1, int(round(self.profile.lambda_m)))
+        for _ in range(count):
+            derived = sdo.derive(stream_id=self.pe_id)
+            self.emitted += 1
+            if self.is_egress or not self.downstream:
+                if self._egress_sink is not None:
+                    self._egress_sink(derived)
+                continue
+            for consumer in self.downstream:
+                if self.blocking_emission:
+                    consumer.channel.put(derived, timeout=1.0)
+                else:
+                    consumer.channel.offer(derived)
+
+    def __repr__(self) -> str:
+        return f"RuntimePE({self.pe_id}, q={self.channel.occupancy})"

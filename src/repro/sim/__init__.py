@@ -1,0 +1,44 @@
+"""Process-oriented discrete-event simulation kernel.
+
+This package is the reproduction's analogue of the C-SIM library used by the
+paper: a small, deterministic, process-oriented discrete-event simulator.
+Processes are Python generators that yield events; the engine advances a
+virtual clock from event to event.
+
+Public API::
+
+    env = Environment()
+    env.process(my_generator(env))
+    env.run(until=10.0)
+
+The kernel is intentionally self-contained (no third-party simulation
+dependency) so the stream-processing model in :mod:`repro.model` runs on a
+substrate we fully control and can test exhaustively.
+"""
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,153 @@
+"""The simulation engine: virtual clock plus event queue.
+
+The :class:`Environment` owns a binary-heap event queue keyed by
+``(time, priority, sequence)``.  The sequence number makes event ordering
+fully deterministic for simultaneous events, which in turn makes every
+simulation in this repository reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.sim.events import Event, Timeout
+
+#: Events scheduled with URGENT jump the queue among simultaneous events.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (e.g. running a dead simulation)."""
+
+
+class EmptySchedule(Exception):
+    """Internal: raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal: unwinds :meth:`Environment.run` when the until-event fires."""
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: _t.List[_t.Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: _t.Optional["Process"] = None
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> _t.Optional["Process"]:
+        """The process currently being executed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator) -> "Process":
+        """Start a new :class:`Process` running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Enqueue ``event`` for processing at ``now + delay``."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        event._run_callbacks()
+
+        if not event._ok and not event._defused:
+            # Nobody is waiting on this failed event: surface the error
+            # instead of letting it pass silently.
+            exc = _t.cast(BaseException, event._value)
+            raise exc
+
+    def run(self, until: _t.Union[None, float, Event] = None) -> object:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs to queue exhaustion; a number runs the clock up to
+            that time; an :class:`Event` runs until that event is processed
+            and returns its value.
+        """
+        until_event: _t.Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise SimulationError(
+                        f"until={at} must lie in the future (now={self._now})"
+                    )
+                until_event = Event(self)
+                until_event._ok = True
+                until_event._value = None
+                self.schedule(until_event, priority=URGENT, delay=at - self._now)
+            assert until_event.callbacks is not None
+            until_event.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if until_event is not None and not until_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the until-event fired"
+                ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    raise StopSimulation(event._value)
+
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process

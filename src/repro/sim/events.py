@@ -1,0 +1,235 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence in virtual time.  Processes yield
+events to suspend themselves; when the event is *triggered* and then
+*processed* by the engine, every registered callback runs and any waiting
+process is resumed with the event's value.
+
+Event life cycle::
+
+    created -> triggered (value set, scheduled) -> processed (callbacks run)
+
+Failing an event (``event.fail(exc)``) propagates the exception into any
+process waiting on it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Environment
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the (arbitrary) object passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The environment that owns this event's clock and event queue.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: _t.Optional[_t.List[_t.Callable[["Event"], None]]] = []
+        self._value: object = _PENDING
+        self._ok: bool = True
+        #: Set when a failure value was retrieved by a waiter; used to warn
+        #: about exceptions that would otherwise pass silently.
+        self._defused: bool = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception when the event failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Used as a callback to chain events together.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- engine hook -----------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    # -- composition -----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` time units."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate`` is satisfied on its children.
+
+    Children that fail cause the condition to fail immediately with the same
+    exception.  The condition's value is a dict mapping each *triggered*
+    child event to its value (insertion-ordered).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: _t.Callable[[_t.Sequence[Event], int], bool],
+        events: _t.Sequence[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        # Immediately evaluate the (possibly empty) child list.
+        if not self._events and evaluate(self._events, 0):
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> _t.Dict[Event, object]:
+        # Only *processed* children count: a Timeout is "triggered" the moment
+        # it is created (its value is pre-set), but it has not occurred until
+        # the engine runs its callbacks.
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(_t.cast(BaseException, event._value))
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: _t.Sequence[Event], count: int) -> bool:
+        """Evaluator for :class:`AllOf`."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: _t.Sequence[Event], count: int) -> bool:
+        """Evaluator for :class:`AnyOf`."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Triggers once all child events have triggered."""
+
+    def __init__(self, env: "Environment", events: _t.Sequence[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event has triggered."""
+
+    def __init__(self, env: "Environment", events: _t.Sequence[Event]):
+        super().__init__(env, Condition.any_events, events)

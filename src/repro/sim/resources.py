@@ -1,0 +1,306 @@
+"""Shared-resource primitives: Store, Container, and Resource.
+
+These are the queueing building blocks the stream-processing model is built
+on.  All three follow the same pattern: a request returns an event that
+triggers when the request can be satisfied, and requests are served in FIFO
+order.
+
+* :class:`Store` holds discrete items (bounded or unbounded) — the basis of
+  PE input buffers.
+* :class:`Container` holds a continuous quantity — used for token buckets.
+* :class:`Resource` models a server pool with request/release semantics.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from collections import deque
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class _Request(Event):
+    """Base event for pending store/container/resource operations."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw an un-triggered request from its wait queue."""
+        if not self.triggered:
+            self.cancelled = True
+
+
+class StorePut(_Request):
+    def __init__(self, env: Environment, item: object):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(_Request):
+    def __init__(
+        self,
+        env: Environment,
+        filter_fn: _t.Optional[_t.Callable[[object], bool]] = None,
+    ):
+        super().__init__(env)
+        self.filter_fn = filter_fn
+
+
+class Store:
+    """A FIFO store of discrete items with optional capacity.
+
+    ``put(item)`` returns an event that triggers once the item is accepted
+    (immediately if there is room).  ``get()`` returns an event that triggers
+    with the next item.  ``try_put``/``try_get`` are non-blocking variants
+    used by the non-blocking transmission policies (UDP drop-on-full).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: _t.Deque[object] = deque()
+        self._putters: _t.Deque[StorePut] = deque()
+        self._getters: _t.Deque[StoreGet] = deque()
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    @property
+    def free(self) -> float:
+        """Remaining capacity."""
+        return self.capacity - len(self.items)
+
+    # -- blocking interface --------------------------------------------------
+
+    def put(self, item: object) -> StorePut:
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(
+        self, filter_fn: _t.Optional[_t.Callable[[object], bool]] = None
+    ) -> StoreGet:
+        event = StoreGet(self.env, filter_fn)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    # -- non-blocking interface ------------------------------------------------
+
+    def try_put(self, item: object) -> bool:
+        """Accept ``item`` if there is room right now; return success."""
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            self._dispatch()
+            return True
+        return False
+
+    def try_get(self) -> _t.Tuple[bool, object]:
+        """Pop an item if one is available right now."""
+        if self.items:
+            item = self.items.popleft()
+            self._dispatch()
+            return True, item
+        return False, None
+
+    # -- internals ---------------------------------------------------------
+
+    def _drop_cancelled(self) -> None:
+        while self._putters and self._putters[0].cancelled:
+            self._putters.popleft()
+        while self._getters and self._getters[0].cancelled:
+            self._getters.popleft()
+
+    def _dispatch(self) -> None:
+        """Match pending putters with free space and getters with items."""
+        progress = True
+        while progress:
+            progress = False
+            self._drop_cancelled()
+            if self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()
+                progress = True
+                continue
+            if self._getters and self.items:
+                getter = self._getters[0]
+                item = self._match(getter)
+                if item is not _NO_MATCH:
+                    self._getters.popleft()
+                    getter.succeed(item)
+                    progress = True
+
+    def _match(self, getter: StoreGet) -> object:
+        if getter.filter_fn is None:
+            return self.items.popleft()
+        for index, item in enumerate(self.items):
+            if getter.filter_fn(item):
+                del self.items[index]
+                return item
+        return _NO_MATCH
+
+
+_NO_MATCH = object()
+
+
+class ContainerPut(_Request):
+    def __init__(self, env: Environment, amount: float):
+        super().__init__(env)
+        self.amount = amount
+
+
+class ContainerGet(_Request):
+    def __init__(self, env: Environment, amount: float):
+        super().__init__(env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity with bounded level — e.g. a token bucket.
+
+    ``get(x)`` blocks until at least ``x`` units are available; ``put(x)``
+    blocks until the level would not exceed capacity.  ``try_get`` supports
+    the CPU scheduler's non-blocking token draw.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: _t.Deque[ContainerPut] = deque()
+        self._getters: _t.Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        event = ContainerPut(self.env, amount)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> ContainerGet:
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        event = ContainerGet(self.env, amount)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Withdraw ``amount`` if available right now; return success."""
+        if amount <= self._level:
+            self._level -= amount
+            self._dispatch()
+            return True
+        return False
+
+    def fill(self, amount: float) -> float:
+        """Add up to ``amount``, saturating at capacity; return overflow."""
+        room = self.capacity - self._level
+        added = min(room, amount)
+        self._level += added
+        self._dispatch()
+        return amount - added
+
+    def _drop_cancelled(self) -> None:
+        while self._putters and self._putters[0].cancelled:
+            self._putters.popleft()
+        while self._getters and self._getters[0].cancelled:
+            self._getters.popleft()
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            self._drop_cancelled()
+            if self._putters:
+                putter = self._putters[0]
+                if self._level + putter.amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += putter.amount
+                    putter.succeed()
+                    progress = True
+                    continue
+            if self._getters:
+                getter = self._getters[0]
+                if getter.amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= getter.amount
+                    getter.succeed()
+                    progress = True
+
+
+class ResourceRequest(_Request):
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+        self.usage_since: _t.Optional[float] = None
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A pool of identical servers acquired with request/release."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: _t.List[ResourceRequest] = []
+        self._waiters: _t.Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently in use."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        event = ResourceRequest(self.env, self)
+        self._waiters.append(event)
+        self._dispatch()
+        return event
+
+    def release(self, request: ResourceRequest) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            request.cancel()
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiters and len(self.users) < self.capacity:
+            waiter = self._waiters.popleft()
+            if waiter.cancelled:
+                continue
+            waiter.usage_since = self.env.now
+            self.users.append(waiter)
+            waiter.succeed()

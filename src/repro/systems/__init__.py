@@ -1,0 +1,28 @@
+"""Runnable stream-processing systems.
+
+:mod:`repro.systems.simulated` assembles the model (PEs, buffers, nodes,
+sources), the ACES core (controllers, schedulers, feedback) and the
+simulation kernel into a complete simulated distributed stream processing
+system that can run under any :class:`~repro.core.policies.Policy`.
+
+:mod:`repro.systems.analysis` provides steady-state and stability
+diagnostics over a finished run.
+"""
+
+from repro.systems.analysis import (
+    OccupancyProbe,
+    convergence_profile,
+    max_rate_imbalance,
+    rate_balance,
+)
+from repro.systems.simulated import SimulatedSystem, SystemConfig, run_system
+
+__all__ = [
+    "OccupancyProbe",
+    "SimulatedSystem",
+    "SystemConfig",
+    "convergence_profile",
+    "max_rate_imbalance",
+    "rate_balance",
+    "run_system",
+]

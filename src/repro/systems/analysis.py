@@ -1,0 +1,155 @@
+"""Steady-state and stability diagnostics for finished runs.
+
+The paper's Section V claims two analytic properties for the closed loop:
+
+1. the steady-state input rate of a PE equals its processing rate, and
+2. each PE reaches steady state from an arbitrary starting point.
+
+These helpers verify the discrete-time analogues on trace data: rate
+balance (arrivals vs completions over the measured window) and occupancy
+convergence (declining deviation from the set-point across windows).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass
+
+from repro.systems.simulated import SimulatedSystem
+
+
+@dataclass
+class RateBalance:
+    """Arrival/completion balance for one PE over a window."""
+
+    pe_id: str
+    arrivals: int
+    completions: int
+
+    @property
+    def imbalance(self) -> float:
+        """|in - out| / max(in, out); ~0 in steady state."""
+        top = max(self.arrivals, self.completions)
+        if top == 0:
+            return 0.0
+        return abs(self.arrivals - self.completions) / top
+
+
+def rate_balance(system: SimulatedSystem) -> _t.List[RateBalance]:
+    """Per-PE input-vs-processing balance over the whole run.
+
+    In a stable system arrivals accepted into a buffer are eventually
+    processed, so the two counters track each other (up to the residual
+    buffer content, bounded by the buffer capacity).
+    """
+    balances = []
+    for pe_id, runtime in system.runtimes.items():
+        balances.append(
+            RateBalance(
+                pe_id=pe_id,
+                arrivals=runtime.buffer.telemetry.accepted,
+                completions=runtime.counters.consumed,
+            )
+        )
+    return balances
+
+
+def max_rate_imbalance(system: SimulatedSystem) -> float:
+    """The worst per-PE rate imbalance, excluding near-idle PEs."""
+    worst = 0.0
+    for balance in rate_balance(system):
+        if balance.arrivals + balance.completions < 50:
+            continue  # too few samples to judge
+        worst = max(worst, balance.imbalance)
+    return worst
+
+
+@dataclass
+class OccupancyTrace:
+    """Occupancy samples of one PE over time."""
+
+    pe_id: str
+    times: _t.List[float]
+    occupancies: _t.List[int]
+
+    def mean(self) -> float:
+        if not self.occupancies:
+            return 0.0
+        return sum(self.occupancies) / len(self.occupancies)
+
+    def oscillation_index(self) -> float:
+        """Mean absolute successive difference, normalized by the mean.
+
+        Low values indicate smooth, stable occupancy; flapping between
+        empty and full yields values near 2.
+        """
+        if len(self.occupancies) < 2:
+            return 0.0
+        mean = self.mean()
+        if mean == 0:
+            return 0.0
+        jumps = [
+            abs(b - a)
+            for a, b in zip(self.occupancies, self.occupancies[1:])
+        ]
+        return (sum(jumps) / len(jumps)) / mean
+
+
+class OccupancyProbe:
+    """Attachable sampler recording buffer occupancies during a run."""
+
+    def __init__(self, system: SimulatedSystem, period: float = 0.05):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.system = system
+        self.period = period
+        self.traces: _t.Dict[str, OccupancyTrace] = {
+            pe_id: OccupancyTrace(pe_id=pe_id, times=[], occupancies=[])
+            for pe_id in system.runtimes
+        }
+        system.env.process(self._run())
+
+    def _run(self) -> _t.Generator:
+        while True:
+            yield self.system.env.timeout(self.period)
+            now = self.system.env.now
+            for pe_id, runtime in self.system.runtimes.items():
+                trace = self.traces[pe_id]
+                trace.times.append(now)
+                trace.occupancies.append(runtime.buffer.occupancy)
+
+    def mean_oscillation_index(self) -> float:
+        indices = [
+            trace.oscillation_index()
+            for trace in self.traces.values()
+            if len(trace.occupancies) >= 2
+        ]
+        if not indices:
+            return 0.0
+        return sum(indices) / len(indices)
+
+
+def convergence_profile(
+    trace: OccupancyTrace, target: float, windows: int = 4
+) -> _t.List[float]:
+    """RMS deviation from ``target`` per consecutive window.
+
+    A self-stabilizing controller started from an arbitrary point shows a
+    non-increasing profile (transient decays); tests assert the last window
+    deviates no more than the first.
+    """
+    if windows <= 0:
+        raise ValueError("windows must be positive")
+    n = len(trace.occupancies)
+    if n < windows:
+        return []
+    size = n // windows
+    profile = []
+    for w in range(windows):
+        chunk = trace.occupancies[w * size : (w + 1) * size]
+        rms = math.sqrt(
+            sum((value - target) ** 2 for value in chunk) / len(chunk)
+        )
+        profile.append(rms)
+    return profile

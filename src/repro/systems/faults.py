@@ -1,0 +1,186 @@
+"""Fault and disturbance injection for simulated systems.
+
+The paper evaluates robustness to *allocation errors*
+(:func:`repro.core.targets.perturb_targets`); this module extends the
+reproduction with the runtime disturbances an operator of an extreme-scale
+system actually sees, so the controller's self-stabilization claim can be
+exercised end to end:
+
+* :meth:`FaultPlan.node_slowdown` — a node loses a fraction of its CPU for
+  a while (co-tenant interference, thermal throttling);
+* :meth:`FaultPlan.pe_stall` — one PE stops processing entirely for a
+  while (GC pause, crash-restart);
+* :meth:`FaultPlan.source_surge` — an input stream's rate multiplies for a
+  while (flash crowd).
+
+Build a :class:`FaultPlan`, then ``plan.attach(system)`` *before* running;
+each fault is applied and reverted by simulation processes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.model.workload import ConstantRateSource, PoissonSource
+from repro.systems.simulated import SimulatedSystem
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled disturbance."""
+
+    kind: str
+    target: str
+    start: float
+    duration: float
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("fault start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+        if self.magnitude < 0:
+            raise ValueError("fault magnitude must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A collection of faults to inject into one run."""
+
+    faults: _t.List[Fault] = field(default_factory=list)
+
+    def node_slowdown(
+        self, node_index: int, factor: float, start: float, duration: float
+    ) -> "FaultPlan":
+        """Scale a node's CPU capacity by ``factor`` during the window."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("slowdown factor must lie in [0, 1]")
+        self.faults.append(
+            Fault("node_slowdown", str(node_index), start, duration, factor)
+        )
+        return self
+
+    def pe_stall(
+        self, pe_id: str, start: float, duration: float
+    ) -> "FaultPlan":
+        """Freeze one PE's processing during the window."""
+        self.faults.append(Fault("pe_stall", pe_id, start, duration, 0.0))
+        return self
+
+    def source_surge(
+        self, ingress_pe_id: str, factor: float, start: float, duration: float
+    ) -> "FaultPlan":
+        """Multiply one source's arrival rate by ``factor`` in the window."""
+        if factor <= 0:
+            raise ValueError("surge factor must be positive")
+        self.faults.append(
+            Fault("source_surge", ingress_pe_id, start, duration, factor)
+        )
+        return self
+
+    def attach(self, system: SimulatedSystem) -> "FaultInjector":
+        """Bind this plan to a built (but not yet run) system."""
+        return FaultInjector(system, list(self.faults))
+
+
+class FaultInjector:
+    """Executes a fault plan inside a system's simulation environment."""
+
+    def __init__(self, system: SimulatedSystem, faults: _t.Sequence[Fault]):
+        self.system = system
+        self.faults = list(faults)
+        self.applied: _t.List[_t.Tuple[float, Fault, str]] = []
+        for fault in self.faults:
+            self._validate(fault)
+            system.env.process(self._run(fault))
+
+    def _validate(self, fault: Fault) -> None:
+        if fault.kind == "node_slowdown":
+            index = int(fault.target)
+            if not 0 <= index < len(self.system.nodes):
+                raise ValueError(f"no node {index}")
+        elif fault.kind == "pe_stall":
+            if fault.target not in self.system.runtimes:
+                raise ValueError(f"no PE {fault.target!r}")
+        elif fault.kind == "source_surge":
+            if not any(
+                source.stream_id == f"src:{fault.target}"
+                for source in self.system.sources
+            ):
+                raise ValueError(f"no source feeding {fault.target!r}")
+        else:
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+    def _run(self, fault: Fault) -> _t.Generator:
+        env = self.system.env
+        if fault.start > 0:
+            yield env.timeout(fault.start)
+        revert = self._apply(fault)
+        self.applied.append((env.now, fault, "applied"))
+        yield env.timeout(fault.duration)
+        revert()
+        self.applied.append((env.now, fault, "reverted"))
+
+    # -- fault application ---------------------------------------------------
+
+    def _apply(self, fault: Fault) -> _t.Callable[[], None]:
+        if fault.kind == "node_slowdown":
+            return self._apply_node_slowdown(fault)
+        if fault.kind == "pe_stall":
+            return self._apply_pe_stall(fault)
+        return self._apply_source_surge(fault)
+
+    def _apply_node_slowdown(self, fault: Fault) -> _t.Callable[[], None]:
+        index = int(fault.target)
+        node = self.system.nodes[index]
+        scheduler = self.system.schedulers[index]
+        original_node = node.cpu_capacity
+        original_scheduler = scheduler.capacity
+        node.cpu_capacity = original_node * fault.magnitude
+        scheduler.capacity = original_scheduler * fault.magnitude
+
+        def revert() -> None:
+            node.cpu_capacity = original_node
+            scheduler.capacity = original_scheduler
+
+        return revert
+
+    def _apply_pe_stall(self, fault: Fault) -> _t.Callable[[], None]:
+        runtime = self.system.runtimes[fault.target]
+        previous_gate = self.system.gates[fault.target]
+
+        def stalled_gate(pe: object) -> bool:
+            return False
+
+        self.system.gates[fault.target] = stalled_gate
+
+        def revert() -> None:
+            self.system.gates[fault.target] = previous_gate
+            runtime.blocked_last_interval = False
+
+        return revert
+
+    def _apply_source_surge(self, fault: Fault) -> _t.Callable[[], None]:
+        stream_id = f"src:{fault.target}"
+        source = next(
+            s for s in self.system.sources if s.stream_id == stream_id
+        )
+        if isinstance(source, (ConstantRateSource, PoissonSource)):
+            original = source.rate
+            source.rate = original * fault.magnitude
+
+            def revert() -> None:
+                source.rate = original
+
+            return revert
+
+        # On/off source: surge the peak rate.
+        original_peak = source.peak_rate
+        source.peak_rate = original_peak * fault.magnitude
+
+        def revert() -> None:
+            source.peak_rate = original_peak
+
+        return revert

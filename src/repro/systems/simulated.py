@@ -1,0 +1,515 @@
+"""The complete simulated distributed stream processing system.
+
+Wires the topology (graph + placement + source rates), a control policy
+(ACES / UDP / Lock-Step), and Tier-1 allocation targets into a running
+discrete-event simulation:
+
+* every ingress PE is fed by a workload source (bursty on/off by default);
+* every processing node runs an independent periodic control loop at an
+  unsynchronized phase offset (the paper stresses the algorithm needs no
+  inter-node synchronization, Section V-E);
+* each control tick performs, in the paper's order (Section V-E):
+  downstream feedback aggregation (Eq. 8) -> CPU allocation (Section V-D)
+  -> flow-control update + upstream publication (Eq. 7) -> PE execution;
+* SDOs leaving through egress PEs land in the metrics collector.
+
+Use :func:`run_system` for the one-call experiment entry point.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.core.cpu_control import AcesCpuScheduler
+from repro.core.feedback import FeedbackBus
+from repro.core.flow_control import FlowController
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import Policy
+from repro.core.targets import AllocationTargets
+from repro.graph.topology import Topology
+from repro.metrics.collectors import EgressCollector, MetricsReport
+from repro.model.links import Link
+from repro.model.node import ProcessingNode
+from repro.model.pe import PERuntime
+from repro.model.sdo import SDO
+from repro.model.workload import (
+    ConstantRateSource,
+    OnOffSource,
+    PoissonSource,
+)
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class SystemConfig:
+    """Run-time configuration of a simulated system."""
+
+    buffer_size: int = 50
+    #: b0 as a fraction of the buffer size (paper: 1/2).
+    b0_fraction: float = 0.5
+    #: Control interval Delta-t (seconds).
+    dt: float = 0.01
+    #: Feedback propagation delay; None means one control interval.
+    feedback_delay: _t.Optional[float] = None
+    #: Source model: 'onoff' (bursty), 'poisson', or 'constant'.
+    source_kind: str = "onoff"
+    #: ON fraction for the on/off source.
+    source_duty: float = 0.5
+    #: Mean ON-period duration (seconds) — the arrival burst length.
+    source_mean_on: float = 0.5
+    #: Simulated warm-up excluded from all metrics.
+    warmup: float = 5.0
+    #: Finite bandwidth (size units / second) for links between PEs on
+    #: *different* nodes; None models the paper's instantaneous
+    #: intra-cluster transport.  Co-located PEs always communicate
+    #: through memory.
+    link_bandwidth: _t.Optional[float] = None
+    #: Propagation delay added to every inter-node transfer (seconds).
+    link_latency: float = 0.0
+    #: When set, Tier 1 is re-solved every this many simulated seconds
+    #: using the *measured* recent input rates, and the refreshed CPU
+    #: targets are pushed into the running schedulers (the paper's
+    #: periodic global optimization "to support changing workload").
+    reoptimize_interval: _t.Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if not 0.0 <= self.b0_fraction <= 1.0:
+            raise ValueError("b0_fraction must lie in [0, 1]")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.source_kind not in ("onoff", "poisson", "constant"):
+            raise ValueError(f"unknown source_kind {self.source_kind!r}")
+        if not 0.0 < self.source_duty <= 1.0:
+            raise ValueError("source_duty must lie in (0, 1]")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.reoptimize_interval is not None and self.reoptimize_interval <= 0:
+            raise ValueError("reoptimize_interval must be positive")
+        if self.link_bandwidth is not None and self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.link_latency < 0:
+            raise ValueError("link_latency must be >= 0")
+
+
+@dataclass
+class _Snapshot:
+    """Cumulative counters captured at the start of the measured window."""
+
+    buffer_drops: int = 0
+    source_generated: int = 0
+    source_rejected: int = 0
+    cpu_used: float = 0.0
+    emit_attempts: int = 0
+    emit_drops: int = 0
+    shed_drops: int = 0
+    occupancy_integrals: _t.Dict[str, float] = field(default_factory=dict)
+
+
+class SimulatedSystem:
+    """One policy running on one topology inside the simulation kernel."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: Policy,
+        targets: _t.Optional[AllocationTargets] = None,
+        config: _t.Optional[SystemConfig] = None,
+    ):
+        self.topology = topology
+        self.policy = policy
+        self.config = config or SystemConfig()
+        self.env = Environment()
+        self.streams = RandomStreams(seed=self.config.seed)
+
+        if targets is None:
+            targets = solve_global_allocation(
+                topology.graph, topology.placement, topology.source_rates
+            ).targets
+        self.targets = targets
+
+        self._build_runtimes()
+        self._build_nodes()
+        self._build_links()
+        self._build_control()
+        self._build_sources()
+        self._start_node_loops()
+
+        self._emit_attempts = 0
+        self._emit_drops = 0
+        #: Number of Tier-1 refreshes performed during the run.
+        self.reoptimizations = 0
+        if self.config.reoptimize_interval is not None:
+            self.env.process(self._reoptimize_loop())
+
+    # -- construction --------------------------------------------------------
+
+    def _build_runtimes(self) -> None:
+        graph = self.topology.graph
+        ingress = set(graph.ingress_ids)
+        egress = set(graph.egress_ids)
+        self.runtimes: _t.Dict[str, PERuntime] = {}
+        for pe_id in graph.topological_order():
+            self.runtimes[pe_id] = PERuntime(
+                profile=graph.profile(pe_id),
+                buffer_capacity=self.config.buffer_size,
+                rng=self.streams.stream(f"pe:{pe_id}"),
+                is_ingress=pe_id in ingress,
+                is_egress=pe_id in egress,
+            )
+        for src, dst in graph.edges():
+            self.runtimes[src].link_downstream(self.runtimes[dst])
+
+        self.collector = EgressCollector()
+        for pe_id in egress:
+            self.collector.register(pe_id, graph.profile(pe_id).weight)
+
+    def _build_nodes(self) -> None:
+        self.nodes: _t.List[ProcessingNode] = []
+        placement = self.topology.placement
+        order = self.topology.graph.topological_order()
+        for node_index in range(self.topology.num_nodes):
+            node = ProcessingNode(node_id=f"node-{node_index}")
+            # Place PEs in topological order so intra-node execution flows
+            # producer -> consumer within a single tick.
+            for pe_id in order:
+                if placement[pe_id] == node_index:
+                    node.place(self.runtimes[pe_id])
+            self.nodes.append(node)
+
+    def _build_links(self) -> None:
+        """Create serializing links for edges that cross node boundaries."""
+        self.links: _t.Dict[_t.Tuple[str, str], Link] = {}
+        bandwidth = self.config.link_bandwidth
+        if bandwidth is None:
+            return
+        placement = self.topology.placement
+        for src, dst in self.topology.graph.edges():
+            if placement[src] == placement[dst]:
+                continue  # co-located PEs share memory
+            self.links[(src, dst)] = Link(
+                name=f"{src}->{dst}",
+                bandwidth=bandwidth,
+                latency=self.config.link_latency,
+            )
+
+    def _build_control(self) -> None:
+        config = self.config
+        delay = config.dt if config.feedback_delay is None else config.feedback_delay
+        self.bus = FeedbackBus(delay=delay)
+
+        self.schedulers = [
+            self.policy.make_scheduler(
+                node.pes, self.targets.cpu, node.cpu_capacity, config.dt
+            )
+            for node in self.nodes
+        ]
+
+        self.controllers: _t.Dict[str, FlowController] = {}
+        if self.policy.uses_feedback:
+            gains = self.policy.controller_gains(config.dt)
+            b0 = config.b0_fraction * config.buffer_size
+            for pe_id, runtime in self.runtimes.items():
+                self.controllers[pe_id] = FlowController(
+                    gains,
+                    target_occupancy=b0,
+                    buffer_capacity=runtime.buffer.capacity,
+                )
+
+        self.gates = {
+            pe_id: self.policy.make_gate(runtime)
+            for pe_id, runtime in self.runtimes.items()
+        }
+        self.admission_filters = {
+            pe_id: self.policy.make_admission_filter(runtime)
+            for pe_id, runtime in self.runtimes.items()
+        }
+        self._shed_drops = 0
+
+    def _build_sources(self) -> None:
+        config = self.config
+        self.sources = []
+        for pe_id, rate in sorted(self.topology.source_rates.items()):
+            runtime = self.runtimes[pe_id]
+
+            def sink(sdo: SDO, now: float, runtime: PERuntime = runtime) -> bool:
+                return self._admit(runtime, sdo, now)
+
+            stream_id = f"src:{pe_id}"
+            rng = self.streams.stream(stream_id)
+            if config.source_kind == "constant":
+                source = ConstantRateSource(self.env, stream_id, sink, rate)
+            elif config.source_kind == "poisson":
+                source = PoissonSource(self.env, stream_id, sink, rate, rng)
+            else:
+                duty = config.source_duty
+                mean_on = config.source_mean_on
+                mean_off = mean_on * (1.0 - duty) / duty
+                source = OnOffSource(
+                    self.env,
+                    stream_id,
+                    sink,
+                    peak_rate=rate / duty,
+                    mean_on=mean_on,
+                    mean_off=mean_off,
+                    rng=rng,
+                )
+            self.sources.append(source)
+
+    def _start_node_loops(self) -> None:
+        for index, (node, scheduler) in enumerate(
+            zip(self.nodes, self.schedulers)
+        ):
+            offset = (index + 1) / (len(self.nodes) + 1) * self.config.dt
+            self.env.process(self._node_loop(node, scheduler, offset))
+
+    # -- control loop --------------------------------------------------------
+
+    def _node_loop(
+        self, node: ProcessingNode, scheduler: _t.Any, offset: float
+    ) -> _t.Generator:
+        # Unsynchronized phase offsets: no global tick (Section V-E).
+        yield self.env.timeout(offset)
+        while True:
+            self._tick_node(node, scheduler, self.env.now)
+            yield self.env.timeout(self.config.dt)
+
+    def _tick_node(
+        self, node: ProcessingNode, scheduler: _t.Any, now: float
+    ) -> None:
+        dt = self.config.dt
+
+        if self.policy.uses_feedback:
+            aggregate = self.policy.aggregate_feedback()
+            caps: _t.Dict[str, float] = {}
+            for pe in node.pes:
+                downstream_ids = [d.pe_id for d in pe.downstream]
+                if aggregate == "max":
+                    caps[pe.pe_id] = self.bus.max_downstream_rate(
+                        downstream_ids, now
+                    )
+                else:
+                    caps[pe.pe_id] = self.bus.min_downstream_rate(
+                        downstream_ids, now
+                    )
+            if isinstance(scheduler, AcesCpuScheduler):
+                allocations = scheduler.allocate(dt, caps)
+            else:
+                allocations = scheduler.allocate(dt)
+            for pe in node.pes:
+                # rho_j(n) is the rate the PE can *sustain*: when the PE is
+                # momentarily unallocated (e.g. empty buffer) it still earns
+                # tokens at its long-term target, so advertising the target
+                # rate upstream is what keeps the pipeline from converging
+                # to a self-throttled equilibrium.
+                cpu_effective = max(
+                    allocations.get(pe.pe_id, 0.0),
+                    self.targets.cpu.get(pe.pe_id, 0.0),
+                )
+                rho = pe.processing_rate(cpu_effective)
+                controller = self.controllers[pe.pe_id]
+                r_max = controller.update(pe.buffer.sample(now), rho)
+                self.bus.publish(pe.pe_id, r_max, now)
+        else:
+            # Redistribution reacts to *observed* blocking (last interval):
+            # the scheduler has no clairvoyant knowledge of which PEs will
+            # sleep this interval, so a PE that blocks mid-interval wastes
+            # the rest of its grant — the stop-start cost of Lock-Step.
+            # A sleeping PE wakes when its downstream frees space (checked
+            # at tick granularity, like the wake-up notification it would
+            # receive), so one stop costs at least one interval.
+            blocked = set()
+            for pe in node.pes:
+                if not pe.blocked_last_interval:
+                    continue
+                gate = self.gates[pe.pe_id]
+                if gate is None or gate(pe):
+                    pe.blocked_last_interval = False
+                else:
+                    blocked.add(pe.pe_id)
+            allocations = scheduler.allocate(dt, blocked=blocked)
+
+        for pe in node.pes:
+            cpu = allocations.get(pe.pe_id, 0.0)
+            used = pe.execute(
+                now,
+                dt,
+                cpu,
+                emit=self._emit,
+                gate=self.gates[pe.pe_id],
+            )
+            scheduler.settle(pe.pe_id, used, dt)
+
+    def _reoptimize_loop(self) -> _t.Generator:
+        """Periodic Tier-1 refresh from measured input rates (Section V)."""
+        interval = self.config.reoptimize_interval
+        assert interval is not None
+        last_generated = {
+            source.stream_id: source.stats.generated
+            for source in self.sources
+        }
+        while True:
+            yield self.env.timeout(interval)
+            measured_rates: _t.Dict[str, float] = {}
+            for source in self.sources:
+                generated = source.stats.generated
+                delta = generated - last_generated[source.stream_id]
+                last_generated[source.stream_id] = generated
+                pe_id = source.stream_id.split(":", 1)[1]
+                measured_rates[pe_id] = delta / interval
+            result = solve_global_allocation(
+                self.topology.graph,
+                self.topology.placement,
+                measured_rates,
+            )
+            self.targets = result.targets
+            for scheduler in self.schedulers:
+                scheduler.update_targets(result.targets.cpu)
+            self.reoptimizations += 1
+
+    def _emit(self, pe: PERuntime, sdo: SDO, completion: float) -> None:
+        """Schedule delivery of an output SDO at its completion time.
+
+        Completion times are interpolated inside the current control
+        interval; delivering through a timed event (rather than touching
+        the consumer's buffer immediately) keeps cross-node causality: the
+        consumer sees the SDO only when the clock actually reaches the
+        completion (plus any link-transfer) instant.
+        """
+        if pe.is_egress:
+            self._schedule(
+                completion,
+                lambda pe=pe, sdo=sdo: self.collector.record(
+                    pe.pe_id, sdo, self.env.now
+                ),
+            )
+            return
+        for consumer in pe.downstream:
+            link = self.links.get((pe.pe_id, consumer.pe_id))
+            if link is None:
+                arrival = completion
+            else:
+                arrival = link.transfer_completion(sdo, completion)
+            self._schedule(
+                arrival,
+                lambda consumer=consumer, sdo=sdo: self._deliver_one(
+                    consumer, sdo
+                ),
+            )
+
+    def _schedule(self, at: float, action: _t.Callable[[], None]) -> None:
+        event = self.env.timeout(max(0.0, at - self.env.now))
+        assert event.callbacks is not None
+        event.callbacks.append(lambda _event: action())
+
+    def _admit(self, runtime: PERuntime, sdo: SDO, now: float) -> bool:
+        """Offer an SDO to a PE's buffer, via the policy's shed filter."""
+        admission = self.admission_filters[runtime.pe_id]
+        if admission is not None and not admission(runtime, sdo):
+            self._shed_drops += 1
+            return False
+        return runtime.ingest(sdo, now)
+
+    def _deliver_one(self, consumer: PERuntime, sdo: SDO) -> None:
+        self._emit_attempts += 1
+        if not self._admit(consumer, sdo, self.env.now):
+            self._emit_drops += 1
+
+    # -- measurement ---------------------------------------------------------
+
+    def _snapshot(self, now: float) -> _Snapshot:
+        for runtime in self.runtimes.values():
+            runtime.buffer.sample(now)
+        return _Snapshot(
+            buffer_drops=sum(
+                r.buffer.telemetry.dropped for r in self.runtimes.values()
+            ),
+            source_generated=sum(s.stats.generated for s in self.sources),
+            source_rejected=sum(s.stats.rejected for s in self.sources),
+            cpu_used=sum(
+                r.counters.cpu_used for r in self.runtimes.values()
+            ),
+            emit_attempts=self._emit_attempts,
+            emit_drops=self._emit_drops,
+            shed_drops=self._shed_drops,
+            occupancy_integrals={
+                pe_id: r.buffer.telemetry.occupancy_integral
+                for pe_id, r in self.runtimes.items()
+            },
+        )
+
+    def run(self, duration: float) -> MetricsReport:
+        """Warm up, then simulate ``duration`` seconds and report metrics."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        config = self.config
+        if config.warmup > 0:
+            self.env.run(until=config.warmup)
+        self.collector.reset(self.env.now)
+        start = self._snapshot(self.env.now)
+
+        self.env.run(until=self.env.now + duration)
+        end = self._snapshot(self.env.now)
+
+        occupancy_means = []
+        for pe_id in self.runtimes:
+            delta = (
+                end.occupancy_integrals[pe_id]
+                - start.occupancy_integrals[pe_id]
+            )
+            occupancy_means.append(delta / duration)
+
+        emit_attempts = end.emit_attempts - start.emit_attempts
+        emit_drops = end.emit_drops - start.emit_drops
+        generated = end.source_generated - start.source_generated
+        rejected = end.source_rejected - start.source_rejected
+
+        return MetricsReport(
+            policy=self.policy.name,
+            duration=duration,
+            weighted_throughput=self.collector.weighted_throughput(
+                self.env.now
+            ),
+            total_output_sdos=self.collector.total_output(),
+            latency=self.collector.latency_summary(),
+            buffer_drops=(
+                (end.buffer_drops - start.buffer_drops)
+                + (end.shed_drops - start.shed_drops)
+            ),
+            source_rejections=rejected,
+            source_generated=generated,
+            mean_buffer_occupancy=(
+                sum(occupancy_means) / len(occupancy_means)
+                if occupancy_means
+                else 0.0
+            ),
+            egress_detail={
+                pe_id: (rec.weight, rec.count, rec.latency.mean)
+                for pe_id, rec in self.collector.records().items()
+            },
+            cpu_utilization=(
+                (end.cpu_used - start.cpu_used)
+                / (duration * len(self.nodes))
+            ),
+            wasted_work_fraction=(
+                emit_drops / emit_attempts if emit_attempts else 0.0
+            ),
+        )
+
+
+def run_system(
+    topology: Topology,
+    policy: Policy,
+    duration: float = 30.0,
+    targets: _t.Optional[AllocationTargets] = None,
+    config: _t.Optional[SystemConfig] = None,
+) -> MetricsReport:
+    """Build and run one simulated system; the one-call experiment API."""
+    system = SimulatedSystem(
+        topology, policy, targets=targets, config=config
+    )
+    return system.run(duration)

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "aces"
+        assert args.pes == 60
+        assert args.nodes == 10
+        assert args.buffer == 50
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig5"])
+        assert args.name == "fig5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--pes", "12", "--nodes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PEs: 12" in out
+        assert "Nodes: 3" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--pes", "8", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=" in out
+        assert "Tier-1 allocation targets" in out
+
+    def test_run(self, capsys):
+        code = main(
+            [
+                "run", "--pes", "8", "--nodes", "2",
+                "--duration", "2", "--warmup", "1", "--policy", "udp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "udp" in out
+        assert "cpu=" in out
+
+    def test_run_shedding_policy(self, capsys):
+        code = main(
+            [
+                "run", "--pes", "8", "--nodes", "2",
+                "--duration", "2", "--warmup", "1", "--policy", "shedding",
+            ]
+        )
+        assert code == 0
+        assert "shedding" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare", "--pes", "8", "--nodes", "2",
+                "--duration", "2", "--warmup", "1",
+                "--policies", "aces,udp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aces" in out
+        assert "udp" in out
+        assert "weighted_throughput" in out

@@ -1,0 +1,206 @@
+"""Tests for the token-bucket and strict CPU schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpu_control import (
+    AcesCpuScheduler,
+    StrictProportionalScheduler,
+    TokenBucket,
+    _proportional_fill,
+)
+from repro.model.params import PEProfile
+from repro.model.pe import PERuntime
+from repro.model.sdo import SDO
+
+
+def make_pe(pe_id, buffered=0, t0=0.002, t1=0.002, **kwargs):
+    pe = PERuntime(
+        PEProfile(pe_id=pe_id, t0=t0, t1=t1, lambda_s=0.0, **kwargs),
+        buffer_capacity=100,
+        rng=np.random.default_rng(0),
+    )
+    for i in range(buffered):
+        pe.ingest(SDO(stream_id="s", origin_time=0.0), 0.0)
+    return pe
+
+
+class TestTokenBucket:
+    def test_fill_caps_at_depth(self):
+        bucket = TokenBucket(rate=1.0, depth=0.5, level=0.4)
+        bucket.fill(1.0)
+        assert bucket.level == 0.5
+
+    def test_spend_reduces_level(self):
+        bucket = TokenBucket(rate=1.0, depth=1.0, level=0.5)
+        bucket.spend(0.2)
+        assert bucket.level == pytest.approx(0.3)
+
+    def test_overspend_rejected(self):
+        bucket = TokenBucket(rate=1.0, depth=1.0, level=0.1)
+        with pytest.raises(ValueError):
+            bucket.spend(0.5)
+
+
+class TestProportionalFill:
+    def test_splits_by_weight(self):
+        grants = _proportional_fill(
+            {"a": 10.0, "b": 10.0}, {"a": 1.0, "b": 3.0}, 4.0
+        )
+        assert grants["a"] == pytest.approx(1.0)
+        assert grants["b"] == pytest.approx(3.0)
+
+    def test_caps_at_demand_and_redistributes(self):
+        grants = _proportional_fill(
+            {"a": 0.5, "b": 10.0}, {"a": 1.0, "b": 1.0}, 4.0
+        )
+        assert grants["a"] == pytest.approx(0.5)
+        assert grants["b"] == pytest.approx(3.5)
+
+    def test_budget_not_exceeded(self):
+        grants = _proportional_fill(
+            {"a": 100.0, "b": 100.0}, {"a": 1.0, "b": 2.0}, 1.0
+        )
+        assert sum(grants.values()) == pytest.approx(1.0)
+
+    def test_zero_demand_gets_nothing(self):
+        grants = _proportional_fill(
+            {"a": 0.0, "b": 5.0}, {"a": 10.0, "b": 1.0}, 2.0
+        )
+        assert grants["a"] == 0.0
+        assert grants["b"] == pytest.approx(2.0)
+
+    def test_empty_inputs(self):
+        assert _proportional_fill({}, {}, 1.0) == {}
+
+    def test_zero_weights_still_serve_demand(self):
+        grants = _proportional_fill(
+            {"a": 1.0, "b": 1.0}, {"a": 0.0, "b": 0.0}, 1.0
+        )
+        assert sum(grants.values()) == pytest.approx(1.0)
+
+
+class TestAcesCpuScheduler:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AcesCpuScheduler([], {}, capacity=0.0)
+
+    def test_allocations_respect_node_capacity(self):
+        pes = [make_pe("a", buffered=50), make_pe("b", buffered=50)]
+        scheduler = AcesCpuScheduler(
+            pes, {"a": 0.5, "b": 0.5}, capacity=1.0, dt=0.01
+        )
+        allocations = scheduler.allocate(0.01, {})
+        assert sum(allocations.values()) <= 1.0 + 1e-9
+
+    def test_idle_pe_gets_nothing(self):
+        pes = [make_pe("a", buffered=0), make_pe("b", buffered=50)]
+        scheduler = AcesCpuScheduler(
+            pes, {"a": 0.5, "b": 0.5}, capacity=1.0, dt=0.01
+        )
+        allocations = scheduler.allocate(0.01, {})
+        assert allocations["a"] == 0.0
+        assert allocations["b"] > 0.0
+
+    def test_occupancy_weighting_favours_congested(self):
+        pes = [make_pe("a", buffered=5), make_pe("b", buffered=50)]
+        # Give both big targets so tokens aren't binding.
+        scheduler = AcesCpuScheduler(
+            pes, {"a": 0.5, "b": 0.5}, capacity=0.2, dt=0.01,
+            bucket_depth_intervals=1000.0,
+        )
+        allocations = scheduler.allocate(0.01, {})
+        assert allocations["b"] > allocations["a"]
+
+    def test_eq8_cap_bounds_allocation(self):
+        pe = make_pe("a", buffered=100)
+        scheduler = AcesCpuScheduler(
+            [pe], {"a": 1.0}, capacity=1.0, dt=0.01
+        )
+        # Output cap 100 SDO/s at t=2 ms and lambda_m=1 -> cpu cap 0.2.
+        allocations = scheduler.allocate(0.01, {"a": 100.0})
+        assert allocations["a"] <= 0.2 + 1e-9
+
+    def test_zero_cap_blocks_pe(self):
+        pe = make_pe("a", buffered=100)
+        scheduler = AcesCpuScheduler([pe], {"a": 1.0}, dt=0.01)
+        allocations = scheduler.allocate(0.01, {"a": 0.0})
+        assert allocations["a"] == 0.0
+
+    def test_work_conserving_round_uses_leftover(self):
+        # 'a' is token-poor (tiny target) but has lots of work; with
+        # work conservation it should receive most of the node.
+        pe = make_pe("a", buffered=100)
+        scheduler = AcesCpuScheduler(
+            [pe], {"a": 0.01}, capacity=1.0, dt=0.01, work_conserving=True
+        )
+        allocations = scheduler.allocate(0.01, {})
+        assert allocations["a"] > 0.5
+
+    def test_strict_tokens_without_work_conservation(self):
+        pe = make_pe("a", buffered=100)
+        scheduler = AcesCpuScheduler(
+            [pe], {"a": 0.01}, capacity=1.0, dt=0.01, work_conserving=False
+        )
+        # Drain the initial half-full bucket first.
+        for _ in range(30):
+            allocations = scheduler.allocate(0.01, {})
+            scheduler.settle("a", allocations["a"] * 0.01, 0.01)
+        # Now the grant is limited to roughly the fill rate.
+        assert allocations["a"] <= 0.05
+
+    def test_settle_spends_tokens(self):
+        pe = make_pe("a", buffered=100)
+        scheduler = AcesCpuScheduler([pe], {"a": 0.5}, dt=0.01)
+        before = scheduler.token_level("a")
+        scheduler.settle("a", before / 2, 0.01)
+        assert scheduler.token_level("a") == pytest.approx(before / 2)
+
+    def test_long_term_average_tracks_target_under_contention(self):
+        """Two always-busy PEs with unequal targets split the node 50/50
+        in occupancy terms but tokens keep long-term shares near targets
+        when both are equally backlogged and capacity is scarce."""
+        pes = [make_pe("a", buffered=100), make_pe("b", buffered=100)]
+        scheduler = AcesCpuScheduler(
+            pes, {"a": 0.2, "b": 0.8}, capacity=1.0, dt=0.01,
+            work_conserving=False, bucket_depth_intervals=5.0,
+        )
+        totals = {"a": 0.0, "b": 0.0}
+        for _ in range(500):
+            allocations = scheduler.allocate(0.01, {})
+            for pe_id, cpu in allocations.items():
+                totals[pe_id] += cpu * 0.01
+                scheduler.settle(pe_id, cpu * 0.01, 0.01)
+        share_a = totals["a"] / (totals["a"] + totals["b"])
+        assert share_a == pytest.approx(0.2, abs=0.05)
+
+
+class TestStrictProportionalScheduler:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StrictProportionalScheduler([], {}, capacity=-1.0)
+
+    def test_allocates_by_target(self):
+        pes = [make_pe("a", buffered=50), make_pe("b", buffered=50)]
+        scheduler = StrictProportionalScheduler(pes, {"a": 0.25, "b": 0.75})
+        allocations = scheduler.allocate(0.01)
+        assert allocations["a"] == pytest.approx(0.25)
+        assert allocations["b"] == pytest.approx(0.75)
+
+    def test_blocked_pe_share_redistributed(self):
+        pes = [make_pe("a", buffered=50), make_pe("b", buffered=50)]
+        scheduler = StrictProportionalScheduler(pes, {"a": 0.5, "b": 0.5})
+        allocations = scheduler.allocate(0.01, blocked={"a"})
+        assert allocations["a"] == 0.0
+        assert allocations["b"] == pytest.approx(1.0)
+
+    def test_idle_pe_share_redistributed(self):
+        pes = [make_pe("a", buffered=0), make_pe("b", buffered=50)]
+        scheduler = StrictProportionalScheduler(pes, {"a": 0.5, "b": 0.5})
+        allocations = scheduler.allocate(0.01)
+        assert allocations["b"] == pytest.approx(1.0)
+
+    def test_settle_is_noop(self):
+        pes = [make_pe("a", buffered=5)]
+        scheduler = StrictProportionalScheduler(pes, {"a": 1.0})
+        scheduler.settle("a", 123.0, 0.01)  # must not raise

@@ -1,0 +1,88 @@
+"""Tests for the r_max feedback bus (Eq. 8 aggregation)."""
+
+import pytest
+
+from repro.core.feedback import FeedbackBus
+
+
+class TestPublication:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackBus(delay=-1.0)
+
+    def test_negative_rate_rejected(self):
+        bus = FeedbackBus()
+        with pytest.raises(ValueError):
+            bus.publish("pe-1", -5.0, 0.0)
+
+    def test_immediate_visibility_without_delay(self):
+        bus = FeedbackBus(delay=0.0)
+        bus.publish("pe-1", 42.0, now=0.0)
+        assert bus.latest("pe-1", now=0.0) == 42.0
+
+    def test_unknown_pe_is_none(self):
+        assert FeedbackBus().latest("ghost", 0.0) is None
+
+    def test_delay_hides_fresh_values(self):
+        bus = FeedbackBus(delay=0.5)
+        bus.publish("pe-1", 10.0, now=0.0)
+        assert bus.latest("pe-1", now=0.2) is None
+        assert bus.latest("pe-1", now=0.5) == 10.0
+
+    def test_latest_visible_wins(self):
+        bus = FeedbackBus(delay=0.1)
+        bus.publish("pe-1", 10.0, now=0.0)
+        bus.publish("pe-1", 20.0, now=0.05)
+        assert bus.latest("pe-1", now=0.12) == 10.0
+        assert bus.latest("pe-1", now=0.16) == 20.0
+
+    def test_pending_values_drain(self):
+        bus = FeedbackBus(delay=0.1)
+        for i in range(5):
+            bus.publish("pe-1", float(i), now=i * 0.01)
+        assert bus.latest("pe-1", now=1.0) == 4.0
+
+    def test_publish_counter(self):
+        bus = FeedbackBus()
+        bus.publish("a", 1.0, 0.0)
+        bus.publish("b", 2.0, 0.0)
+        assert bus.publishes == 2
+
+
+class TestAggregation:
+    def test_max_downstream_rate(self):
+        bus = FeedbackBus()
+        bus.publish("c1", 10.0, 0.0)
+        bus.publish("c2", 30.0, 0.0)
+        bus.publish("c3", 20.0, 0.0)
+        assert bus.max_downstream_rate(["c1", "c2", "c3"], 0.0) == 30.0
+
+    def test_min_downstream_rate(self):
+        bus = FeedbackBus()
+        bus.publish("c1", 10.0, 0.0)
+        bus.publish("c2", 30.0, 0.0)
+        assert bus.min_downstream_rate(["c1", "c2"], 0.0) == 10.0
+
+    def test_egress_unconstrained(self):
+        bus = FeedbackBus()
+        assert bus.max_downstream_rate([], 0.0) == float("inf")
+        assert bus.min_downstream_rate([], 0.0) == float("inf")
+
+    def test_unheard_consumer_is_optimistic(self):
+        bus = FeedbackBus()
+        bus.publish("c1", 10.0, 0.0)
+        assert bus.max_downstream_rate(["c1", "silent"], 0.0) == float("inf")
+
+    def test_min_with_unheard_consumer(self):
+        bus = FeedbackBus()
+        bus.publish("c1", 10.0, 0.0)
+        assert bus.min_downstream_rate(["c1", "silent"], 0.0) == 10.0
+
+    def test_max_flow_vs_min_flow_difference(self):
+        """The Figure-2 point: max-flow follows the fastest consumer."""
+        bus = FeedbackBus()
+        for pe_id, rate in (("c1", 10.0), ("c2", 20.0), ("c3", 30.0)):
+            bus.publish(pe_id, rate, 0.0)
+        consumers = ["c1", "c2", "c3"]
+        assert bus.max_downstream_rate(consumers, 0.0) == 30.0
+        assert bus.min_downstream_rate(consumers, 0.0) == 10.0

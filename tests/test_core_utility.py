@@ -1,0 +1,112 @@
+"""Tests for the utility functions of the Tier-1 objective."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.utility import (
+    ExponentialUtility,
+    LinearUtility,
+    LogUtility,
+    get_utility,
+)
+
+ALL_UTILITIES = [LinearUtility(), LogUtility(), ExponentialUtility()]
+
+
+@pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: u.name)
+class TestCommonProperties:
+    def test_zero_at_origin_or_nonnegative(self, utility):
+        assert utility.value(0.0) == pytest.approx(0.0)
+
+    def test_strictly_increasing(self, utility):
+        xs = [0.0, 0.5, 1.0, 2.0, 5.0]
+        values = [utility.value(x) for x in xs]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_concave(self, utility):
+        for x in (0.0, 1.0, 4.0):
+            mid = utility.value(x + 0.5)
+            chord = 0.5 * (utility.value(x) + utility.value(x + 1.0))
+            assert mid >= chord - 1e-12
+
+    def test_derivative_positive_non_increasing(self, utility):
+        derivatives = [utility.derivative(x) for x in (0.0, 1.0, 3.0)]
+        assert all(d > 0 for d in derivatives)
+        assert derivatives == sorted(derivatives, reverse=True)
+
+    def test_negative_argument_rejected(self, utility):
+        with pytest.raises(ValueError):
+            utility.value(-1.0)
+        with pytest.raises(ValueError):
+            utility.derivative(-1.0)
+
+    def test_callable(self, utility):
+        assert utility(2.0) == utility.value(2.0)
+
+    def test_derivative_matches_finite_difference(self, utility):
+        eps = 1e-6
+        for x in (0.5, 2.0, 7.0):
+            numeric = (utility.value(x + eps) - utility.value(x - eps)) / (
+                2 * eps
+            )
+            assert utility.derivative(x) == pytest.approx(numeric, rel=1e-4)
+
+
+class TestSpecifics:
+    def test_linear_values(self):
+        assert LinearUtility().value(3.5) == 3.5
+
+    def test_linear_inverse_derivative_undefined(self):
+        with pytest.raises(ValueError):
+            LinearUtility().inverse_derivative(1.0)
+
+    def test_log_values(self):
+        assert LogUtility().value(math.e - 1) == pytest.approx(1.0)
+
+    def test_log_inverse_derivative(self):
+        utility = LogUtility()
+        for y in (0.1, 0.5, 0.9):
+            x = utility.inverse_derivative(y)
+            assert utility.derivative(x) == pytest.approx(y)
+
+    def test_log_inverse_derivative_clamps(self):
+        assert LogUtility().inverse_derivative(2.0) == 0.0
+
+    def test_exponential_saturates_at_one(self):
+        assert ExponentialUtility().value(50.0) == pytest.approx(1.0)
+
+    def test_exponential_inverse_derivative(self):
+        utility = ExponentialUtility()
+        for y in (0.1, 0.5, 0.9):
+            x = utility.inverse_derivative(y)
+            assert utility.derivative(x) == pytest.approx(y)
+
+    def test_inverse_derivative_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            LogUtility().inverse_derivative(0.0)
+        with pytest.raises(ValueError):
+            ExponentialUtility().inverse_derivative(-1.0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_utility("linear"), LinearUtility)
+        assert isinstance(get_utility("log"), LogUtility)
+        assert isinstance(get_utility("exponential"), ExponentialUtility)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown utility"):
+            get_utility("quadratic")
+
+
+@given(st.floats(min_value=0.0, max_value=100.0))
+def test_property_log_below_linear(x):
+    assert LogUtility().value(x) <= LinearUtility().value(x) + 1e-12
+
+
+@given(st.floats(min_value=0.0, max_value=100.0))
+def test_property_exponential_bounded(x):
+    assert 0.0 <= ExponentialUtility().value(x) < 1.0 + 1e-12

@@ -1,0 +1,154 @@
+"""Tests for the processing-graph DAG structure."""
+
+import pytest
+
+from repro.graph.dag import GraphValidationError, ProcessingGraph
+from repro.model.params import PEProfile
+
+
+def build_diamond():
+    """src -> (a, b) -> sink."""
+    graph = ProcessingGraph()
+    for pe_id in ("src", "a", "b", "sink"):
+        graph.add_pe(PEProfile(pe_id=pe_id))
+    graph.add_edge("src", "a")
+    graph.add_edge("src", "b")
+    graph.add_edge("a", "sink")
+    graph.add_edge("b", "sink")
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_pe_rejected(self):
+        graph = ProcessingGraph()
+        graph.add_pe(PEProfile(pe_id="x"))
+        with pytest.raises(GraphValidationError):
+            graph.add_pe(PEProfile(pe_id="x"))
+
+    def test_edge_unknown_pe_rejected(self):
+        graph = ProcessingGraph()
+        graph.add_pe(PEProfile(pe_id="x"))
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("x", "y")
+
+    def test_self_loop_rejected(self):
+        graph = ProcessingGraph()
+        graph.add_pe(PEProfile(pe_id="x"))
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("x", "x")
+
+    def test_duplicate_edge_rejected(self):
+        graph = build_diamond()
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("src", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        graph = build_diamond()
+        with pytest.raises(GraphValidationError):
+            graph.add_edge("sink", "src")
+        assert ("sink", "src") not in graph.edges()
+
+    def test_len_and_contains(self):
+        graph = build_diamond()
+        assert len(graph) == 4
+        assert "src" in graph
+        assert "nope" not in graph
+
+
+class TestStructure:
+    def test_upstream_downstream(self):
+        graph = build_diamond()
+        assert set(graph.upstream("sink")) == {"a", "b"}
+        assert set(graph.downstream("src")) == {"a", "b"}
+        assert graph.upstream("src") == []
+        assert graph.downstream("sink") == []
+
+    def test_fan_degrees(self):
+        graph = build_diamond()
+        assert graph.fan_out("src") == 2
+        assert graph.fan_in("sink") == 2
+        assert graph.fan_in("a") == 1
+
+    def test_ingress_egress_intermediate(self):
+        graph = build_diamond()
+        assert graph.ingress_ids == ["src"]
+        assert graph.egress_ids == ["sink"]
+        assert set(graph.intermediate_ids) == {"a", "b"}
+
+    def test_topological_order_respects_edges(self):
+        graph = build_diamond()
+        order = graph.topological_order()
+        assert order.index("src") < order.index("a")
+        assert order.index("a") < order.index("sink")
+        assert order.index("b") < order.index("sink")
+
+    def test_topological_order_deterministic(self):
+        assert (
+            build_diamond().topological_order()
+            == build_diamond().topological_order()
+        )
+
+    def test_reverse_topological_order(self):
+        graph = build_diamond()
+        assert graph.reverse_topological_order() == list(
+            reversed(graph.topological_order())
+        )
+
+    def test_depth(self):
+        assert build_diamond().depth() == 2
+
+    def test_ancestors_descendants(self):
+        graph = build_diamond()
+        assert graph.descendants("src") == {"a", "b", "sink"}
+        assert graph.ancestors("sink") == {"src", "a", "b"}
+
+    def test_connected_components(self):
+        graph = build_diamond()
+        graph.add_pe(PEProfile(pe_id="lonely-src"))
+        graph.add_pe(PEProfile(pe_id="lonely-sink"))
+        graph.add_edge("lonely-src", "lonely-sink")
+        components = graph.connected_components()
+        assert len(components) == 2
+        assert {"lonely-src", "lonely-sink"} in components
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        build_diamond().validate(max_fan_in=3, max_fan_out=4)
+
+    def test_empty_graph_fails(self):
+        with pytest.raises(GraphValidationError):
+            ProcessingGraph().validate()
+
+    def test_unexpected_role_fails(self):
+        graph = build_diamond()
+        graph.add_pe(PEProfile(pe_id="orphan"))
+        with pytest.raises(GraphValidationError, match="orphan"):
+            graph.validate(
+                expected_ingress={"src"}, expected_egress={"sink"}
+            )
+
+    def test_expected_roles_pass(self):
+        build_diamond().validate(
+            expected_ingress={"src"}, expected_egress={"sink"}
+        )
+
+    def test_missing_expected_ingress_fails(self):
+        graph = build_diamond()
+        with pytest.raises(GraphValidationError, match="missing"):
+            graph.validate(expected_ingress={"src", "ghost"})
+
+    def test_fan_in_cap_enforced(self):
+        graph = build_diamond()
+        with pytest.raises(GraphValidationError, match="fan-in"):
+            graph.validate(max_fan_in=1)
+
+    def test_fan_out_cap_enforced(self):
+        graph = build_diamond()
+        with pytest.raises(GraphValidationError, match="fan-out"):
+            graph.validate(max_fan_out=1)
+
+    def test_profile_lookup(self):
+        graph = build_diamond()
+        assert graph.profile("src").pe_id == "src"
+        assert set(graph.profiles) == {"src", "a", "b", "sink"}

@@ -1,0 +1,87 @@
+"""Tests for PE-to-node placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.graph.dag import ProcessingGraph
+from repro.graph.placement import (
+    load_balanced_placement,
+    placement_load,
+    random_placement,
+    round_robin_placement,
+)
+from repro.model.params import PEProfile
+
+
+def chain_graph(n=6, heterogeneous=False):
+    graph = ProcessingGraph()
+    for i in range(n):
+        scale = (i + 1) if heterogeneous else 1
+        graph.add_pe(
+            PEProfile(pe_id=f"pe-{i}", t0=0.002 * scale, t1=0.020 * scale)
+        )
+    for i in range(n - 1):
+        graph.add_edge(f"pe-{i}", f"pe-{i+1}")
+    return graph
+
+
+class TestRoundRobin:
+    def test_cycles_through_nodes(self):
+        placement = round_robin_placement(chain_graph(6), 3)
+        counts = [0, 0, 0]
+        for node in placement.values():
+            counts[node] += 1
+        assert counts == [2, 2, 2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            round_robin_placement(chain_graph(), 0)
+        with pytest.raises(ValueError):
+            round_robin_placement(ProcessingGraph(), 2)
+
+
+class TestRandomPlacement:
+    def test_deterministic_given_rng(self):
+        graph = chain_graph(10)
+        a = random_placement(graph, 4, np.random.default_rng(1))
+        b = random_placement(graph, 4, np.random.default_rng(1))
+        assert a == b
+
+    def test_all_nodes_in_range(self):
+        placement = random_placement(
+            chain_graph(20), 5, np.random.default_rng(2)
+        )
+        assert all(0 <= n < 5 for n in placement.values())
+
+
+class TestLoadBalanced:
+    def test_balances_heterogeneous_load(self):
+        graph = chain_graph(8, heterogeneous=True)
+        placement = load_balanced_placement(graph, 2)
+        loads = placement_load(graph, placement, 2)
+        assert max(loads) / min(loads) < 1.5
+
+    def test_single_node_takes_all(self):
+        graph = chain_graph(4)
+        placement = load_balanced_placement(graph, 1)
+        assert set(placement.values()) == {0}
+
+    def test_deterministic(self):
+        graph = chain_graph(9, heterogeneous=True)
+        assert load_balanced_placement(graph, 3) == load_balanced_placement(
+            graph, 3
+        )
+
+    def test_more_nodes_than_pes(self):
+        graph = chain_graph(2)
+        placement = load_balanced_placement(graph, 10)
+        assert len(set(placement.values())) == 2
+
+
+def test_placement_load_sums_service_times():
+    graph = chain_graph(3)
+    placement = {"pe-0": 0, "pe-1": 0, "pe-2": 1}
+    loads = placement_load(graph, placement, 2)
+    service = graph.profile("pe-0").mean_service_time
+    assert loads[0] == pytest.approx(2 * service)
+    assert loads[1] == pytest.approx(service)

@@ -1,0 +1,167 @@
+"""Tests for metrics: collectors, weighted throughput, summary stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.collectors import EgressCollector, MetricsReport
+from repro.metrics.stats import (
+    StreamingMoments,
+    SummaryStats,
+    confidence_interval,
+    summarize,
+)
+from repro.model.sdo import SDO
+
+
+class TestSummarize:
+    def test_empty(self):
+        stats = summarize([])
+        assert stats == SummaryStats.empty()
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.count == 1
+
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(math.sqrt(1.25))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_confidence_interval_brackets_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0])
+        assert low < 2.0 < high
+
+    def test_confidence_interval_degenerate(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+
+class TestStreamingMoments:
+    def test_matches_batch_summary(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 3.0, size=1000).tolist()
+        moments = StreamingMoments()
+        for value in values:
+            moments.add(value)
+        batch = summarize(values)
+        assert moments.mean == pytest.approx(batch.mean)
+        assert moments.std == pytest.approx(batch.std)
+        assert moments.minimum == batch.minimum
+        assert moments.maximum == batch.maximum
+
+    def test_empty_moments(self):
+        moments = StreamingMoments()
+        assert moments.mean == 0.0
+        assert moments.variance == 0.0
+        assert moments.summary() == SummaryStats.empty()
+
+
+class TestEgressCollector:
+    def sdo(self, origin):
+        return SDO(stream_id="s", origin_time=origin)
+
+    def test_duplicate_registration_rejected(self):
+        collector = EgressCollector()
+        collector.register("e1", 1.0)
+        with pytest.raises(ValueError):
+            collector.register("e1", 1.0)
+
+    def test_weighted_throughput(self):
+        collector = EgressCollector()
+        collector.register("e1", 2.0)
+        collector.register("e2", 0.5)
+        for _ in range(10):
+            collector.record("e1", self.sdo(0.0), 1.0)
+        for _ in range(4):
+            collector.record("e2", self.sdo(0.0), 1.0)
+        # Window [0, 2]: (2.0 * 10 + 0.5 * 4) / 2 = 11.
+        assert collector.weighted_throughput(2.0) == pytest.approx(11.0)
+
+    def test_zero_window(self):
+        collector = EgressCollector()
+        collector.register("e1", 1.0)
+        assert collector.weighted_throughput(0.0) == 0.0
+
+    def test_latency_pooled_over_egress(self):
+        collector = EgressCollector()
+        collector.register("e1", 1.0)
+        collector.register("e2", 1.0)
+        collector.record("e1", self.sdo(0.0), 1.0)  # latency 1
+        collector.record("e2", self.sdo(0.0), 3.0)  # latency 3
+        stats = collector.latency_summary()
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+
+    def test_pooled_variance_matches_direct(self):
+        rng = np.random.default_rng(1)
+        collector = EgressCollector()
+        collector.register("e1", 1.0)
+        collector.register("e2", 1.0)
+        all_latencies = []
+        for pe_id, loc in (("e1", 1.0), ("e2", 5.0)):
+            for _ in range(200):
+                latency = float(rng.exponential(loc))
+                collector.record(pe_id, self.sdo(0.0), latency)
+                all_latencies.append(latency)
+        stats = collector.latency_summary()
+        batch = summarize(all_latencies)
+        assert stats.mean == pytest.approx(batch.mean)
+        assert stats.std == pytest.approx(batch.std)
+
+    def test_reset_discards_warmup(self):
+        collector = EgressCollector()
+        collector.register("e1", 1.0)
+        for _ in range(100):
+            collector.record("e1", self.sdo(0.0), 1.0)
+        collector.reset(5.0)
+        assert collector.total_output() == 0
+        collector.record("e1", self.sdo(5.0), 6.0)
+        # Window starts at 5; one SDO over 5 seconds of window at t=10.
+        assert collector.weighted_throughput(10.0) == pytest.approx(0.2)
+
+
+class TestMetricsReport:
+    def make_report(self, **overrides):
+        params = dict(
+            policy="aces",
+            duration=10.0,
+            weighted_throughput=100.0,
+            total_output_sdos=1000,
+            latency=summarize([0.1, 0.2]),
+            buffer_drops=5,
+            source_rejections=10,
+            source_generated=100,
+            mean_buffer_occupancy=12.0,
+        )
+        params.update(overrides)
+        return MetricsReport(**params)
+
+    def test_input_loss_rate(self):
+        assert self.make_report().input_loss_rate == pytest.approx(0.1)
+
+    def test_input_loss_rate_no_input(self):
+        report = self.make_report(source_generated=0, source_rejections=0)
+        assert report.input_loss_rate == 0.0
+
+    def test_one_line_contains_key_numbers(self):
+        line = self.make_report().one_line()
+        assert "aces" in line
+        assert "100.00" in line
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+def test_property_streaming_equals_batch(values):
+    moments = StreamingMoments()
+    for value in values:
+        moments.add(value)
+    batch = summarize(values)
+    assert moments.mean == pytest.approx(batch.mean, rel=1e-6, abs=1e-6)
+    assert moments.std == pytest.approx(batch.std, rel=1e-6, abs=1e-3)

@@ -1,0 +1,137 @@
+"""Tests for PE profiles and the rate model h(c) = a c - b."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.params import DEFAULTS, PEProfile
+
+
+def make_profile(**kwargs):
+    defaults = dict(pe_id="pe-0")
+    defaults.update(kwargs)
+    return PEProfile(**defaults)
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        assert DEFAULTS.buffer_size == 50
+        assert DEFAULTS.target_occupancy_fraction == 0.5
+        assert DEFAULTS.max_fan_out == 4
+        assert DEFAULTS.max_fan_in == 3
+        assert DEFAULTS.multi_io_fraction == 0.20
+        assert DEFAULTS.lambda_s == 10.0
+        assert DEFAULTS.lambda_m == 1.0
+        assert DEFAULTS.rho == 0.5
+        assert DEFAULTS.t0 == 0.002
+        assert DEFAULTS.t1 == 0.020
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile(weight=-1.0)
+
+    def test_non_positive_times_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile(t0=0.0)
+        with pytest.raises(ValueError):
+            make_profile(t1=-1.0)
+
+    def test_rho_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile(rho=1.5)
+
+    def test_negative_lambda_s_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile(lambda_s=-1.0)
+
+    def test_non_positive_lambda_m_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile(lambda_m=0.0)
+
+
+class TestRateModel:
+    def test_effective_rate_is_arithmetic_mean_of_state_rates(self):
+        profile = make_profile(t0=0.002, t1=0.020, rho=0.5)
+        expected_rate = 0.5 / 0.002 + 0.5 / 0.020  # 275 SDO/s
+        assert 1.0 / profile.mean_service_time == pytest.approx(expected_rate)
+
+    def test_per_sdo_mix_cost_is_naive_expectation(self):
+        profile = make_profile(t0=0.002, t1=0.020, rho=0.5)
+        assert profile.per_sdo_state_mix_cost == pytest.approx(0.011)
+
+    def test_rate_at_full_cpu(self):
+        profile = make_profile(t0=0.010, t1=0.010)
+        assert profile.rate_at(1.0) == pytest.approx(100.0)
+
+    def test_rate_scales_linearly_with_cpu(self):
+        profile = make_profile()
+        assert profile.rate_at(0.5) == pytest.approx(profile.rate_at(1.0) * 0.5)
+
+    def test_overhead_shifts_rate(self):
+        profile = make_profile(t0=0.010, t1=0.010, overhead=20.0)
+        assert profile.rate_at(1.0) == pytest.approx(80.0)
+        assert profile.rate_at(0.0) == 0.0  # clamped at zero
+
+    def test_cpu_for_rate_inverts_rate_at(self):
+        profile = make_profile(overhead=5.0)
+        for rate in (1.0, 10.0, 100.0):
+            cpu = profile.cpu_for_rate(rate)
+            assert profile.rate_at(cpu) == pytest.approx(rate)
+
+    def test_cpu_for_zero_rate(self):
+        assert make_profile().cpu_for_rate(0.0) == 0.0
+
+    def test_output_rate_scales_with_lambda_m(self):
+        profile = make_profile(lambda_m=3.0)
+        assert profile.output_rate_at(0.5) == pytest.approx(
+            3.0 * profile.rate_at(0.5)
+        )
+
+    def test_cpu_for_output_rate_inverts(self):
+        profile = make_profile(lambda_m=2.0)
+        cpu = profile.cpu_for_output_rate(50.0)
+        assert profile.output_rate_at(cpu) == pytest.approx(50.0)
+
+    def test_calibrated_slope_overrides_analytic(self):
+        profile = make_profile(calibrated_rate_slope=123.0)
+        assert profile.rate_slope == 123.0
+        assert profile.rate_at(1.0) == pytest.approx(123.0)
+
+
+class TestDwellMeans:
+    def test_symmetric_at_half_rho(self):
+        profile = make_profile(rho=0.5, lambda_s=10.0)
+        d0, d1 = profile.dwell_means()
+        assert d0 == pytest.approx(d1)
+
+    def test_stationary_fraction_matches_rho(self):
+        profile = make_profile(rho=0.3)
+        d0, d1 = profile.dwell_means()
+        assert d1 / (d0 + d1) == pytest.approx(0.3)
+
+    def test_dwell_scales_with_lambda_s(self):
+        short = make_profile(lambda_s=5.0).dwell_means()
+        long = make_profile(lambda_s=50.0).dwell_means()
+        assert long[0] == pytest.approx(10 * short[0])
+        assert long[1] == pytest.approx(10 * short[1])
+
+
+def test_scaled_returns_modified_copy():
+    profile = make_profile(weight=1.0)
+    scaled = profile.scaled(weight=2.0)
+    assert scaled.weight == 2.0
+    assert profile.weight == 1.0
+    assert scaled.pe_id == profile.pe_id
+
+
+@given(
+    cpu=st.floats(min_value=0.0, max_value=1.0),
+    t0=st.floats(min_value=1e-4, max_value=0.1),
+    t1=st.floats(min_value=1e-4, max_value=0.1),
+    rho=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_rate_non_negative_and_monotone(cpu, t0, t1, rho):
+    profile = PEProfile(pe_id="p", t0=t0, t1=t1, rho=rho)
+    rate = profile.rate_at(cpu)
+    assert rate >= 0.0
+    assert profile.rate_at(min(1.0, cpu + 0.1)) >= rate

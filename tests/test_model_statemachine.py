@@ -1,0 +1,102 @@
+"""Tests for the two-state Markov-modulated state machine."""
+
+import numpy as np
+import pytest
+
+from repro.model.params import PEProfile
+from repro.model.statemachine import TwoStateMachine
+
+
+def make_machine(seed=0, **profile_kwargs):
+    defaults = dict(pe_id="pe-0")
+    defaults.update(profile_kwargs)
+    profile = PEProfile(**defaults)
+    return TwoStateMachine(profile, np.random.default_rng(seed))
+
+
+def test_initial_state_is_valid():
+    machine = make_machine()
+    assert machine.state in (0, 1)
+
+
+def test_rewind_rejected():
+    machine = make_machine()
+    machine.advance_to(5.0)
+    with pytest.raises(ValueError):
+        machine.advance_to(4.0)
+
+
+def test_advance_to_same_time_is_noop():
+    machine = make_machine()
+    state = machine.advance_to(1.0)
+    assert machine.advance_to(1.0) == state
+
+
+def test_service_time_matches_state():
+    machine = make_machine(t0=0.001, t1=0.5)
+    cost = machine.service_time_at(0.0)
+    if machine.state == 1:
+        assert cost == 0.5
+    else:
+        assert cost == 0.001
+
+
+def test_frozen_when_lambda_s_zero():
+    machine = make_machine(lambda_s=0.0)
+    first = machine.advance_to(0.0)
+    assert machine.advance_to(1000.0) == first
+    assert machine.transitions == 0
+
+
+def test_frozen_at_rho_one_stays_slow():
+    machine = make_machine(rho=1.0)
+    assert machine.state == 1
+    machine.advance_to(100.0)
+    assert machine.state == 1
+
+
+def test_frozen_at_rho_zero_stays_fast():
+    machine = make_machine(rho=0.0)
+    assert machine.state == 0
+    machine.advance_to(100.0)
+    assert machine.state == 0
+
+
+def test_transitions_accumulate():
+    machine = make_machine(lambda_s=1.0)
+    machine.advance_to(100.0)
+    assert machine.transitions > 10
+
+
+def test_deterministic_given_seed():
+    a = make_machine(seed=42, lambda_s=2.0)
+    b = make_machine(seed=42, lambda_s=2.0)
+    times = np.linspace(0.1, 20.0, 50)
+    assert [a.advance_to(t) for t in times] == [b.advance_to(t) for t in times]
+
+
+def test_stationary_fraction_approximates_rho():
+    machine = make_machine(seed=7, rho=0.3, lambda_s=1.0)
+    dt = 0.01
+    in_slow = 0
+    samples = 60000
+    for i in range(samples):
+        if machine.advance_to(i * dt) == 1:
+            in_slow += 1
+    assert in_slow / samples == pytest.approx(0.3, abs=0.05)
+
+
+def test_mean_dwell_scales_with_lambda_s():
+    short = make_machine(seed=3, lambda_s=2.0)
+    long = make_machine(seed=3, lambda_s=20.0)
+    horizon = 200.0
+    short.advance_to(horizon)
+    long.advance_to(horizon)
+    # Ten times longer dwells => roughly ten times fewer transitions.
+    ratio = short.transitions / max(1, long.transitions)
+    assert 5.0 < ratio < 20.0
+
+
+def test_expected_service_time_delegates_to_profile():
+    machine = make_machine()
+    assert machine.expected_service_time() == machine.profile.mean_service_time

@@ -1,0 +1,155 @@
+"""Tests for workload sources (CBR, Poisson, on/off bursty)."""
+
+import numpy as np
+import pytest
+
+from repro.model.workload import ConstantRateSource, OnOffSource, PoissonSource
+from repro.sim import Environment
+
+
+def accepting_sink(log):
+    def sink(sdo, now):
+        log.append((sdo, now))
+        return True
+
+    return sink
+
+
+class TestConstantRateSource:
+    def test_rate_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ConstantRateSource(env, "s", lambda sdo, now: True, rate=0.0)
+
+    def test_deterministic_spacing(self):
+        env = Environment()
+        log = []
+        ConstantRateSource(env, "s", accepting_sink(log), rate=10.0)
+        env.run(until=1.05)
+        times = [now for _, now in log]
+        assert times == pytest.approx([0.1 * (i + 1) for i in range(10)])
+
+    def test_stats_track_admission(self):
+        env = Environment()
+        pattern = [True, False, True, False]
+        calls = {"n": 0}
+
+        def alternating_sink(sdo, now):
+            result = pattern[calls["n"] % len(pattern)]
+            calls["n"] += 1
+            return result
+
+        source = ConstantRateSource(env, "s", alternating_sink, rate=10.0)
+        env.run(until=0.45)
+        assert source.stats.generated == 4
+        assert source.stats.admitted == 2
+        assert source.stats.rejected == 2
+        assert source.stats.rejection_rate == pytest.approx(0.5)
+
+    def test_origin_time_is_creation_time(self):
+        env = Environment()
+        log = []
+        ConstantRateSource(env, "s", accepting_sink(log), rate=5.0)
+        env.run(until=1.0)
+        for sdo, now in log:
+            assert sdo.origin_time == now
+
+    def test_stream_id_tagging(self):
+        env = Environment()
+        log = []
+        ConstantRateSource(env, "my-stream", accepting_sink(log), rate=10.0)
+        env.run(until=0.25)
+        assert all(sdo.stream_id == "my-stream" for sdo, _ in log)
+
+
+class TestPoissonSource:
+    def test_rate_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PoissonSource(
+                env, "s", lambda s, n: True, rate=-1.0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_mean_rate_approximately_correct(self):
+        env = Environment()
+        log = []
+        PoissonSource(
+            env, "s", accepting_sink(log), rate=100.0,
+            rng=np.random.default_rng(42),
+        )
+        env.run(until=50.0)
+        measured = len(log) / 50.0
+        assert measured == pytest.approx(100.0, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        def run(seed):
+            env = Environment()
+            log = []
+            PoissonSource(
+                env, "s", accepting_sink(log), rate=50.0,
+                rng=np.random.default_rng(seed),
+            )
+            env.run(until=2.0)
+            return [now for _, now in log]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestOnOffSource:
+    def test_validation(self):
+        env = Environment()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            OnOffSource(env, "s", lambda s, n: True, peak_rate=0.0,
+                        mean_on=1.0, mean_off=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            OnOffSource(env, "s", lambda s, n: True, peak_rate=10.0,
+                        mean_on=0.0, mean_off=1.0, rng=rng)
+
+    def test_mean_rate_property(self):
+        env = Environment()
+        source = OnOffSource(
+            env, "s", lambda s, n: True, peak_rate=100.0,
+            mean_on=1.0, mean_off=3.0, rng=np.random.default_rng(0),
+        )
+        assert source.mean_rate == pytest.approx(25.0)
+
+    def test_long_run_rate_matches_mean(self):
+        env = Environment()
+        log = []
+        source = OnOffSource(
+            env, "s", accepting_sink(log), peak_rate=200.0,
+            mean_on=0.5, mean_off=0.5, rng=np.random.default_rng(3),
+        )
+        env.run(until=100.0)
+        measured = len(log) / 100.0
+        assert measured == pytest.approx(source.mean_rate, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        """Variance of per-window counts far exceeds Poisson's."""
+
+        def window_counts(make_source, windows=200, width=0.25):
+            env = Environment()
+            log = []
+            make_source(env, accepting_sink(log))
+            env.run(until=windows * width)
+            counts = [0] * windows
+            for _, now in log:
+                index = min(windows - 1, int(now / width))
+                counts[index] += 1
+            return counts
+
+        onoff = window_counts(
+            lambda env, sink: OnOffSource(
+                env, "s", sink, peak_rate=400.0, mean_on=0.5, mean_off=0.5,
+                rng=np.random.default_rng(1),
+            )
+        )
+        poisson = window_counts(
+            lambda env, sink: PoissonSource(
+                env, "s", sink, rate=200.0, rng=np.random.default_rng(1),
+            )
+        )
+        assert np.var(onoff) > 3 * np.var(poisson)

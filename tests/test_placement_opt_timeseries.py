@@ -1,0 +1,185 @@
+"""Tests for placement optimization and the throughput time-series probe."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import AcesPolicy
+from repro.graph.dag import ProcessingGraph
+from repro.graph.placement import load_balanced_placement
+from repro.graph.placement_opt import optimize_placement
+from repro.graph.topology import TopologySpec, generate_topology
+from repro.metrics.timeseries import ThroughputProbe, WindowSample
+from repro.model.params import PEProfile
+from repro.systems.faults import FaultPlan
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+
+class TestPlacementOptimization:
+    def pathological_instance(self):
+        """Two heavy pipelines crammed onto one node, one node idle."""
+        graph = ProcessingGraph()
+        for name in ("a", "b"):
+            graph.add_pe(
+                PEProfile(
+                    pe_id=f"src-{name}", weight=0.0,
+                    t0=0.01, t1=0.01, lambda_s=0.0,
+                )
+            )
+            graph.add_pe(
+                PEProfile(
+                    pe_id=f"sink-{name}", weight=1.0,
+                    t0=0.01, t1=0.01, lambda_s=0.0,
+                )
+            )
+            graph.add_edge(f"src-{name}", f"sink-{name}")
+        placement = {
+            "src-a": 0, "sink-a": 0, "src-b": 0, "sink-b": 0,
+        }
+        rates = {"src-a": 1000.0, "src-b": 1000.0}
+        return graph, placement, rates
+
+    def test_validation(self):
+        graph, placement, rates = self.pathological_instance()
+        with pytest.raises(ValueError):
+            optimize_placement(graph, placement, rates, num_nodes=0)
+        with pytest.raises(ValueError):
+            optimize_placement(
+                graph, placement, rates, num_nodes=2, max_evaluations=0
+            )
+
+    def test_improves_pathological_placement(self):
+        graph, placement, rates = self.pathological_instance()
+        result = optimize_placement(
+            graph, placement, rates, num_nodes=2, max_evaluations=30
+        )
+        assert result.objective > result.initial_objective * 1.2
+        assert result.gain > 0.2
+        # The search spread PEs across both nodes.
+        assert len(set(result.placement.values())) == 2
+        assert result.improvements
+
+    def test_respects_evaluation_budget(self):
+        graph, placement, rates = self.pathological_instance()
+        result = optimize_placement(
+            graph, placement, rates, num_nodes=2, max_evaluations=5
+        )
+        assert result.evaluations <= 5
+
+    def test_no_regression_from_good_placement(self):
+        spec = TopologySpec(
+            num_nodes=3, num_ingress=2, num_egress=2, num_intermediate=4,
+            calibrate_rates=False,
+        )
+        topology = generate_topology(spec, np.random.default_rng(0))
+        balanced = load_balanced_placement(topology.graph, 3)
+        result = optimize_placement(
+            topology.graph, balanced, topology.source_rates,
+            num_nodes=3, max_evaluations=12,
+        )
+        assert result.objective >= result.initial_objective - 1e-9
+
+    def test_deterministic_given_rng(self):
+        graph, placement, rates = self.pathological_instance()
+        a = optimize_placement(
+            graph, placement, rates, num_nodes=2, max_evaluations=15,
+            rng=np.random.default_rng(5),
+        )
+        b = optimize_placement(
+            graph, placement, rates, num_nodes=2, max_evaluations=15,
+            rng=np.random.default_rng(5),
+        )
+        assert a.placement == b.placement
+        assert a.objective == b.objective
+
+
+class TestThroughputProbe:
+    def build_system(self):
+        spec = TopologySpec(
+            num_nodes=3, num_ingress=2, num_egress=2, num_intermediate=4,
+            calibrate_rates=False,
+        )
+        topology = generate_topology(spec, np.random.default_rng(1))
+        return SimulatedSystem(
+            topology, AcesPolicy(), config=SystemConfig(seed=2, warmup=0.0)
+        )
+
+    def test_window_validation(self):
+        system = self.build_system()
+        with pytest.raises(ValueError):
+            ThroughputProbe(system, window=0.0)
+
+    def test_collects_expected_number_of_windows(self):
+        system = self.build_system()
+        probe = ThroughputProbe(system, window=0.5)
+        system.env.run(until=5.0)
+        assert 8 <= len(probe.samples) <= 10
+
+    def test_windows_tile_the_run(self):
+        system = self.build_system()
+        probe = ThroughputProbe(system, window=1.0)
+        system.env.run(until=4.0)
+        for earlier, later in zip(probe.samples, probe.samples[1:]):
+            assert later.start == pytest.approx(earlier.end)
+
+    def test_throughput_positive_once_warm(self):
+        system = self.build_system()
+        probe = ThroughputProbe(system, window=1.0)
+        system.env.run(until=6.0)
+        tail = probe.samples[2:]
+        assert all(s.weighted_throughput > 0 for s in tail)
+
+    def test_series_matches_samples(self):
+        system = self.build_system()
+        probe = ThroughputProbe(system, window=1.0)
+        system.env.run(until=3.0)
+        series = probe.series()
+        assert len(series) == len(probe.samples)
+        assert series[0][0] == probe.samples[0].midpoint
+
+    def test_survives_warmup_reset(self):
+        system = self.build_system()
+        probe = ThroughputProbe(system, window=0.5)
+        system.env.run(until=2.0)
+        system.collector.reset(system.env.now)
+        system.env.run(until=4.0)
+        assert all(s.output_sdos >= 0 for s in probe.samples)
+
+    def test_detects_fault_dip_and_recovery(self):
+        system = self.build_system()
+        pe_id = system.topology.graph.ingress_ids[0]
+        # Stall both ingress PEs: output must dip, then recover.
+        plan = FaultPlan()
+        for ingress in system.topology.graph.ingress_ids:
+            plan.pe_stall(ingress, start=4.0, duration=1.5)
+        plan.attach(system)
+        probe = ThroughputProbe(system, window=0.5)
+        system.env.run(until=12.0)
+
+        def mean_thr(t0, t1):
+            window = [
+                s.weighted_throughput
+                for s in probe.samples
+                if t0 <= s.midpoint < t1
+            ]
+            return sum(window) / max(1, len(window))
+
+        before = mean_thr(2.0, 4.0)
+        during = mean_thr(4.5, 5.5)
+        after = mean_thr(8.0, 12.0)
+        assert during < 0.8 * before
+        assert after > 0.8 * before
+        recovery = probe.recovery_time(5.5, reference=before, fraction=0.8)
+        assert recovery is not None
+
+    def test_recovery_time_none_when_never_recovers(self):
+        probe = ThroughputProbe.__new__(ThroughputProbe)
+        probe.samples = [
+            WindowSample(0.0, 1.0, 1.0, 1, 0.0),
+            WindowSample(1.0, 2.0, 1.0, 1, 0.0),
+        ]
+        assert probe.recovery_time(0.0, reference=100.0) is None
+
+    def test_recovery_time_zero_reference(self):
+        probe = ThroughputProbe.__new__(ThroughputProbe)
+        probe.samples = []
+        assert probe.recovery_time(0.0, reference=0.0) == 0.0

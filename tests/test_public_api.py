@@ -1,0 +1,70 @@
+"""Smoke tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.model",
+    "repro.graph",
+    "repro.core",
+    "repro.systems",
+    "repro.runtime",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_readme_quickstart_names_exist():
+    """Names used in the README snippet are part of the public API."""
+    for name in (
+        "AcesPolicy",
+        "SystemConfig",
+        "TopologySpec",
+        "UdpPolicy",
+        "generate_topology",
+        "run_system",
+        "solve_global_allocation",
+    ):
+        assert name in repro.__all__
+
+
+def test_policy_names_stable():
+    """Experiment results key on these names; they are API."""
+    from repro.core.policies import (
+        AcesPolicy,
+        LoadSheddingPolicy,
+        LockStepPolicy,
+        UdpPolicy,
+    )
+
+    assert AcesPolicy().name == "aces"
+    assert UdpPolicy().name == "udp"
+    assert LockStepPolicy().name == "lockstep"
+    assert LoadSheddingPolicy().name == "shedding"
+
+
+def test_defaults_are_frozen():
+    from repro.model.params import DEFAULTS
+
+    with pytest.raises(Exception):
+        DEFAULTS.buffer_size = 99  # type: ignore[misc]

@@ -1,0 +1,217 @@
+"""Tests for the threaded SPC runtime (transport, workers, orchestrator)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.policies import AcesPolicy, LockStepPolicy, UdpPolicy
+from repro.graph.topology import TopologySpec, generate_topology
+from repro.model.params import PEProfile
+from repro.model.sdo import SDO
+from repro.runtime.spc import RuntimeConfig, SPCRuntime
+from repro.runtime.transport import Channel
+from repro.runtime.worker import RuntimePE
+
+
+def sdo(i=0):
+    return SDO(stream_id="s", origin_time=float(i))
+
+
+class TestChannel:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Channel(0)
+
+    def test_offer_drop_on_full(self):
+        channel = Channel(2)
+        assert channel.offer(sdo())
+        assert channel.offer(sdo())
+        assert not channel.offer(sdo())
+        assert channel.stats.dropped == 1
+        assert channel.stats.accepted == 2
+
+    def test_get_fifo(self):
+        channel = Channel(5)
+        items = [sdo(i) for i in range(3)]
+        for item in items:
+            channel.offer(item)
+        popped = [channel.get(timeout=0.1) for _ in range(3)]
+        assert [p.sdo_id for p in popped] == [i.sdo_id for i in items]
+
+    def test_get_timeout_returns_none(self):
+        channel = Channel(2)
+        start = time.monotonic()
+        assert channel.get(timeout=0.05) is None
+        assert time.monotonic() - start >= 0.04
+
+    def test_put_blocks_until_space(self):
+        channel = Channel(1)
+        channel.offer(sdo())
+        result = {}
+
+        def blocked_put():
+            result["ok"] = channel.put(sdo(), timeout=1.0)
+
+        thread = threading.Thread(target=blocked_put)
+        thread.start()
+        time.sleep(0.05)
+        channel.get(timeout=0.1)
+        thread.join(timeout=1.0)
+        assert result["ok"]
+
+    def test_put_timeout_counts_drop(self):
+        channel = Channel(1)
+        channel.offer(sdo())
+        assert not channel.put(sdo(), timeout=0.05)
+        assert channel.stats.dropped == 1
+
+    def test_occupancy_and_free(self):
+        channel = Channel(3)
+        channel.offer(sdo())
+        assert channel.occupancy == 1
+        assert channel.free == 2
+
+    def test_concurrent_producers_consumers(self):
+        channel = Channel(10)
+        received = []
+        done = threading.Event()
+
+        def producer():
+            for i in range(100):
+                while not channel.offer(sdo(i)):
+                    time.sleep(0.001)
+
+        def consumer():
+            while len(received) < 200:
+                item = channel.get(timeout=0.5)
+                if item is None:
+                    break
+                received.append(item)
+            done.set()
+
+        threads = [
+            threading.Thread(target=producer),
+            threading.Thread(target=producer),
+            threading.Thread(target=consumer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(received) == 200
+
+
+class TestRuntimePE:
+    def make_pe(self, **kwargs):
+        defaults = dict(pe_id="pe-0", t0=0.001, t1=0.001, lambda_s=0.0)
+        defaults.update(kwargs)
+        return RuntimePE(
+            PEProfile(**defaults),
+            channel_capacity=10,
+            rng=np.random.default_rng(0),
+            dilation=1.0,
+        )
+
+    def test_start_requires_attach(self):
+        pe = self.make_pe()
+        with pytest.raises(RuntimeError):
+            pe.start()
+
+    def test_processes_and_emits_to_egress_sink(self):
+        pe = self.make_pe()
+        pe.is_egress = True
+        outputs = []
+        pe.attach(clock=lambda: 0.0, egress_sink=outputs.append)
+        pe.allocation = 1.0
+        pe.start()
+        for i in range(5):
+            pe.channel.offer(sdo(i))
+        time.sleep(0.3)
+        pe.stop()
+        assert len(outputs) == 5
+        assert pe.consumed == 5
+
+    def test_emits_downstream(self):
+        producer = self.make_pe(pe_id="p")
+        consumer = self.make_pe(pe_id="c")
+        producer.link_downstream(consumer)
+        producer.attach(clock=lambda: 0.0)
+        producer.allocation = 1.0
+        producer.start()
+        producer.channel.offer(sdo())
+        time.sleep(0.2)
+        producer.stop()
+        assert consumer.channel.occupancy == 1
+
+    def test_scheduler_protocol_surface(self):
+        pe = self.make_pe()
+        assert pe.backlog_work == 0.0
+        pe.channel.offer(sdo())
+        assert pe.backlog_work > 0.0
+        assert pe.current_service_time == 0.001
+        assert pe.processing_rate(0.5) == pytest.approx(500.0)
+        assert pe.cpu_for_output_rate_now(100.0) == pytest.approx(0.1)
+        assert not pe.blocked_last_interval
+
+    def test_min_flow_gate_blocks(self):
+        producer = self.make_pe(pe_id="p")
+        consumer = RuntimePE(
+            PEProfile(pe_id="c"),
+            channel_capacity=1,
+            rng=np.random.default_rng(1),
+            dilation=1.0,
+        )
+        producer.link_downstream(consumer)
+        producer.min_flow_gate = True
+        producer.attach(clock=lambda: 0.0)
+        producer.allocation = 1.0
+        consumer.channel.offer(sdo())  # consumer full
+        producer.start()
+        producer.channel.offer(sdo())
+        time.sleep(0.15)
+        producer.stop()
+        assert producer.consumed == 0  # gated the whole time
+
+
+class TestSPCRuntime:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        spec = TopologySpec(
+            num_nodes=3,
+            num_ingress=2,
+            num_egress=2,
+            num_intermediate=3,
+            calibrate_rates=False,
+        )
+        return generate_topology(spec, np.random.default_rng(0))
+
+    @pytest.mark.parametrize(
+        "policy_cls", [AcesPolicy, UdpPolicy, LockStepPolicy]
+    )
+    def test_end_to_end_produces_output(self, topology, policy_cls):
+        runtime = SPCRuntime(
+            topology,
+            policy_cls(),
+            config=RuntimeConfig(seed=3, warmup=0.5, dt=0.05),
+        )
+        report = runtime.run(duration=1.5)
+        assert report.total_output_sdos > 0
+        assert report.weighted_throughput > 0
+        assert report.policy == policy_cls().name
+        assert report.duration == pytest.approx(1.5, abs=0.3)
+
+    def test_invalid_duration(self, topology):
+        runtime = SPCRuntime(topology, UdpPolicy())
+        with pytest.raises(ValueError):
+            runtime.run(0.0)
+
+    def test_latency_measured(self, topology):
+        runtime = SPCRuntime(
+            topology, AcesPolicy(),
+            config=RuntimeConfig(seed=4, warmup=0.5, dt=0.05),
+        )
+        report = runtime.run(duration=1.5)
+        assert report.latency.count > 0
+        assert report.latency.mean > 0

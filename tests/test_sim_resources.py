@@ -1,0 +1,311 @@
+"""Tests for Store, Container, and Resource primitives."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def producer(env):
+            yield store.put("item")
+
+        def consumer(env):
+            item = yield store.get()
+            results.append((env.now, item))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert results == [(0.0, "item")]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def consumer(env):
+            item = yield store.get()
+            results.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert results == [(5.0, "late")]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("a-in", env.now))
+            yield store.put("b")
+            log.append(("b-in", env.now))
+
+        def consumer(env):
+            yield env.timeout(4.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("a-in", 0.0), ("b-in", 4.0)]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in range(5):
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_try_put_respects_capacity(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        assert store.try_put("a")
+        assert store.try_put("b")
+        assert not store.try_put("c")
+        assert store.level == 2
+
+    def test_try_get(self):
+        env = Environment()
+        store = Store(env)
+        ok, item = store.try_get()
+        assert not ok
+        store.try_put("x")
+        ok, item = store.try_get()
+        assert ok and item == "x"
+
+    def test_level_and_free(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+        for i in range(3):
+            store.try_put(i)
+        assert store.level == 3
+        assert store.free == 7
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_filtered_get(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in [1, 2, 3, 4]:
+                yield store.put(item)
+
+        def consumer(env):
+            item = yield store.get(filter_fn=lambda x: x % 2 == 0)
+            received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == [2]
+        assert list(store.items) == [1, 3, 4]
+
+    def test_cancelled_get_is_skipped(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, tag):
+            item = yield store.get()
+            received.append((tag, item))
+
+        first = store.get()
+        first.cancel()
+        env.process(consumer(env, "second"))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            yield store.put("only")
+
+        env.process(producer(env))
+        env.run()
+        assert received == [("second", "only")]
+
+    def test_waiting_getter_served_by_try_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        received = []
+
+        def consumer(env):
+            item = yield store.get()
+            received.append(item)
+
+        env.process(consumer(env))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            assert store.try_put("x")
+
+        env.process(producer(env))
+        env.run()
+        assert received == ["x"]
+
+
+class TestContainer:
+    def test_initial_level(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=4)
+        assert container.level == 4
+
+    def test_invalid_init(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=-1)
+
+    def test_get_blocks_until_enough(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=0)
+        log = []
+
+        def consumer(env):
+            yield container.get(5)
+            log.append(env.now)
+
+        def producer(env):
+            yield env.timeout(1.0)
+            yield container.put(3)
+            yield env.timeout(1.0)
+            yield container.put(3)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert log == [2.0]
+        assert container.level == pytest.approx(1.0)
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=5, init=4)
+        log = []
+
+        def producer(env):
+            yield container.put(3)
+            log.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(2.0)
+            yield container.get(4)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [2.0]
+
+    def test_try_get(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=2)
+        assert container.try_get(2)
+        assert not container.try_get(0.5)
+        assert container.level == 0
+
+    def test_fill_saturates_and_reports_overflow(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=8)
+        overflow = container.fill(5)
+        assert container.level == 10
+        assert overflow == pytest.approx(3.0)
+
+    def test_fill_no_overflow(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=1)
+        assert container.fill(2) == 0.0
+        assert container.level == 3
+
+    def test_negative_amounts_rejected(self):
+        env = Environment()
+        container = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            container.get(-1)
+        with pytest.raises(ValueError):
+            container.put(-1)
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        acquisitions = []
+
+        def user(env, tag, hold):
+            request = resource.request()
+            yield request
+            acquisitions.append((tag, env.now))
+            yield env.timeout(hold)
+            resource.release(request)
+
+        env.process(user(env, "a", 5.0))
+        env.process(user(env, "b", 5.0))
+        env.process(user(env, "c", 1.0))
+        env.run()
+        assert acquisitions == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, tag):
+            with resource.request() as request:
+                yield request
+                log.append((tag, env.now))
+                yield env.timeout(2.0)
+
+        env.process(user(env, "first"))
+        env.process(user(env, "second"))
+        env.run()
+        assert log == [("first", 0.0), ("second", 2.0)]
+
+    def test_count_tracks_users(self):
+        env = Environment()
+        resource = Resource(env, capacity=3)
+        counts = []
+
+        def user(env, start):
+            yield env.timeout(start)
+            request = resource.request()
+            yield request
+            counts.append(resource.count)
+            yield env.timeout(10.0)
+            resource.release(request)
+
+        for start in (0.0, 1.0, 2.0):
+            env.process(user(env, start))
+        env.run()
+        assert counts == [1, 2, 3]
+        assert resource.count == 0
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)

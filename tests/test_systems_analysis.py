@@ -1,0 +1,89 @@
+"""Tests for steady-state / stability diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import AcesPolicy
+from repro.graph.topology import TopologySpec, generate_topology
+from repro.systems.analysis import (
+    OccupancyProbe,
+    OccupancyTrace,
+    convergence_profile,
+    max_rate_imbalance,
+    rate_balance,
+)
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+
+def build_system(seed=0):
+    spec = TopologySpec(
+        num_nodes=3,
+        num_ingress=2,
+        num_egress=2,
+        num_intermediate=4,
+        calibrate_rates=False,
+    )
+    topology = generate_topology(spec, np.random.default_rng(seed))
+    return SimulatedSystem(
+        topology, AcesPolicy(), config=SystemConfig(seed=1, warmup=0.0)
+    )
+
+
+class TestOccupancyTrace:
+    def test_mean(self):
+        trace = OccupancyTrace("p", times=[0, 1, 2], occupancies=[2, 4, 6])
+        assert trace.mean() == pytest.approx(4.0)
+
+    def test_mean_empty(self):
+        assert OccupancyTrace("p", [], []).mean() == 0.0
+
+    def test_oscillation_index_smooth(self):
+        trace = OccupancyTrace("p", [0] * 5, occupancies=[10, 10, 10, 10, 10])
+        assert trace.oscillation_index() == 0.0
+
+    def test_oscillation_index_flapping(self):
+        trace = OccupancyTrace("p", [0] * 6, occupancies=[0, 10, 0, 10, 0, 10])
+        assert trace.oscillation_index() == pytest.approx(2.0)
+
+    def test_oscillation_index_short_trace(self):
+        assert OccupancyTrace("p", [0], [5]).oscillation_index() == 0.0
+
+
+class TestConvergenceProfile:
+    def test_windows_validation(self):
+        trace = OccupancyTrace("p", [0], [1])
+        with pytest.raises(ValueError):
+            convergence_profile(trace, 0.0, windows=0)
+
+    def test_too_short_trace(self):
+        trace = OccupancyTrace("p", [0, 1], [1, 2])
+        assert convergence_profile(trace, 0.0, windows=4) == []
+
+    def test_decaying_transient_detected(self):
+        values = [20 - i for i in range(20)] + [0] * 20
+        trace = OccupancyTrace("p", list(range(40)), values)
+        profile = convergence_profile(trace, target=0.0, windows=4)
+        assert profile[0] > profile[-1]
+
+
+class TestLiveDiagnostics:
+    def test_rate_balance_after_run(self):
+        system = build_system()
+        system.env.run(until=6.0)
+        balances = rate_balance(system)
+        assert len(balances) == len(system.runtimes)
+        # In a stable run arrivals track completions closely.
+        assert max_rate_imbalance(system) < 0.25
+
+    def test_occupancy_probe_collects(self):
+        system = build_system()
+        probe = OccupancyProbe(system, period=0.1)
+        system.env.run(until=3.0)
+        for trace in probe.traces.values():
+            assert len(trace.occupancies) == 29  # (3.0 / 0.1) - 1 + edge
+        assert probe.mean_oscillation_index() >= 0.0
+
+    def test_probe_period_validation(self):
+        system = build_system()
+        with pytest.raises(ValueError):
+            OccupancyProbe(system, period=0.0)
