@@ -26,6 +26,7 @@ Package layout (see DESIGN.md for the full inventory):
 ``repro.systems``      the simulated DSPS + stability analysis
 ``repro.runtime``      threaded mini-SPC (real queues and worker threads)
 ``repro.metrics``      weighted throughput, latency, summary statistics
+``repro.obs``          controller-internals tracing, gauges, profiling
 ``repro.experiments``  per-figure experiment harness
 =====================  ====================================================
 """
@@ -44,6 +45,15 @@ from repro.graph.dag import ProcessingGraph
 from repro.graph.topology import Topology, TopologySpec, generate_topology
 from repro.metrics.collectors import MetricsReport
 from repro.model.params import DEFAULTS, PEProfile
+from repro.obs import (
+    GaugeRegistry,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    PhaseProfiler,
+    TraceFilter,
+    TraceRecorder,
+)
 from repro.runtime.spc import RuntimeConfig, SPCRuntime
 from repro.systems.simulated import SimulatedSystem, SystemConfig, run_system
 
@@ -53,9 +63,14 @@ __all__ = [
     "AcesPolicy",
     "AllocationTargets",
     "DEFAULTS",
+    "GaugeRegistry",
+    "JsonlRecorder",
     "LockStepPolicy",
+    "MemoryRecorder",
     "MetricsReport",
+    "NullRecorder",
     "PEProfile",
+    "PhaseProfiler",
     "Policy",
     "ProcessingGraph",
     "RuntimeConfig",
@@ -64,6 +79,8 @@ __all__ = [
     "SystemConfig",
     "Topology",
     "TopologySpec",
+    "TraceFilter",
+    "TraceRecorder",
     "UdpPolicy",
     "design_gains",
     "fair_share_targets",

@@ -7,6 +7,7 @@ Commands
 ``solve``     run the Tier-1 optimization and print allocation targets
 ``run``       simulate one policy on a random topology
 ``compare``   simulate several policies on the same topology
+``trace``     simulate one policy with full controller telemetry
 ``figure``    regenerate one of the paper's figures/claims
 ``calibrate`` run the simulator-vs-threaded-runtime comparison
 
@@ -14,6 +15,8 @@ Examples::
 
     python -m repro info --pes 60 --nodes 10
     python -m repro compare --policies aces,udp,lockstep --buffer 20
+    python -m repro trace --policy aces --duration 5 --trace out.jsonl
+    python -m repro trace --trace-filter kind=r_max|drop,pe=pe-3 --profile
     python -m repro figure fig5
 """
 
@@ -32,7 +35,15 @@ from repro.experiments.calibration import calibration_spec, run_calibration
 from repro.experiments.config import calibration_experiment, main_experiment
 from repro.experiments.reporting import print_table
 from repro.graph.topology import Topology, TopologySpec, generate_topology
-from repro.systems.simulated import SystemConfig, run_system
+from repro.obs.export import write_events_csv, write_gauges_csv
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.recorder import (
+    JsonlRecorder,
+    MemoryRecorder,
+    TraceFilter,
+    TraceRecorder,
+)
+from repro.systems.simulated import SimulatedSystem, SystemConfig, run_system
 
 
 def _topology_from_args(args: argparse.Namespace) -> Topology:
@@ -194,6 +205,60 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    topology = _topology_from_args(args)
+    policy = policy_by_name(args.policy)
+    trace_filter = TraceFilter.parse(args.trace_filter)
+
+    recorder: TraceRecorder
+    if args.format == "csv":
+        # CSV needs the column union up front, so buffer in memory.
+        recorder = MemoryRecorder(trace_filter=trace_filter)
+    else:
+        recorder = JsonlRecorder(args.trace, trace_filter=trace_filter)
+    profiler = PhaseProfiler() if args.profile else None
+    gauge_cadence = args.gauge_cadence if args.gauge_cadence > 0 else None
+
+    system = SimulatedSystem(
+        topology,
+        policy,
+        config=SystemConfig(
+            buffer_size=args.buffer,
+            warmup=args.warmup,
+            seed=args.seed + 1,
+            reoptimize_interval=args.reoptimize,
+            link_bandwidth=args.link_bandwidth,
+        ),
+        recorder=recorder,
+        profiler=profiler,
+        gauge_cadence=gauge_cadence,
+    )
+    report = system.run(args.duration)
+
+    if args.format == "csv":
+        assert isinstance(recorder, MemoryRecorder)
+        write_events_csv(recorder.events, args.trace)
+    recorder.close()
+
+    print(report.one_line())
+    total = sum(recorder.counts.values())
+    breakdown = " ".join(
+        f"{kind}={count}" for kind, count in sorted(recorder.counts.items())
+    )
+    print(f"trace: {total} events -> {args.trace} ({breakdown})")
+    if args.gauges is not None and system.gauges is None:
+        print("gauges: not written (sampling disabled by --gauge-cadence 0)")
+    elif system.gauges is not None and args.gauges is not None:
+        count = write_gauges_csv(system.gauges, args.gauges)
+        print(
+            f"gauges: {count} samples from {len(system.gauges)} gauges "
+            f"-> {args.gauges}"
+        )
+    if profiler is not None:
+        print(profiler.one_line())
+    return 0
+
+
 _FIGURES: _t.Dict[str, _t.Callable] = {
     "fig3": figures.figure3_latency,
     "fig4": figures.figure4_tradeoff,
@@ -283,6 +348,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names",
     )
     compare.set_defaults(handler=cmd_compare)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="simulate one policy with full controller telemetry",
+        description=(
+            "Run one policy and record controller-internals trace events "
+            "(r_max updates, token buckets, CPU grants, buffer occupancy, "
+            "drops, Tier-1 re-solves) to a JSONL/CSV file."
+        ),
+    )
+    _add_topology_arguments(trace)
+    _add_run_arguments(trace)
+    trace.add_argument(
+        "--policy", default="aces",
+        choices=("aces", "udp", "lockstep", "shedding"),
+    )
+    trace.add_argument(
+        "--trace", default="trace.jsonl", metavar="PATH",
+        help="trace event output file (default trace.jsonl)",
+    )
+    trace.add_argument(
+        "--trace-filter", dest="trace_filter", default=None,
+        metavar="EXPR",
+        help=(
+            "keep-filter, e.g. kind=r_max|drop,pe=pe-3 "
+            "(keys: kind, pe, node; | separates alternatives)"
+        ),
+    )
+    trace.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl",
+        help="trace file format (csv buffers all events in memory)",
+    )
+    trace.add_argument(
+        "--gauge-cadence", dest="gauge_cadence", type=float, default=0.1,
+        metavar="SECONDS",
+        help="gauge sampling period in virtual seconds (0 disables)",
+    )
+    trace.add_argument(
+        "--gauges", default=None, metavar="PATH",
+        help="also export sampled gauge series to this CSV file",
+    )
+    trace.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall-clock time to sim-engine phases",
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     figure = subparsers.add_parser(
         "figure", help="regenerate a paper figure/claim"

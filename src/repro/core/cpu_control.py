@@ -25,6 +25,7 @@ import typing as _t
 from dataclasses import dataclass
 
 from repro.model.pe import PERuntime
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
 
 @dataclass
@@ -95,7 +96,14 @@ class AcesCpuScheduler:
         per control interval — how much unused allocation a PE may bank.
     dt:
         Control interval length (needed to size the bucket depth).
+
+    Tracing: after :meth:`attach_tracing`, every :meth:`allocate` publishes
+    one ``token_bucket`` and one ``cpu_grant`` event per resident PE.
     """
+
+    #: Trace bus + node identity; overridden by :meth:`attach_tracing`.
+    recorder: TraceRecorder = NULL_RECORDER
+    node_id: str = ""
 
     def __init__(
         self,
@@ -187,7 +195,34 @@ class AcesCpuScheduler:
                 for pe_id, grant in extra.items():
                     grants[pe_id] += grant
 
-        return {pe_id: grant / dt for pe_id, grant in grants.items()}
+        fractions = {pe_id: grant / dt for pe_id, grant in grants.items()}
+        if self.recorder.enabled:
+            recorder = self.recorder
+            for pe in self.pes:
+                bucket = self.buckets[pe.pe_id]
+                recorder.emit(
+                    "token_bucket",
+                    pe=pe.pe_id,
+                    node=self.node_id,
+                    level=bucket.level,
+                    rate=bucket.rate,
+                    depth=bucket.depth,
+                )
+                recorder.emit(
+                    "cpu_grant",
+                    pe=pe.pe_id,
+                    node=self.node_id,
+                    cpu=fractions[pe.pe_id],
+                    dt=dt,
+                )
+        return fractions
+
+    def attach_tracing(
+        self, recorder: TraceRecorder, node_id: str
+    ) -> None:
+        """Bind the trace bus and this scheduler's node identity."""
+        self.recorder = recorder
+        self.node_id = node_id
 
     def settle(self, pe_id: str, cpu_seconds_used: float, dt: float) -> None:
         """Charge tokens for work actually performed (CPU-seconds)."""
@@ -215,6 +250,10 @@ class AcesCpuScheduler:
 
 class StrictProportionalScheduler:
     """Baseline CPU enforcement: nominal targets + busy-PE redistribution."""
+
+    #: Trace bus + node identity; overridden by :meth:`attach_tracing`.
+    recorder: TraceRecorder = NULL_RECORDER
+    node_id: str = ""
 
     def __init__(
         self,
@@ -250,7 +289,25 @@ class StrictProportionalScheduler:
             weights[pe.pe_id] = self.targets[pe.pe_id]
 
         grants = _proportional_fill(demands, weights, self.capacity * dt)
-        return {pe_id: grant / dt for pe_id, grant in grants.items()}
+        fractions = {pe_id: grant / dt for pe_id, grant in grants.items()}
+        if self.recorder.enabled:
+            recorder = self.recorder
+            for pe in self.pes:
+                recorder.emit(
+                    "cpu_grant",
+                    pe=pe.pe_id,
+                    node=self.node_id,
+                    cpu=fractions[pe.pe_id],
+                    dt=dt,
+                )
+        return fractions
+
+    def attach_tracing(
+        self, recorder: TraceRecorder, node_id: str
+    ) -> None:
+        """Bind the trace bus and this scheduler's node identity."""
+        self.recorder = recorder
+        self.node_id = node_id
 
     def settle(self, pe_id: str, cpu_seconds_used: float, dt: float) -> None:
         """No token accounting in the strict scheduler."""

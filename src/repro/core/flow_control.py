@@ -20,6 +20,7 @@ import typing as _t
 from collections import deque
 
 from repro.core.lqr import LQRGains
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
 
 class FlowController:
@@ -33,6 +34,11 @@ class FlowController:
         The set-point ``b0`` in SDOs.
     buffer_capacity:
         Total buffer size ``B`` (for the safety clamp).
+    pe_id:
+        Identity used in published trace events.
+    recorder:
+        Trace bus receiving one ``r_max`` event per update; the default
+        null recorder reduces publication to a single branch.
     """
 
     def __init__(
@@ -40,6 +46,8 @@ class FlowController:
         gains: LQRGains,
         target_occupancy: float,
         buffer_capacity: float,
+        pe_id: str = "",
+        recorder: TraceRecorder = NULL_RECORDER,
     ):
         if target_occupancy < 0 or target_occupancy > buffer_capacity:
             raise ValueError(
@@ -48,6 +56,8 @@ class FlowController:
         self.gains = gains
         self.b0 = float(target_occupancy)
         self.capacity = float(buffer_capacity)
+        self.pe_id = pe_id
+        self.recorder = recorder
 
         history = gains.buffer_lags + 1
         self._deviations: _t.Deque[float] = deque(
@@ -100,6 +110,14 @@ class FlowController:
         self._surpluses.appendleft(r_max - rho)
         self.last_r_max = r_max
         self.updates += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "r_max",
+                pe=self.pe_id,
+                r_max=r_max,
+                occupancy=occupancy,
+                rho=rho,
+            )
         return r_max
 
     def reset(self) -> None:

@@ -38,6 +38,7 @@ from repro.core.targets import AllocationTargets
 from repro.core.utility import LogUtility, UtilityFunction
 from repro.graph.dag import ProcessingGraph
 from repro.graph.placement import Placement
+from repro.obs.recorder import TraceRecorder
 
 
 @dataclass
@@ -421,6 +422,8 @@ def solve_global_allocation(
     source_rates: _t.Mapping[str, float],
     utility: _t.Optional[UtilityFunction] = None,
     solver: str = "auto",
+    recorder: _t.Optional["TraceRecorder"] = None,
+    reason: str = "solve",
 ) -> GlobalOptimizationResult:
     """Solve the Tier-1 program and return allocation targets.
 
@@ -435,6 +438,11 @@ def solve_global_allocation(
         The common concave utility ``U``; defaults to ``log(x + 1)``.
     solver:
         ``"slsqp"``, ``"projected_gradient"``, or ``"auto"``.
+    recorder:
+        Optional trace bus; when given, the solve publishes one
+        ``tier1_resolve`` event carrying the new ``c̄_j`` targets.
+    reason:
+        Tag recorded on the event (``"initial"``, ``"reoptimize"``, ...).
     """
     if utility is None:
         utility = LogUtility()
@@ -462,7 +470,7 @@ def solve_global_allocation(
         used = "projected_gradient"
 
     targets = program.to_targets(c)
-    return GlobalOptimizationResult(
+    result = GlobalOptimizationResult(
         targets=targets,
         objective=program.objective(c),
         solver=used,
@@ -471,3 +479,18 @@ def solve_global_allocation(
         max_violation=program.max_violation(c),
         messages=messages,
     )
+    if recorder is not None and recorder.enabled:
+        recorder.emit(
+            "tier1_resolve",
+            reason=reason,
+            solver=result.solver,
+            objective=result.objective,
+            converged=result.converged,
+            iterations=result.iterations,
+            max_violation=result.max_violation,
+            cpu_targets={
+                pe_id: round(share, 6)
+                for pe_id, share in result.targets.cpu.items()
+            },
+        )
+    return result

@@ -21,7 +21,12 @@ from repro.experiments.config import ExperimentConfig
 from repro.graph.topology import Topology, generate_topology
 from repro.metrics.collectors import MetricsReport
 from repro.metrics.stats import SummaryStats, summarize
+from repro.obs.recorder import TraceRecorder
 from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+#: Hook producing a per-run trace recorder: called with (policy name,
+#: replication index); returning None leaves that run untraced.
+RecorderFactory = _t.Callable[[str, int], _t.Optional[TraceRecorder]]
 
 
 @dataclass
@@ -75,8 +80,14 @@ def run_replication(
     targets_transform: _t.Optional[
         _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
     ] = None,
+    recorder_factory: _t.Optional[RecorderFactory] = None,
 ) -> _t.Tuple[Topology, _t.Dict[str, MetricsReport], float]:
-    """One topology, all policies; returns reports plus the fluid optimum."""
+    """One topology, all policies; returns reports plus the fluid optimum.
+
+    ``recorder_factory`` lets an experiment attach a trace recorder to any
+    (policy, replication) run — e.g. trace only ACES on replication 0 —
+    without altering the paired-topology design.
+    """
     seed = config.base_seed + replication
     topo_rng = np.random.default_rng(seed)
     topology = generate_topology(config.spec, topo_rng)
@@ -97,8 +108,17 @@ def run_replication(
                 "seed": seed * 1000 + 17,
             }
         )
+        recorder = (
+            recorder_factory(policy.name, replication)
+            if recorder_factory is not None
+            else None
+        )
         system = SimulatedSystem(
-            topology, policy, targets=run_targets, config=system_config
+            topology,
+            policy,
+            targets=run_targets,
+            config=system_config,
+            recorder=recorder,
         )
         reports[policy.name] = system.run(config.duration)
     return topology, reports, optimum
@@ -110,6 +130,7 @@ def run_cell(
     targets_transform: _t.Optional[
         _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
     ] = None,
+    recorder_factory: _t.Optional[RecorderFactory] = None,
 ) -> CellResult:
     """Run every policy over ``config.replications`` random topologies."""
     if not policies:
@@ -125,7 +146,11 @@ def run_cell(
 
     for replication in range(config.replications):
         _, reports, optimum = run_replication(
-            config, policies, replication, targets_transform
+            config,
+            policies,
+            replication,
+            targets_transform,
+            recorder_factory=recorder_factory,
         )
         for name, report in reports.items():
             per_policy[name].append(report)

@@ -9,8 +9,10 @@ runs the transient period, resets, and the measured window starts clean.
 from __future__ import annotations
 
 import typing as _t
+import warnings
 from dataclasses import dataclass, field
 
+from repro.core.utility import LogUtility, UtilityFunction
 from repro.metrics.stats import StreamingMoments, SummaryStats
 from repro.model.sdo import SDO
 
@@ -72,40 +74,41 @@ class EgressCollector:
     def total_output(self) -> int:
         return sum(r.count for r in self._records.values())
 
+    def weighted_utility(
+        self, now: float, utility: _t.Optional[UtilityFunction] = None
+    ) -> float:
+        """sum_j w_j U(rate_j) over the measured window.
+
+        The concave counterpart of :meth:`weighted_throughput`, evaluated
+        with the same utility Tier 1 optimizes (``log(x + 1)`` by default)
+        so measured outcomes are comparable to the Tier-1 objective.
+        """
+        duration = now - self._window_start
+        if duration <= 0:
+            return 0.0
+        if utility is None:
+            utility = LogUtility()
+        return sum(
+            r.weight * utility.value(r.count / duration)
+            for r in self._records.values()
+        )
+
     def latency_summary(self) -> SummaryStats:
         """Pooled end-to-end latency over all egress streams."""
         pooled = StreamingMoments()
         for record in self._records.values():
-            # Merge by re-deriving from moments (exact for mean; for the
-            # pooled variance use the standard combination formula).
-            if record.latency.count == 0:
-                continue
-            _merge_moments(pooled, record.latency)
+            pooled.merge(record.latency)
         return pooled.summary()
 
 
 def _merge_moments(into: StreamingMoments, other: StreamingMoments) -> None:
-    """Chan et al. parallel-variance merge of ``other`` into ``into``."""
-    if other.count == 0:
-        return
-    if into.count == 0:
-        into.count = other.count
-        into._mean = other._mean
-        into._m2 = other._m2
-        into.minimum = other.minimum
-        into.maximum = other.maximum
-        return
-    total = into.count + other.count
-    delta = other._mean - into._mean
-    into._m2 = (
-        into._m2
-        + other._m2
-        + delta * delta * into.count * other.count / total
+    """Deprecated shim: use :meth:`StreamingMoments.merge` instead."""
+    warnings.warn(
+        "_merge_moments is deprecated; use StreamingMoments.merge",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    into._mean += delta * other.count / total
-    into.count = total
-    into.minimum = min(into.minimum, other.minimum)
-    into.maximum = max(into.maximum, other.maximum)
+    into.merge(other)
 
 
 @dataclass
@@ -115,8 +118,6 @@ class MetricsReport:
     policy: str
     duration: float
     weighted_throughput: float
-    #: Weighted utility throughput sum_j w_j U(rate_j) for the log utility,
-    #: reported alongside the linear weighted throughput.
     total_output_sdos: int
     latency: SummaryStats
     #: SDOs dropped at full input buffers inside the graph.
@@ -134,6 +135,10 @@ class MetricsReport:
     cpu_utilization: float = 0.0
     #: Fraction of emitted SDOs dropped downstream (wasted processing).
     wasted_work_fraction: float = 0.0
+    #: Weighted utility throughput sum_j w_j U(rate_j) for the log utility
+    #: (the Tier-1 objective, from ``core/utility.py``), reported alongside
+    #: the linear weighted throughput.
+    weighted_utility: float = 0.0
 
     @property
     def input_loss_rate(self) -> float:
@@ -144,6 +149,7 @@ class MetricsReport:
     def one_line(self) -> str:
         return (
             f"{self.policy:9s} wthr={self.weighted_throughput:8.2f} "
+            f"wutil={self.weighted_utility:7.2f} "
             f"lat={self.latency.mean * 1000:7.1f}ms "
             f"(std {self.latency.std * 1000:6.1f}) "
             f"out={self.total_output_sdos:7d} drops={self.buffer_drops:6d} "

@@ -69,6 +69,35 @@ class StreamingMoments:
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
 
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other``'s samples into this accumulator (in place).
+
+        Chan et al.'s parallel-variance combination: exact for the mean,
+        numerically stable for the second moment.  Returns ``self`` so
+        merges chain; ``other`` is left untouched.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
     @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0

@@ -4,7 +4,8 @@ The scalar :class:`~repro.metrics.collectors.MetricsReport` summarizes a
 whole measured window; for transient questions — how fast does the system
 recover from a fault? does throughput oscillate? — attach a
 :class:`ThroughputProbe` before running and read the per-window series
-afterwards.
+afterwards.  The plain :class:`TimeSeries` container underneath is shared
+with the gauge sampler in :mod:`repro.obs.gauges`.
 """
 
 from __future__ import annotations
@@ -12,7 +13,63 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass
 
-from repro.systems.simulated import SimulatedSystem
+from repro.metrics.stats import SummaryStats, summarize
+
+if _t.TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.systems.simulated import SimulatedSystem
+
+
+class TimeSeries:
+    """An append-only ``(time, value)`` series with window reductions.
+
+    The storage behind every sampled gauge: appends are O(1), times are
+    required to be non-decreasing (virtual time only moves forward), and
+    the common reductions — summary statistics and fixed-window averages —
+    are provided so consumers do not reimplement them.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: _t.List[float] = []
+        self.values: _t.List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"{self.name or 'series'}: time went backwards "
+                f"({self.times[-1]} -> {t})"
+            )
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> _t.Iterator[_t.Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def summary(self) -> SummaryStats:
+        return summarize(self.values)
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """The sub-series with ``start <= t < end``."""
+        clipped = TimeSeries(name=self.name)
+        for t, value in zip(self.times, self.values):
+            if start <= t < end:
+                clipped.append(t, value)
+        return clipped
+
+    def window_mean(self, start: float, end: float) -> float:
+        """Mean of the samples falling in ``[start, end)`` (0 when none)."""
+        return self.window(start, end).summary().mean
+
+    def last(self) -> _t.Optional[_t.Tuple[float, float]]:
+        if not self.times:
+            return None
+        return self.times[-1], self.values[-1]
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, n={len(self)})"
 
 
 @dataclass

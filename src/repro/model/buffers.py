@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.model.sdo import SDO
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
 
 @dataclass
@@ -60,6 +61,10 @@ class InputBuffer:
         Identifier used in diagnostics, typically ``"<pe_id>:in"``.
     """
 
+    #: Trace bus + owning-PE identity; see :meth:`attach_recorder`.
+    recorder: TraceRecorder = NULL_RECORDER
+    pe_id: _t.Optional[str] = None
+
     def __init__(self, capacity: int, name: str = "buffer"):
         if capacity <= 0:
             raise ValueError(f"{name}: capacity must be positive, got {capacity}")
@@ -67,6 +72,14 @@ class InputBuffer:
         self.name = name
         self._items: _t.Deque[SDO] = deque()
         self.telemetry = BufferTelemetry()
+
+    def attach_recorder(
+        self, recorder: TraceRecorder, pe_id: _t.Optional[str] = None
+    ) -> None:
+        """Publish ``drop`` and (on :meth:`sample`) ``buffer_occupancy``
+        events for this buffer under the given PE identity."""
+        self.recorder = recorder
+        self.pe_id = pe_id if pe_id is not None else self.name
 
     # -- state -----------------------------------------------------------
 
@@ -96,6 +109,14 @@ class InputBuffer:
         self.telemetry.offered += 1
         if len(self._items) >= self.capacity:
             self.telemetry.dropped += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "drop",
+                    pe=self.pe_id,
+                    cause="buffer_full",
+                    occupancy=len(self._items),
+                    capacity=self.capacity,
+                )
             return False
         self._items.append(sdo)
         self.telemetry.accepted += 1
@@ -134,6 +155,13 @@ class InputBuffer:
     def sample(self, now: float) -> int:
         """Update the occupancy integral and return current occupancy."""
         self._integrate(now)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "buffer_occupancy",
+                pe=self.pe_id,
+                occupancy=len(self._items),
+                capacity=self.capacity,
+            )
         return len(self._items)
 
     def __len__(self) -> int:

@@ -1,0 +1,128 @@
+"""Exporters: trace events and gauge series to JSONL / CSV files.
+
+JSONL is the native trace format (one event object per line, streamable,
+schema in :mod:`repro.obs.recorder`).  CSV is provided for spreadsheet /
+pandas-free tooling: the envelope columns come first and kind-specific
+payload keys become additional columns (union over all events, blank where
+absent).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import typing as _t
+
+from repro.obs.gauges import GaugeRegistry
+from repro.obs.recorder import ENVELOPE_KEYS, validate_event
+
+
+def write_events_jsonl(
+    events: _t.Iterable[_t.Mapping[str, object]],
+    target: _t.Union[str, _t.TextIO],
+) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    count = 0
+
+    def _dump(handle: _t.TextIO) -> int:
+        written = 0
+        for event in events:
+            handle.write(json.dumps(dict(event), separators=(",", ":")))
+            handle.write("\n")
+            written += 1
+        return written
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            count = _dump(handle)
+    else:
+        count = _dump(target)
+    return count
+
+
+def read_events_jsonl(
+    target: _t.Union[str, _t.TextIO], validate: bool = False
+) -> _t.List[_t.Dict[str, object]]:
+    """Load a JSONL trace; with ``validate`` every event is schema-checked."""
+
+    def _load(handle: _t.Iterable[str]) -> _t.List[_t.Dict[str, object]]:
+        events = []
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if validate:
+                problems = validate_event(event)
+                if problems:
+                    raise ValueError(
+                        f"line {line_number}: invalid trace event: "
+                        + "; ".join(problems)
+                    )
+            events.append(event)
+        return events
+
+    if isinstance(target, str):
+        with open(target, "r", encoding="utf-8") as handle:
+            return _load(handle)
+    return _load(target)
+
+
+def write_events_csv(
+    events: _t.Sequence[_t.Mapping[str, object]],
+    target: _t.Union[str, _t.TextIO],
+) -> int:
+    """Write events as CSV (envelope columns + union of payload keys)."""
+    payload_keys: _t.List[str] = []
+    seen = set(ENVELOPE_KEYS)
+    for event in events:
+        for key in event:
+            if key not in seen:
+                seen.add(key)
+                payload_keys.append(key)
+    columns = list(ENVELOPE_KEYS) + payload_keys
+
+    def _dump(handle: _t.TextIO) -> int:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        written = 0
+        for event in events:
+            row = {
+                key: _csv_cell(event.get(key)) for key in columns
+            }
+            writer.writerow(row)
+            written += 1
+        return written
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8", newline="") as handle:
+            return _dump(handle)
+    return _dump(target)
+
+
+def _csv_cell(value: object) -> object:
+    """Flatten structured payload values for CSV cells."""
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, separators=(",", ":"))
+    return value
+
+
+def write_gauges_csv(
+    registry: GaugeRegistry, target: _t.Union[str, _t.TextIO]
+) -> int:
+    """Write every gauge sample as one CSV row (t, gauge, pe, node, value)."""
+    columns = ["t", "gauge", "pe", "node", "value"]
+
+    def _dump(handle: _t.TextIO) -> int:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        written = 0
+        for row in registry.to_rows():
+            writer.writerow(row)
+            written += 1
+        return written
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8", newline="") as handle:
+            return _dump(handle)
+    return _dump(target)

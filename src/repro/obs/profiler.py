@@ -1,0 +1,122 @@
+"""Wall-clock attribution of simulation time to engine phases.
+
+A :class:`PhaseProfiler` answers "where does *real* time go when this
+simulation runs?" — the question every optimization PR needs a before/after
+answer to.  It keeps a stack of open phases and attributes *exclusive*
+wall-clock time: while ``pe_execute`` is open inside ``event_dispatch``,
+the inner time is charged to ``pe_execute`` only.
+
+Hook points (wired by :class:`~repro.sim.engine.Environment` and
+:class:`~repro.systems.simulated.SimulatedSystem`):
+
+* ``event_dispatch`` — the kernel processing an event's callbacks;
+* ``controller_tick`` — feedback aggregation, CPU allocation, Eq. 7 update;
+* ``pe_execute`` — quantized PE work execution;
+* ``transport`` — SDO delivery into downstream buffers.
+
+Profiling is opt-in: a system built without a profiler keeps a single
+``is None`` check in the engine's event loop.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+
+
+class _PhaseContext:
+    """Context manager pushing/popping one named phase."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._profiler.push(self._name)
+
+    def __exit__(self, *_exc: object) -> None:
+        self._profiler.pop()
+
+
+class PhaseProfiler:
+    """Stack-based exclusive wall-clock profiler.
+
+    ``push``/``pop`` (or the ``phase`` context manager) bracket a phase;
+    nested phases pause their parent's clock.  Totals are exclusive
+    seconds per phase name, so they sum to the bracketed wall time.
+    """
+
+    def __init__(
+        self, clock: _t.Callable[[], float] = time.perf_counter
+    ):
+        self._clock = clock
+        self.totals: _t.Dict[str, float] = {}
+        self.counts: _t.Dict[str, int] = {}
+        #: Open phases as [name, last_mark]; last_mark advances whenever a
+        #: child phase opens or closes so parent time stays exclusive.
+        self._stack: _t.List[_t.List[object]] = []
+
+    def phase(self, name: str) -> _PhaseContext:
+        return _PhaseContext(self, name)
+
+    def push(self, name: str) -> None:
+        now = self._clock()
+        if self._stack:
+            top = self._stack[-1]
+            self._account(_t.cast(str, top[0]), now - _t.cast(float, top[1]))
+            top[1] = now
+        self._stack.append([name, now])
+
+    def pop(self) -> None:
+        now = self._clock()
+        name, mark = self._stack.pop()
+        self._account(_t.cast(str, name), now - _t.cast(float, mark))
+        self.counts[_t.cast(str, name)] = (
+            self.counts.get(_t.cast(str, name), 0) + 1
+        )
+        if self._stack:
+            self._stack[-1][1] = now
+
+    def _account(self, name: str, elapsed: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + elapsed
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.totals.values())
+
+    def fractions(self) -> _t.Dict[str, float]:
+        """Phase -> fraction of total profiled wall time."""
+        total = self.total_seconds
+        if total <= 0:
+            return {name: 0.0 for name in self.totals}
+        return {name: t / total for name, t in self.totals.items()}
+
+    def report_rows(self) -> _t.List[_t.Dict[str, object]]:
+        """Rows for tabular reporting, heaviest phase first."""
+        fractions = self.fractions()
+        return [
+            {
+                "phase": name,
+                "seconds": seconds,
+                "share": fractions[name],
+                "calls": self.counts.get(name, 0),
+            }
+            for name, seconds in sorted(
+                self.totals.items(), key=lambda kv: -kv[1]
+            )
+        ]
+
+    def one_line(self) -> str:
+        parts = [
+            f"{row['phase']}={row['seconds']:.3f}s"
+            f"({row['share']:.0%})"
+            for row in self.report_rows()
+        ]
+        return "profile: " + (" ".join(parts) if parts else "<empty>")
+
+    def __repr__(self) -> str:
+        return f"PhaseProfiler(total={self.total_seconds:.3f}s)"

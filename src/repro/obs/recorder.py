@@ -1,0 +1,291 @@
+"""The trace event bus: structured, timestamped controller-internals events.
+
+Every core component that makes a control decision can publish a *trace
+event* describing it: the flow controller publishes each ``r_max`` update
+(Eq. 7), the CPU scheduler its token-bucket levels and per-interval grants
+(Section V-D), buffers their occupancy samples and every drop, and Tier 1
+each (re-)solve with the new ``c̄_j`` targets.  Components hold a
+:class:`TraceRecorder` reference that defaults to the module-level
+:data:`NULL_RECORDER`; hot paths guard with ``recorder.enabled`` so a
+disabled run performs one attribute read and one branch per potential
+event — no dict is built, no call is made.
+
+Event envelope (one JSON object per line in JSONL form)::
+
+    {"t": 1.23, "kind": "r_max", "pe": "pe-3", "node": null, ...payload}
+
+``t`` is virtual simulation time; ``kind`` is one of :data:`EVENT_KINDS`;
+``pe``/``node`` identify the emitting entity (``None`` where not
+applicable); remaining keys are kind-specific payload.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from collections import Counter
+
+#: The trace event vocabulary.  Exporters and filters validate against it.
+EVENT_KINDS = frozenset(
+    {
+        "r_max",  # Eq. 7 flow-control output for one PE
+        "token_bucket",  # token-bucket level after this interval's fill
+        "cpu_grant",  # per-interval CPU fraction granted to one PE
+        "buffer_occupancy",  # sampled input-buffer occupancy
+        "drop",  # one SDO lost, with its cause
+        "tier1_resolve",  # a Tier-1 global-optimization (re-)solve
+        "gauge",  # a registered gauge sample (GaugeRegistry)
+    }
+)
+
+#: Envelope keys shared by every event; payload keys may not shadow them.
+ENVELOPE_KEYS = ("t", "kind", "pe", "node")
+
+
+class TraceFilter:
+    """Keep-filter over (kind, pe, node), parsed from CLI syntax.
+
+    The textual form is comma-separated ``key=value`` terms where a value
+    may give alternatives separated by ``|``::
+
+        kind=r_max|drop,pe=pe-3
+        node=node-0
+
+    An empty expression admits everything.  Unknown keys are rejected at
+    parse time so typos fail fast instead of silently tracing nothing.
+    """
+
+    def __init__(
+        self,
+        kinds: _t.Optional[_t.Collection[str]] = None,
+        pes: _t.Optional[_t.Collection[str]] = None,
+        nodes: _t.Optional[_t.Collection[str]] = None,
+    ):
+        self.kinds = frozenset(kinds) if kinds else None
+        self.pes = frozenset(pes) if pes else None
+        self.nodes = frozenset(nodes) if nodes else None
+
+    @classmethod
+    def parse(cls, expression: _t.Optional[str]) -> "TraceFilter":
+        if not expression:
+            return cls()
+        fields: _t.Dict[str, _t.Set[str]] = {}
+        for term in expression.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            if "=" not in term:
+                raise ValueError(
+                    f"trace filter term {term!r} is not key=value"
+                )
+            key, _, value = term.partition("=")
+            key = key.strip()
+            if key not in ("kind", "pe", "node"):
+                raise ValueError(
+                    f"unknown trace filter key {key!r}; "
+                    "expected kind, pe, or node"
+                )
+            fields.setdefault(key, set()).update(
+                v.strip() for v in value.split("|") if v.strip()
+            )
+        unknown = fields.get("kind", set()) - EVENT_KINDS
+        if unknown:
+            raise ValueError(
+                f"unknown event kind(s) {sorted(unknown)}; "
+                f"choose from {sorted(EVENT_KINDS)}"
+            )
+        return cls(
+            kinds=fields.get("kind"),
+            pes=fields.get("pe"),
+            nodes=fields.get("node"),
+        )
+
+    def admits(
+        self,
+        kind: str,
+        pe: _t.Optional[str],
+        node: _t.Optional[str],
+    ) -> bool:
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        if self.pes is not None and pe not in self.pes:
+            return False
+        if self.nodes is not None and node not in self.nodes:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceFilter(kinds={sorted(self.kinds) if self.kinds else None}, "
+            f"pes={sorted(self.pes) if self.pes else None}, "
+            f"nodes={sorted(self.nodes) if self.nodes else None})"
+        )
+
+
+class TraceRecorder:
+    """Base event bus: stamps, filters, counts, and hands events to a sink.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current virtual time; bound
+        by the owning system via :meth:`bind_clock` when not given here.
+    trace_filter:
+        Optional keep-filter applied before the event dict is built.
+    """
+
+    #: Hot paths check this before building any event payload.
+    enabled: bool = True
+
+    def __init__(
+        self,
+        clock: _t.Optional[_t.Callable[[], float]] = None,
+        trace_filter: _t.Optional[TraceFilter] = None,
+    ):
+        self._clock = clock
+        self.filter = trace_filter or TraceFilter()
+        self.counts: Counter = Counter()
+
+    def bind_clock(self, clock: _t.Callable[[], float]) -> None:
+        """Attach the virtual-time source (typically ``env.now``)."""
+        self._clock = clock
+
+    def emit(
+        self,
+        kind: str,
+        pe: _t.Optional[str] = None,
+        node: _t.Optional[str] = None,
+        **data: object,
+    ) -> None:
+        """Publish one event; filtered events cost one predicate call."""
+        if not self.filter.admits(kind, pe, node):
+            return
+        event: _t.Dict[str, object] = {
+            "t": self._clock() if self._clock is not None else 0.0,
+            "kind": kind,
+            "pe": pe,
+            "node": node,
+        }
+        event.update(data)
+        self.counts[kind] += 1
+        self._write(event)
+
+    def _write(self, event: _t.Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/close the underlying sink (no-op by default)."""
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class NullRecorder(TraceRecorder):
+    """The zero-overhead default: ``enabled`` is False, ``emit`` does nothing.
+
+    Components guard event construction with ``if recorder.enabled:`` so a
+    system built with this recorder (the default everywhere) pays only that
+    branch; ``emit`` is still safe to call directly.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def emit(self, kind: str, pe=None, node=None, **data: object) -> None:
+        return None
+
+    def _write(self, event: _t.Dict[str, object]) -> None:
+        return None
+
+
+#: Shared default recorder instance; never record through it.
+NULL_RECORDER = NullRecorder()
+
+
+class MemoryRecorder(TraceRecorder):
+    """Collects events in memory — the test/analysis recorder."""
+
+    def __init__(
+        self,
+        clock: _t.Optional[_t.Callable[[], float]] = None,
+        trace_filter: _t.Optional[TraceFilter] = None,
+    ):
+        super().__init__(clock=clock, trace_filter=trace_filter)
+        self.events: _t.List[_t.Dict[str, object]] = []
+
+    def _write(self, event: _t.Dict[str, object]) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> _t.List[_t.Dict[str, object]]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> _t.Iterator[_t.Dict[str, object]]:
+        return iter(self.events)
+
+
+class JsonlRecorder(TraceRecorder):
+    """Streams events to a JSONL sink as they happen (bounded memory).
+
+    Accepts a path or an open text file object; a path is opened lazily on
+    the first event and closed by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        target: _t.Union[str, _t.TextIO],
+        clock: _t.Optional[_t.Callable[[], float]] = None,
+        trace_filter: _t.Optional[TraceFilter] = None,
+    ):
+        super().__init__(clock=clock, trace_filter=trace_filter)
+        self._path: _t.Optional[str] = None
+        self._file: _t.Optional[_t.TextIO] = None
+        if isinstance(target, str):
+            self._path = target
+        else:
+            self._file = target
+
+    def _write(self, event: _t.Dict[str, object]) -> None:
+        if self._file is None:
+            assert self._path is not None
+            self._file = open(self._path, "w", encoding="utf-8")
+        self._file.write(json.dumps(event, separators=(",", ":")))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if self._file is not None and self._path is not None:
+            self._file.close()
+            self._file = None
+
+
+def validate_event(event: _t.Mapping[str, object]) -> _t.List[str]:
+    """Schema-check one event dict; returns a list of problems (empty = ok).
+
+    The schema every exporter and consumer can rely on:
+
+    * ``t`` is a finite, non-negative number;
+    * ``kind`` is one of :data:`EVENT_KINDS`;
+    * ``pe`` and ``node`` are strings or ``None``;
+    * payload keys do not shadow the envelope.
+    """
+    problems: _t.List[str] = []
+    t = event.get("t")
+    if not isinstance(t, (int, float)) or isinstance(t, bool):
+        problems.append(f"t is not a number: {t!r}")
+    elif not (t >= 0.0 and t == t and t != float("inf")):
+        problems.append(f"t is not finite and >= 0: {t!r}")
+    kind = event.get("kind")
+    if kind not in EVENT_KINDS:
+        problems.append(f"unknown kind {kind!r}")
+    for key in ("pe", "node"):
+        value = event.get(key)
+        if value is not None and not isinstance(value, str):
+            problems.append(f"{key} is neither a string nor null: {value!r}")
+    return problems

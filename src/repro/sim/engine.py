@@ -45,6 +45,13 @@ class Environment:
         self._queue: _t.List[_t.Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: _t.Optional["Process"] = None
+        #: Optional wall-clock phase profiler (repro.obs.profiler).  When
+        #: set, every event's callback execution is bracketed in an
+        #: ``event_dispatch`` phase; components opening nested phases
+        #: (controller ticks, PE execution, transport) carve their own
+        #: exclusive time out of it.  Costs one None-check per event when
+        #: unset.
+        self.profiler: _t.Optional["_Profiler"] = None
 
     # -- clock -----------------------------------------------------------
 
@@ -97,7 +104,15 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
 
-        event._run_callbacks()
+        profiler = self.profiler
+        if profiler is None:
+            event._run_callbacks()
+        else:
+            profiler.push("event_dispatch")
+            try:
+                event._run_callbacks()
+            finally:
+                profiler.pop()
 
         if not event._ok and not event._defused:
             # Nobody is waiting on this failed event: surface the error
@@ -150,4 +165,5 @@ def _stop_simulation(event: Event) -> None:
 
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profiler import PhaseProfiler as _Profiler
     from repro.sim.process import Process

@@ -27,6 +27,7 @@ from repro.core.flow_control import FlowController
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import Policy
 from repro.core.targets import AllocationTargets
+from repro.core.utility import LogUtility
 from repro.graph.topology import Topology
 from repro.metrics.collectors import EgressCollector, MetricsReport
 from repro.model.links import Link
@@ -38,6 +39,9 @@ from repro.model.workload import (
     OnOffSource,
     PoissonSource,
 )
+from repro.obs.gauges import GaugeRegistry
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 
@@ -119,6 +123,9 @@ class SimulatedSystem:
         policy: Policy,
         targets: _t.Optional[AllocationTargets] = None,
         config: _t.Optional[SystemConfig] = None,
+        recorder: _t.Optional[TraceRecorder] = None,
+        profiler: _t.Optional[PhaseProfiler] = None,
+        gauge_cadence: _t.Optional[float] = None,
     ):
         self.topology = topology
         self.policy = policy
@@ -126,9 +133,21 @@ class SimulatedSystem:
         self.env = Environment()
         self.streams = RandomStreams(seed=self.config.seed)
 
+        #: Trace bus every instrumented component publishes to; the null
+        #: default keeps all hot paths on their single-branch fast path.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if self.recorder.enabled:
+            self.recorder.bind_clock(lambda: self.env.now)
+        self.profiler = profiler
+        self.env.profiler = profiler
+
         if targets is None:
             targets = solve_global_allocation(
-                topology.graph, topology.placement, topology.source_rates
+                topology.graph,
+                topology.placement,
+                topology.source_rates,
+                recorder=self.recorder,
+                reason="initial",
             ).targets
         self.targets = targets
 
@@ -137,6 +156,7 @@ class SimulatedSystem:
         self._build_links()
         self._build_control()
         self._build_sources()
+        self._build_gauges(gauge_cadence)
         self._start_node_loops()
 
         self._emit_attempts = 0
@@ -154,13 +174,16 @@ class SimulatedSystem:
         egress = set(graph.egress_ids)
         self.runtimes: _t.Dict[str, PERuntime] = {}
         for pe_id in graph.topological_order():
-            self.runtimes[pe_id] = PERuntime(
+            runtime = PERuntime(
                 profile=graph.profile(pe_id),
                 buffer_capacity=self.config.buffer_size,
                 rng=self.streams.stream(f"pe:{pe_id}"),
                 is_ingress=pe_id in ingress,
                 is_egress=pe_id in egress,
             )
+            if self.recorder.enabled:
+                runtime.buffer.attach_recorder(self.recorder, pe_id)
+            self.runtimes[pe_id] = runtime
         for src, dst in graph.edges():
             self.runtimes[src].link_downstream(self.runtimes[dst])
 
@@ -208,6 +231,11 @@ class SimulatedSystem:
             )
             for node in self.nodes
         ]
+        if self.recorder.enabled:
+            for node, scheduler in zip(self.nodes, self.schedulers):
+                attach = getattr(scheduler, "attach_tracing", None)
+                if attach is not None:
+                    attach(self.recorder, node.node_id)
 
         self.controllers: _t.Dict[str, FlowController] = {}
         if self.policy.uses_feedback:
@@ -218,6 +246,8 @@ class SimulatedSystem:
                     gains,
                     target_occupancy=b0,
                     buffer_capacity=runtime.buffer.capacity,
+                    pe_id=pe_id,
+                    recorder=self.recorder,
                 )
 
         self.gates = {
@@ -260,6 +290,41 @@ class SimulatedSystem:
                 )
             self.sources.append(source)
 
+    def _build_gauges(self, cadence: _t.Optional[float]) -> None:
+        """Register the standard per-PE gauges when sampling is requested.
+
+        Gauges: input-buffer ``occupancy`` for every PE, ``token_level``
+        for PEs under a token-bucket scheduler, and the last advertised
+        ``r_max`` for PEs with a flow controller.
+        """
+        self.gauges: _t.Optional[GaugeRegistry] = None
+        if cadence is None:
+            return
+        self.gauges = GaugeRegistry(
+            self.env, cadence=cadence, recorder=self.recorder
+        )
+        for pe_id, runtime in self.runtimes.items():
+            self.gauges.register(
+                "occupancy",
+                lambda buffer=runtime.buffer: float(buffer.occupancy),
+                pe=pe_id,
+            )
+        for scheduler in self.schedulers:
+            if isinstance(scheduler, AcesCpuScheduler):
+                for pe in scheduler.pes:
+                    self.gauges.register(
+                        "token_level",
+                        lambda s=scheduler, p=pe.pe_id: s.token_level(p),
+                        pe=pe.pe_id,
+                    )
+        for pe_id, controller in self.controllers.items():
+            self.gauges.register(
+                "r_max",
+                lambda c=controller: c.last_r_max,
+                pe=pe_id,
+            )
+        self.gauges.start()
+
     def _start_node_loops(self) -> None:
         for index, (node, scheduler) in enumerate(
             zip(self.nodes, self.schedulers)
@@ -281,6 +346,37 @@ class SimulatedSystem:
     def _tick_node(
         self, node: ProcessingNode, scheduler: _t.Any, now: float
     ) -> None:
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("controller_tick")
+        try:
+            allocations = self._control_step(node, scheduler, now)
+        finally:
+            if profiler is not None:
+                profiler.pop()
+
+        if profiler is not None:
+            profiler.push("pe_execute")
+        try:
+            dt = self.config.dt
+            for pe in node.pes:
+                cpu = allocations.get(pe.pe_id, 0.0)
+                used = pe.execute(
+                    now,
+                    dt,
+                    cpu,
+                    emit=self._emit,
+                    gate=self.gates[pe.pe_id],
+                )
+                scheduler.settle(pe.pe_id, used, dt)
+        finally:
+            if profiler is not None:
+                profiler.pop()
+
+    def _control_step(
+        self, node: ProcessingNode, scheduler: _t.Any, now: float
+    ) -> _t.Dict[str, float]:
+        """Feedback aggregation, CPU allocation, and Eq. 7 updates."""
         dt = self.config.dt
 
         if self.policy.uses_feedback:
@@ -314,6 +410,7 @@ class SimulatedSystem:
                 controller = self.controllers[pe.pe_id]
                 r_max = controller.update(pe.buffer.sample(now), rho)
                 self.bus.publish(pe.pe_id, r_max, now)
+            return allocations
         else:
             # Redistribution reacts to *observed* blocking (last interval):
             # the scheduler has no clairvoyant knowledge of which PEs will
@@ -332,17 +429,7 @@ class SimulatedSystem:
                 else:
                     blocked.add(pe.pe_id)
             allocations = scheduler.allocate(dt, blocked=blocked)
-
-        for pe in node.pes:
-            cpu = allocations.get(pe.pe_id, 0.0)
-            used = pe.execute(
-                now,
-                dt,
-                cpu,
-                emit=self._emit,
-                gate=self.gates[pe.pe_id],
-            )
-            scheduler.settle(pe.pe_id, used, dt)
+            return allocations
 
     def _reoptimize_loop(self) -> _t.Generator:
         """Periodic Tier-1 refresh from measured input rates (Section V)."""
@@ -365,6 +452,8 @@ class SimulatedSystem:
                 self.topology.graph,
                 self.topology.placement,
                 measured_rates,
+                recorder=self.recorder,
+                reason="reoptimize",
             )
             self.targets = result.targets
             for scheduler in self.schedulers:
@@ -411,13 +500,28 @@ class SimulatedSystem:
         admission = self.admission_filters[runtime.pe_id]
         if admission is not None and not admission(runtime, sdo):
             self._shed_drops += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "drop",
+                    pe=runtime.pe_id,
+                    cause="shed",
+                    occupancy=runtime.buffer.occupancy,
+                    capacity=runtime.buffer.capacity,
+                )
             return False
         return runtime.ingest(sdo, now)
 
     def _deliver_one(self, consumer: PERuntime, sdo: SDO) -> None:
-        self._emit_attempts += 1
-        if not self._admit(consumer, sdo, self.env.now):
-            self._emit_drops += 1
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("transport")
+        try:
+            self._emit_attempts += 1
+            if not self._admit(consumer, sdo, self.env.now):
+                self._emit_drops += 1
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
     # -- measurement ---------------------------------------------------------
 
@@ -498,6 +602,9 @@ class SimulatedSystem:
             wasted_work_fraction=(
                 emit_drops / emit_attempts if emit_attempts else 0.0
             ),
+            weighted_utility=self.collector.weighted_utility(
+                self.env.now, LogUtility()
+            ),
         )
 
 
@@ -507,9 +614,18 @@ def run_system(
     duration: float = 30.0,
     targets: _t.Optional[AllocationTargets] = None,
     config: _t.Optional[SystemConfig] = None,
+    recorder: _t.Optional[TraceRecorder] = None,
+    profiler: _t.Optional[PhaseProfiler] = None,
+    gauge_cadence: _t.Optional[float] = None,
 ) -> MetricsReport:
     """Build and run one simulated system; the one-call experiment API."""
     system = SimulatedSystem(
-        topology, policy, targets=targets, config=config
+        topology,
+        policy,
+        targets=targets,
+        config=config,
+        recorder=recorder,
+        profiler=profiler,
+        gauge_cadence=gauge_cadence,
     )
     return system.run(duration)

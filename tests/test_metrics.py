@@ -7,14 +7,19 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.metrics.collectors import EgressCollector, MetricsReport
+from repro.core.policies import AcesPolicy
+from repro.core.utility import LinearUtility
+from repro.graph.topology import TopologySpec, generate_topology
+from repro.metrics.collectors import EgressCollector, MetricsReport, _merge_moments
 from repro.metrics.stats import (
     StreamingMoments,
     SummaryStats,
     confidence_interval,
     summarize,
 )
+from repro.metrics.timeseries import ThroughputProbe
 from repro.model.sdo import SDO
+from repro.systems.simulated import SimulatedSystem, SystemConfig
 
 
 class TestSummarize:
@@ -61,6 +66,55 @@ class TestStreamingMoments:
         assert moments.mean == 0.0
         assert moments.variance == 0.0
         assert moments.summary() == SummaryStats.empty()
+
+
+class TestStreamingMomentsMerge:
+    def filled(self, values):
+        moments = StreamingMoments()
+        for value in values:
+            moments.add(value)
+        return moments
+
+    def test_merge_matches_batch(self):
+        rng = np.random.default_rng(3)
+        left = rng.normal(2.0, 1.0, size=300).tolist()
+        right = rng.normal(9.0, 4.0, size=40).tolist()
+        merged = self.filled(left).merge(self.filled(right))
+        batch = summarize(left + right)
+        assert merged.count == 340
+        assert merged.mean == pytest.approx(batch.mean)
+        assert merged.std == pytest.approx(batch.std)
+        assert merged.minimum == batch.minimum
+        assert merged.maximum == batch.maximum
+
+    def test_merge_returns_self(self):
+        moments = self.filled([1.0])
+        assert moments.merge(self.filled([2.0])) is moments
+
+    def test_merge_empty_other_is_noop(self):
+        moments = self.filled([1.0, 2.0])
+        before = moments.summary()
+        moments.merge(StreamingMoments())
+        assert moments.summary() == before
+
+    def test_merge_into_empty_copies_other(self):
+        other = self.filled([3.0, 5.0, 7.0])
+        moments = StreamingMoments()
+        moments.merge(other)
+        assert moments.summary() == other.summary()
+
+    def test_merge_does_not_mutate_other(self):
+        other = self.filled([1.0, 4.0])
+        before = other.summary()
+        self.filled([2.0]).merge(other)
+        assert other.summary() == before
+
+    def test_deprecated_shim_warns_and_merges(self):
+        into = self.filled([1.0])
+        with pytest.warns(DeprecationWarning):
+            _merge_moments(into, self.filled([3.0]))
+        assert into.count == 2
+        assert into.mean == pytest.approx(2.0)
 
 
 class TestEgressCollector:
@@ -116,6 +170,32 @@ class TestEgressCollector:
         assert stats.mean == pytest.approx(batch.mean)
         assert stats.std == pytest.approx(batch.std)
 
+    def test_weighted_utility_log(self):
+        collector = EgressCollector()
+        collector.register("e1", 2.0)
+        collector.register("e2", 0.5)
+        for _ in range(10):
+            collector.record("e1", self.sdo(0.0), 1.0)
+        for _ in range(4):
+            collector.record("e2", self.sdo(0.0), 1.0)
+        # Window [0, 2]: rates 5 and 2 -> 2*log(6) + 0.5*log(3).
+        expected = 2.0 * math.log(6.0) + 0.5 * math.log(3.0)
+        assert collector.weighted_utility(2.0) == pytest.approx(expected)
+
+    def test_weighted_utility_linear_matches_throughput(self):
+        collector = EgressCollector()
+        collector.register("e1", 2.0)
+        for _ in range(6):
+            collector.record("e1", self.sdo(0.0), 1.0)
+        assert collector.weighted_utility(
+            3.0, LinearUtility()
+        ) == pytest.approx(collector.weighted_throughput(3.0))
+
+    def test_weighted_utility_zero_window(self):
+        collector = EgressCollector()
+        collector.register("e1", 1.0)
+        assert collector.weighted_utility(0.0) == 0.0
+
     def test_reset_discards_warmup(self):
         collector = EgressCollector()
         collector.register("e1", 1.0)
@@ -155,6 +235,62 @@ class TestMetricsReport:
         line = self.make_report().one_line()
         assert "aces" in line
         assert "100.00" in line
+
+    def test_one_line_reports_weighted_utility(self):
+        line = self.make_report(weighted_utility=12.34).one_line()
+        assert "wutil=" in line
+        assert "12.34" in line
+
+    def test_weighted_utility_defaults_to_zero(self):
+        assert self.make_report().weighted_utility == 0.0
+
+
+class TestThroughputProbeEdgeCases:
+    """Degenerate probe configurations from tests/test_metrics.py's remit;
+    the happy-path probe tests live in test_placement_opt_timeseries.py."""
+
+    def build_system(self, rate=None):
+        spec = TopologySpec(
+            num_nodes=2, num_ingress=1, num_egress=1, num_intermediate=2,
+            calibrate_rates=False,
+        )
+        topology = generate_topology(spec, np.random.default_rng(1))
+        if rate is not None:
+            for pe_id in topology.source_rates:
+                topology.source_rates[pe_id] = rate
+        return SimulatedSystem(
+            topology, AcesPolicy(), config=SystemConfig(seed=2, warmup=0.0)
+        )
+
+    def test_window_longer_than_run_yields_no_samples(self):
+        system = self.build_system()
+        probe = ThroughputProbe(system, window=10.0)
+        system.env.run(until=2.0)
+        assert probe.samples == []
+
+    def test_zero_egress_output_gives_zero_samples(self):
+        # Sources reject rate <= 0, so starve the graph instead: at
+        # 0.05 SDO/s the first arrival lands far past this 2 s run.
+        system = self.build_system(rate=0.05)
+        probe = ThroughputProbe(system, window=0.5)
+        system.env.run(until=2.0)
+        assert len(probe.samples) >= 3
+        assert all(s.output_sdos == 0 for s in probe.samples)
+        assert all(s.weighted_throughput == 0.0 for s in probe.samples)
+        assert all(s.mean_latency == 0.0 for s in probe.samples)
+
+    def test_probe_attached_mid_run_counts_only_new_output(self):
+        system = self.build_system()
+        system.env.run(until=3.0)
+        already_out = system.collector.total_output()
+        probe = ThroughputProbe(system, window=0.5)
+        system.env.run(until=6.0)
+        assert probe.samples
+        assert probe.samples[0].start >= 3.0
+        counted = sum(s.output_sdos for s in probe.samples)
+        # Pre-attach output must not be re-counted; the window closing
+        # exactly at the horizon may not fire, so this is an upper bound.
+        assert 0 < counted <= system.collector.total_output() - already_out
 
 
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
