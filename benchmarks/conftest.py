@@ -8,6 +8,10 @@ suite finishes in minutes.  Set ``REPRO_FULL=1`` to run the paper's full
 
 Each bench prints its table and appends it to ``results/<bench>.txt`` so
 EXPERIMENTS.md can quote the exact numbers produced on this machine.
+
+Set ``REPRO_JOBS=N`` (N >= 2) to fan every cell's (replication x policy)
+grid across N worker processes; results are identical to a serial run
+(see ``docs/performance.md``).
 """
 
 import os
@@ -15,6 +19,7 @@ import pathlib
 
 import pytest
 
+import repro.experiments.runner as _runner
 from repro.experiments.config import (
     ExperimentConfig,
     calibration_experiment,
@@ -24,6 +29,11 @@ from repro.experiments.config import (
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Worker processes per cell for every bench; 0/1/unset stays serial.
+JOBS = int(os.environ.get("REPRO_JOBS", "0"))
+if JOBS > 1:
+    _runner.DEFAULT_JOBS = JOBS
 
 
 def experiment_scale() -> ExperimentConfig:

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Kernel microbenchmark: events/sec on the calibration topology.
+
+Runs the simulation kernel on a fixed workload (topology + Tier-1
+targets built outside the timed region) and merges the result into
+``BENCH_perf.json`` at the repo root.  The first run records the
+baseline; later runs update ``kernel.current`` while preserving the
+baseline so the improvement ratio tracks the whole PR series.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.experiments.perf import (
+    BENCH_PATH,
+    measure_kernel,
+    update_bench_json,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("smoke", "calibration", "full"),
+        default="calibration",
+    )
+    parser.add_argument("--policy", default="aces")
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--warmup", type=float, default=0.5)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=str(BENCH_PATH))
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="overwrite the recorded pre-optimization baseline",
+    )
+    args = parser.parse_args(argv)
+
+    kernel = measure_kernel(
+        scale=args.scale,
+        policy=args.policy,
+        duration=args.duration,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    data = update_bench_json(
+        kernel=kernel, path=args.output, rebaseline=args.rebaseline
+    )
+    print(json.dumps(data["kernel"], indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Parallel-runner scaling benchmark: cell wall time at 1/2/4/8 jobs.
+
+Times one full experiment cell (4 replications of the calibration
+topology by default) through ``run_cell`` at each ``--jobs`` level,
+checks that every parallel result is bit-identical to the serial one,
+and merges the measurements into ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_runner_scaling.py
+    PYTHONPATH=src python benchmarks/perf/bench_runner_scaling.py \
+        --scale smoke --jobs 1,2,4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.experiments.perf import (
+    BENCH_PATH,
+    measure_runner_scaling,
+    update_bench_json,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("smoke", "calibration", "full"),
+        default="calibration",
+    )
+    parser.add_argument(
+        "--policies", default="aces",
+        help="comma-separated policy names run in every replication",
+    )
+    parser.add_argument(
+        "--jobs", default="1,2,4,8",
+        help="comma-separated worker counts to measure",
+    )
+    parser.add_argument("--replications", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=8.0)
+    parser.add_argument("--warmup", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=str(BENCH_PATH))
+    args = parser.parse_args(argv)
+
+    scaling = measure_runner_scaling(
+        scale=args.scale,
+        policies=[p.strip() for p in args.policies.split(",") if p.strip()],
+        jobs_levels=[int(j) for j in args.jobs.split(",") if j.strip()],
+        replications=args.replications,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    update_bench_json(scaling=scaling, path=args.output)
+    print(json.dumps(scaling, indent=2, sort_keys=True))
+    if not scaling["parity_with_serial"]:
+        print("ERROR: parallel results diverged from the serial run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

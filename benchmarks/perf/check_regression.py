@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Gate: fail when BENCH_perf.json regresses >2x against the floor.
+
+``floor.json`` (checked in next to this script) records the slowest
+acceptable reference numbers, deliberately loose so heterogeneous CI
+machines do not flake; a failure here means a real (>2x) slowdown.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+FLOOR_PATH = pathlib.Path(__file__).resolve().parent / "floor.json"
+
+#: A measurement must stay within this factor of the floor.
+ALLOWED_FACTOR = 2.0
+
+
+def check(bench: dict, floor: dict) -> list:
+    """Return a list of human-readable failure strings."""
+    failures = []
+
+    floor_eps = floor.get("kernel_events_per_sec_min")
+    current = bench.get("kernel", {}).get("current", {})
+    eps = current.get("events_per_sec")
+    if floor_eps and eps is not None:
+        if eps * ALLOWED_FACTOR < floor_eps:
+            failures.append(
+                f"kernel events/sec {eps:.0f} is >{ALLOWED_FACTOR}x below "
+                f"the floor {floor_eps:.0f}"
+            )
+
+    floor_wall = floor.get("cell_serial_wall_seconds_max")
+    walls = bench.get("runner_scaling", {}).get("wall_seconds", {})
+    serial_wall = walls.get("1")
+    if floor_wall and serial_wall is not None:
+        if serial_wall > floor_wall * ALLOWED_FACTOR:
+            failures.append(
+                f"serial cell wall {serial_wall:.1f}s is >{ALLOWED_FACTOR}x "
+                f"above the floor {floor_wall:.1f}s"
+            )
+
+    if bench.get("runner_scaling", {}).get("parity_with_serial") is False:
+        failures.append("parallel runner diverged from the serial results")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="BENCH_perf.json")
+    parser.add_argument("--floor", default=str(FLOOR_PATH))
+    args = parser.parse_args(argv)
+
+    bench = json.loads(pathlib.Path(args.bench).read_text())
+    floor = json.loads(pathlib.Path(args.floor).read_text())
+    failures = check(bench, floor)
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print("perf check ok: no >2x regression against the floor")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

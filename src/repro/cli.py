@@ -276,7 +276,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         config = calibration_experiment(
             duration=8.0, replications=2
         ).with_system(warmup=4.0)
-    rows = function(config=config)
+    rows = function(config=config, jobs=args.jobs)
     print_table(rows, title=f"{args.name} ({config.name})", precision=3)
     return 0
 
@@ -402,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--full", action="store_true",
         help="paper scale (200 PEs / 80 nodes) instead of the quick scale",
+    )
+    figure.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "fan each cell's (replication x policy) grid across N worker "
+            "processes; results are identical to a serial run"
+        ),
     )
     figure.set_defaults(handler=cmd_figure)
 

@@ -22,19 +22,26 @@ actually performed so token balances reflect reality.
 from __future__ import annotations
 
 import typing as _t
-from dataclasses import dataclass
 
 from repro.model.pe import PERuntime
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
+_INF = float("inf")
 
-@dataclass
+
 class TokenBucket:
-    """CPU token bucket: fills at ``rate`` CPU-fractions, capped at depth."""
+    """CPU token bucket: fills at ``rate`` CPU-fractions, capped at depth.
 
-    rate: float
-    depth: float
-    level: float = 0.0
+    A ``__slots__`` class: one bucket is filled and inspected on every
+    control tick of every PE, so instance-dict overhead is measurable.
+    """
+
+    __slots__ = ("rate", "depth", "level")
+
+    def __init__(self, rate: float, depth: float, level: float = 0.0):
+        self.rate = rate
+        self.depth = depth
+        self.level = level
 
     def fill(self, dt: float) -> None:
         self.level = min(self.depth, self.level + self.rate * dt)
@@ -46,6 +53,12 @@ class TokenBucket:
             )
         self.level = max(0.0, self.level - amount)
 
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate!r}, depth={self.depth!r}, "
+            f"level={self.level!r})"
+        )
+
 
 def _proportional_fill(
     demands: _t.Dict[str, float],
@@ -56,27 +69,39 @@ def _proportional_fill(
 
     Iterative water-filling: saturated consumers drop out and their share
     is re-divided among the rest.  Work-conserving with respect to the
-    demand vector.
+    demand vector.  Consumers are visited in sorted-id order so the
+    floating-point accumulation (and therefore every downstream result)
+    is deterministic.
     """
     grants = {pe_id: 0.0 for pe_id in demands}
-    active = {pe_id for pe_id, demand in demands.items() if demand > 1e-12}
+    # Stable iteration order once, instead of re-sorting every round.
+    active = sorted(
+        pe_id for pe_id, demand in demands.items() if demand > 1e-12
+    )
+    floors = {pe_id: max(weights[pe_id], 1e-12) for pe_id in active}
     remaining = budget
     while active and remaining > 1e-12:
-        total_weight = sum(max(weights[pe_id], 1e-12) for pe_id in active)
-        saturated = set()
+        total_weight = 0.0
+        for pe_id in active:
+            total_weight += floors[pe_id]
+        scale = remaining / total_weight
+        saturated = 0
         distributed = 0.0
-        for pe_id in sorted(active):
-            share = remaining * max(weights[pe_id], 1e-12) / total_weight
+        for index, pe_id in enumerate(active):
+            share = scale * floors[pe_id]
             headroom = demands[pe_id] - grants[pe_id]
-            granted = min(share, headroom)
-            grants[pe_id] += granted
-            distributed += granted
-            if granted >= headroom - 1e-12:
-                saturated.add(pe_id)
+            if share < headroom:
+                grants[pe_id] += share
+                distributed += share
+            else:
+                grants[pe_id] += headroom
+                distributed += headroom
+                active[index] = None  # type: ignore[call-overload]
+                saturated += 1
         remaining -= distributed
         if not saturated:
             break
-        active -= saturated
+        active = [pe_id for pe_id in active if pe_id is not None]
     return grants
 
 
@@ -104,6 +129,9 @@ class AcesCpuScheduler:
     #: Trace bus + node identity; overridden by :meth:`attach_tracing`.
     recorder: TraceRecorder = NULL_RECORDER
     node_id: str = ""
+    #: Cached ``recorder.enabled`` so the per-tick fast path is a single
+    #: attribute load (set by :meth:`attach_tracing`).
+    _recording: bool = False
 
     def __init__(
         self,
@@ -134,6 +162,11 @@ class AcesCpuScheduler:
             self.buckets[pe.pe_id] = TokenBucket(
                 rate=target, depth=depth, level=depth * 0.5
             )
+        #: (pe, bucket) pairs resolved once; :meth:`allocate` runs every
+        #: control interval and must not pay per-tick dict lookups.
+        self._pairs: _t.List[_t.Tuple[PERuntime, TokenBucket]] = [
+            (pe, self.buckets[pe.pe_id]) for pe in self.pes
+        ]
 
     def allocate(
         self,
@@ -155,37 +188,46 @@ class AcesCpuScheduler:
         dict
             ``pe_id -> cpu fraction`` with ``sum <= capacity``.
         """
+        capacity = self.capacity
+        budget = capacity * dt
+        caps_get = output_rate_caps.get
         demands: _t.Dict[str, float] = {}
         capped_work: _t.Dict[str, float] = {}
         weights: _t.Dict[str, float] = {}
-        for pe in self.pes:
-            bucket = self.buckets[pe.pe_id]
-            bucket.fill(dt)
+        for pe, bucket in self._pairs:
+            # Inlined bucket.fill(dt): this is the per-tick fast path.
+            level = bucket.level + bucket.rate * dt
+            if level > bucket.depth:
+                level = bucket.depth
+            bucket.level = level
 
-            cap_rate = float(output_rate_caps.get(pe.pe_id, float("inf")))
-            if cap_rate == float("inf"):
-                cpu_cap = self.capacity
+            pe_id = pe.pe_id
+            cap_rate = caps_get(pe_id, _INF)
+            if cap_rate == _INF:
+                cpu_cap = capacity
             else:
                 # State-aware inverse g^{-1}: a slow-state PE gets enough
                 # CPU to still deliver the rate its consumers advertised.
                 cpu_cap = min(
-                    self.capacity, pe.cpu_for_output_rate_now(cap_rate)
+                    capacity, pe.cpu_for_output_rate_now(cap_rate)
                 )
 
             # Bucket levels are CPU-seconds; demand is CPU-seconds too.
-            work_needed = min(pe.backlog_work, cpu_cap * dt)
-            capped_work[pe.pe_id] = max(0.0, work_needed)
-            demands[pe.pe_id] = max(0.0, min(work_needed, bucket.level))
+            backlog = pe.backlog_work
+            work_needed = min(backlog, cpu_cap * dt)
+            capped_work[pe_id] = max(0.0, work_needed)
+            demands[pe_id] = max(0.0, min(work_needed, level))
             # Occupancy-proportional spending (Section V-D); the +partial
             # term keeps a PE with in-flight work schedulable at occupancy 0.
-            weights[pe.pe_id] = pe.buffer.occupancy + (
-                1.0 if pe.backlog_work > 0 and pe.buffer.occupancy == 0 else 0.0
+            occupancy = pe.buffer.occupancy
+            weights[pe_id] = occupancy + (
+                1.0 if backlog > 0 and occupancy == 0 else 0.0
             )
 
-        grants = _proportional_fill(demands, weights, self.capacity * dt)
+        grants = _proportional_fill(demands, weights, budget)
 
         if self.work_conserving:
-            leftover = self.capacity * dt - sum(grants.values())
+            leftover = budget - sum(grants.values())
             if leftover > 1e-12:
                 extra_demands = {
                     pe_id: max(0.0, capped_work[pe_id] - grants[pe_id])
@@ -196,7 +238,7 @@ class AcesCpuScheduler:
                     grants[pe_id] += grant
 
         fractions = {pe_id: grant / dt for pe_id, grant in grants.items()}
-        if self.recorder.enabled:
+        if self._recording:
             recorder = self.recorder
             for pe in self.pes:
                 bucket = self.buckets[pe.pe_id]
@@ -223,6 +265,7 @@ class AcesCpuScheduler:
         """Bind the trace bus and this scheduler's node identity."""
         self.recorder = recorder
         self.node_id = node_id
+        self._recording = recorder.enabled
 
     def settle(self, pe_id: str, cpu_seconds_used: float, dt: float) -> None:
         """Charge tokens for work actually performed (CPU-seconds)."""
@@ -254,6 +297,8 @@ class StrictProportionalScheduler:
     #: Trace bus + node identity; overridden by :meth:`attach_tracing`.
     recorder: TraceRecorder = NULL_RECORDER
     node_id: str = ""
+    #: Cached ``recorder.enabled`` (set by :meth:`attach_tracing`).
+    _recording: bool = False
 
     def __init__(
         self,
@@ -290,7 +335,7 @@ class StrictProportionalScheduler:
 
         grants = _proportional_fill(demands, weights, self.capacity * dt)
         fractions = {pe_id: grant / dt for pe_id, grant in grants.items()}
-        if self.recorder.enabled:
+        if self._recording:
             recorder = self.recorder
             for pe in self.pes:
                 recorder.emit(
@@ -308,6 +353,7 @@ class StrictProportionalScheduler:
         """Bind the trace bus and this scheduler's node identity."""
         self.recorder = recorder
         self.node_id = node_id
+        self._recording = recorder.enabled
 
     def settle(self, pe_id: str, cpu_seconds_used: float, dt: float) -> None:
         """No token accounting in the strict scheduler."""

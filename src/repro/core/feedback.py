@@ -17,13 +17,8 @@ tolerate.
 from __future__ import annotations
 
 import typing as _t
-from dataclasses import dataclass
 
-
-@dataclass
-class _Entry:
-    value: float
-    visible_at: float
+_INF = float("inf")
 
 
 class FeedbackBus:
@@ -41,7 +36,9 @@ class FeedbackBus:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self.delay = delay
         self._current: _t.Dict[str, float] = {}
-        self._pending: _t.Dict[str, _t.List[_Entry]] = {}
+        #: Per-PE in-flight publications as (visible_at, value) tuples,
+        #: append-ordered (so also visible_at-ordered: time is monotonic).
+        self._pending: _t.Dict[str, _t.List[_t.Tuple[float, float]]] = {}
         self.publishes = 0
 
     def publish(self, pe_id: str, r_max: float, now: float) -> None:
@@ -52,20 +49,25 @@ class FeedbackBus:
         if self.delay == 0.0:
             self._current[pe_id] = r_max
             return
-        self._pending.setdefault(pe_id, []).append(
-            _Entry(value=r_max, visible_at=now + self.delay)
-        )
+        pending = self._pending.get(pe_id)
+        if pending is None:
+            pending = self._pending[pe_id] = []
+        pending.append((now + self.delay, r_max))
 
     def _settle(self, pe_id: str, now: float) -> None:
         pending = self._pending.get(pe_id)
         if not pending:
             return
-        ripe = [entry for entry in pending if entry.visible_at <= now]
+        # Entries are visible_at-ordered; count the ripe prefix instead of
+        # building filtered copies (this runs per consumer per tick).
+        ripe = 0
+        for visible_at, _ in pending:
+            if visible_at > now:
+                break
+            ripe += 1
         if ripe:
-            self._current[pe_id] = ripe[-1].value
-            self._pending[pe_id] = [
-                entry for entry in pending if entry.visible_at > now
-            ]
+            self._current[pe_id] = pending[ripe - 1][1]
+            del pending[:ripe]
 
     def latest(self, pe_id: str, now: float) -> _t.Optional[float]:
         """Most recent visible r_max for ``pe_id`` (None if never heard)."""
@@ -82,22 +84,24 @@ class FeedbackBus:
         are unconstrained (+inf) — before the first feedback arrives the
         system behaves optimistically, and the controller reins it in.
         """
-        if not downstream_ids:
-            return float("inf")
-        rates = []
+        bound = -_INF
         for pe_id in downstream_ids:
             value = self.latest(pe_id, now)
-            rates.append(float("inf") if value is None else value)
-        return max(rates)
+            if value is None:
+                return _INF
+            if value > bound:
+                bound = value
+        return bound if downstream_ids else _INF
 
     def min_downstream_rate(
         self, downstream_ids: _t.Sequence[str], now: float
     ) -> float:
         """The min-flow variant (ablation: ACES control + min-flow policy)."""
-        if not downstream_ids:
-            return float("inf")
-        rates = []
+        bound = _INF
         for pe_id in downstream_ids:
             value = self.latest(pe_id, now)
-            rates.append(float("inf") if value is None else value)
-        return min(rates)
+            if value is None:
+                continue
+            if value < bound:
+                bound = value
+        return bound

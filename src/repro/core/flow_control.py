@@ -58,6 +58,12 @@ class FlowController:
         self.capacity = float(buffer_capacity)
         self.pe_id = pe_id
         self.recorder = recorder
+        #: Hot-path caches: gains are immutable once designed, and update()
+        #: runs once per PE per control interval.
+        self._lambdas = tuple(gains.lambdas)
+        self._mus = tuple(gains.mus)
+        self._dt = float(gains.dt)
+        self._recording = recorder.enabled
 
         history = gains.buffer_lags + 1
         self._deviations: _t.Deque[float] = deque(
@@ -90,27 +96,32 @@ class FlowController:
             raise ValueError(f"occupancy must be >= 0, got {occupancy}")
 
         # Newest-first histories: _deviations[0] is b(n) - b0.
-        self._deviations.appendleft(occupancy - self.b0)
+        deviations = self._deviations
+        surpluses = self._surpluses
+        deviations.appendleft(occupancy - self.b0)
 
         r_max = rho
-        for lam, deviation in zip(self.gains.lambdas, self._deviations):
+        for lam, deviation in zip(self._lambdas, deviations):
             r_max -= lam * deviation
-        for mu, surplus in zip(self.gains.mus, self._surpluses):
+        for mu, surplus in zip(self._mus, surpluses):
             r_max -= mu * surplus
 
-        r_max = max(0.0, r_max)
+        if r_max < 0.0:
+            r_max = 0.0
 
         # Physical clamp: in one interval the buffer cannot accept more
         # than its free space plus what processing will drain.
-        dt = self.gains.dt
-        free = max(0.0, self.capacity - occupancy)
-        ceiling = free / dt + rho
-        r_max = min(r_max, ceiling)
+        free = self.capacity - occupancy
+        if free < 0.0:
+            free = 0.0
+        ceiling = free / self._dt + rho
+        if r_max > ceiling:
+            r_max = ceiling
 
-        self._surpluses.appendleft(r_max - rho)
+        surpluses.appendleft(r_max - rho)
         self.last_r_max = r_max
         self.updates += 1
-        if self.recorder.enabled:
+        if self._recording:
             self.recorder.emit(
                 "r_max",
                 pe=self.pe_id,

@@ -41,6 +41,7 @@ def _default_config(config: _t.Optional[ExperimentConfig]) -> ExperimentConfig:
 def figure3_latency(
     config: _t.Optional[ExperimentConfig] = None,
     buffer_sizes: _t.Sequence[int] = BUFFER_SIZES,
+    jobs: _t.Optional[int] = None,
 ) -> _t.List[Row]:
     """Fig. 3: mean and std of end-to-end latency, ACES vs Lock-Step."""
     config = _default_config(config)
@@ -49,6 +50,7 @@ def figure3_latency(
         [AcesPolicy(), LockStepPolicy()],
         "system.buffer_size",
         list(buffer_sizes),
+        jobs=jobs,
     )
     rows: _t.List[Row] = []
     for point in result.points:
@@ -64,6 +66,7 @@ def figure3_latency(
 def figure4_tradeoff(
     config: _t.Optional[ExperimentConfig] = None,
     buffer_sizes: _t.Sequence[int] = BUFFER_SIZES,
+    jobs: _t.Optional[int] = None,
 ) -> _t.List[Row]:
     """Fig. 4: the (weighted throughput, mean latency) frontier over B."""
     config = _default_config(config)
@@ -72,6 +75,7 @@ def figure4_tradeoff(
         [AcesPolicy(), LockStepPolicy()],
         "system.buffer_size",
         list(buffer_sizes),
+        jobs=jobs,
     )
     rows: _t.List[Row] = []
     for point in result.points:
@@ -87,6 +91,7 @@ def figure4_tradeoff(
 def figure5_burstiness(
     config: _t.Optional[ExperimentConfig] = None,
     lambda_s_values: _t.Sequence[float] = LAMBDA_S_VALUES,
+    jobs: _t.Optional[int] = None,
 ) -> _t.List[Row]:
     """Fig. 5: weighted throughput vs burstiness for the three systems.
 
@@ -102,6 +107,7 @@ def figure5_burstiness(
         [AcesPolicy(), UdpPolicy(), LockStepPolicy()],
         "spec.lambda_s",
         list(lambda_s_values),
+        jobs=jobs,
     )
     rows: _t.List[Row] = []
     for point in result.points:
@@ -117,6 +123,7 @@ def figure5_burstiness(
 def buffer_sweep(
     config: _t.Optional[ExperimentConfig] = None,
     buffer_sizes: _t.Sequence[int] = (3, 5, 10, 20, 50),
+    jobs: _t.Optional[int] = None,
 ) -> _t.List[Row]:
     """CLAIM-BUF: weighted-throughput ratio of ACES over each baseline."""
     config = _default_config(config)
@@ -125,6 +132,7 @@ def buffer_sweep(
         [AcesPolicy(), UdpPolicy(), LockStepPolicy()],
         "system.buffer_size",
         list(buffer_sizes),
+        jobs=jobs,
     )
     rows: _t.List[Row] = []
     for point in result.points:
@@ -148,6 +156,7 @@ def robustness(
     config: _t.Optional[ExperimentConfig] = None,
     error_levels: _t.Sequence[float] = ERROR_LEVELS,
     policies: _t.Optional[_t.Sequence[Policy]] = None,
+    jobs: _t.Optional[int] = None,
 ) -> _t.List[Row]:
     """CLAIM-ROBUST: degradation under perturbed Tier-1 CPU targets.
 
@@ -175,7 +184,9 @@ def robustness(
                 targets, epsilon, rng, placement=topology.placement
             )
 
-        cell = run_cell(config, policies, targets_transform=transform)
+        cell = run_cell(
+            config, policies, targets_transform=transform, jobs=jobs
+        )
         row: Row = {"epsilon": epsilon}
         for name in cell.policies:
             row[f"{name}_throughput"] = cell.policies[

@@ -1,0 +1,142 @@
+"""Process-parallel execution of experiment cells.
+
+A cell is replications x policies independent simulations; each one is
+CPU-bound pure Python, so the only way to use more than one core is
+multiple processes.  The fan-out unit is one ``(replication, policy)``
+simulation: fine enough to keep all workers busy even when a cell has
+few replications, coarse enough that process overhead is negligible
+against multi-second simulations.
+
+The paired-topology design is preserved by construction: the parent
+process generates each replication's topology, Tier-1 targets, and any
+``targets_transform`` *once* — exactly as the serial runner does, with
+the same seed derivation — and ships the finished objects to workers.
+Workers only build and run :class:`SimulatedSystem`, whose randomness is
+fully determined by its config seed, so a parallel cell is bit-identical
+to a serial one.
+
+Failures anywhere in the pool (non-picklable policies, a broken child,
+platforms without working multiprocessing) raise
+:class:`ParallelExecutionError`; :func:`repro.experiments.runner.run_cell`
+catches it and falls back to the serial path.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import Policy
+from repro.core.targets import AllocationTargets
+from repro.experiments.config import ExperimentConfig
+from repro.graph.topology import Topology, generate_topology
+from repro.metrics.collectors import MetricsReport
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+#: One worker assignment: everything a child process needs to run one
+#: policy on one prepared replication.
+_Task = _t.Tuple[int, Topology, AllocationTargets, SystemConfig, Policy, float]
+
+
+class ParallelExecutionError(RuntimeError):
+    """Raised when the process pool cannot run the cell (caller should
+    fall back to serial execution)."""
+
+
+def _execute_task(
+    task: _Task,
+) -> _t.Tuple[int, str, MetricsReport]:
+    """Child-process entry point: run one (replication, policy) simulation."""
+    replication, topology, targets, system_config, policy, duration = task
+    system = SimulatedSystem(
+        topology, policy, targets=targets, config=system_config
+    )
+    return replication, policy.name, system.run(duration)
+
+
+def prepare_replication(
+    config: ExperimentConfig,
+    replication: int,
+    targets_transform: _t.Optional[
+        _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
+    ] = None,
+) -> _t.Tuple[Topology, AllocationTargets, SystemConfig, float]:
+    """Generate one replication's shared inputs, exactly as the serial
+    runner does.
+
+    Returns the topology, the (possibly transformed) Tier-1 targets every
+    policy shares, the per-run system config, and the fluid-optimal
+    throughput used for normalization.
+    """
+    from repro.experiments.runner import fluid_optimal_throughput
+
+    seed = config.base_seed + replication
+    topology = generate_topology(config.spec, np.random.default_rng(seed))
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    optimum = fluid_optimal_throughput(topology, targets)
+
+    run_targets = targets
+    if targets_transform is not None:
+        run_targets = targets_transform(targets, topology, seed)
+
+    system_config = SystemConfig(
+        **{**config.system.__dict__, "seed": seed * 1000 + 17}
+    )
+    return topology, run_targets, system_config, optimum
+
+
+def run_cell_tasks(
+    config: ExperimentConfig,
+    policies: _t.Sequence[Policy],
+    jobs: int,
+    targets_transform: _t.Optional[
+        _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
+    ] = None,
+) -> _t.Tuple[_t.Dict[int, _t.Dict[str, MetricsReport]], _t.Dict[int, float]]:
+    """Fan a cell's (replication x policy) grid across ``jobs`` processes.
+
+    Returns per-replication report dicts plus per-replication fluid
+    optima, both keyed by replication index.  Raises
+    :class:`ParallelExecutionError` on any pool failure.
+    """
+    if jobs < 2:
+        raise ValueError("run_cell_tasks needs jobs >= 2; use the serial path")
+
+    tasks: _t.List[_Task] = []
+    optima: _t.Dict[int, float] = {}
+    for replication in range(config.replications):
+        topology, run_targets, system_config, optimum = prepare_replication(
+            config, replication, targets_transform
+        )
+        optima[replication] = optimum
+        for policy in policies:
+            tasks.append(
+                (
+                    replication,
+                    topology,
+                    run_targets,
+                    system_config,
+                    policy,
+                    config.duration,
+                )
+            )
+
+    reports: _t.Dict[int, _t.Dict[str, MetricsReport]] = {
+        replication: {} for replication in range(config.replications)
+    }
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for replication, name, report in pool.map(
+                _execute_task, tasks, chunksize=1
+            ):
+                reports[replication][name] = report
+    except Exception as exc:  # noqa: BLE001 — any pool/pickle failure
+        raise ParallelExecutionError(
+            f"parallel cell execution failed ({type(exc).__name__}: {exc})"
+        ) from exc
+    return reports, optima

@@ -28,6 +28,13 @@ from repro.systems.simulated import SimulatedSystem, SystemConfig
 #: replication index); returning None leaves that run untraced.
 RecorderFactory = _t.Callable[[str, int], _t.Optional[TraceRecorder]]
 
+#: Process-count used when ``run_cell`` is called without an explicit
+#: ``jobs`` argument.  ``None`` keeps the serial path.  The benchmark
+#: suite sets this from the ``REPRO_JOBS`` environment variable (see
+#: ``benchmarks/conftest.py``) so existing benches parallelize without
+#: signature changes.
+DEFAULT_JOBS: _t.Optional[int] = None
+
 
 @dataclass
 class PolicySummary:
@@ -131,28 +138,63 @@ def run_cell(
         _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
     ] = None,
     recorder_factory: _t.Optional[RecorderFactory] = None,
+    jobs: _t.Optional[int] = None,
 ) -> CellResult:
-    """Run every policy over ``config.replications`` random topologies."""
+    """Run every policy over ``config.replications`` random topologies.
+
+    ``jobs`` > 1 fans the (replication x policy) grid across that many
+    worker processes (see :mod:`repro.experiments.parallel`); results are
+    bit-identical to a serial run because every replication's topology
+    and targets are generated in the parent with the serial seed
+    derivation.  ``jobs`` of None or 1, a ``recorder_factory`` (recorders
+    hold process-local state), or any pool failure runs serially.
+    """
     if not policies:
         raise ValueError("at least one policy is required")
     names = [policy.name for policy in policies]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate policy names in {names}")
+    if jobs is None:
+        jobs = DEFAULT_JOBS
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
 
     per_policy: _t.Dict[str, _t.List[MetricsReport]] = {
         name: [] for name in names
     }
     normalized: _t.Dict[str, _t.List[float]] = {name: [] for name in names}
 
-    for replication in range(config.replications):
-        _, reports, optimum = run_replication(
-            config,
-            policies,
-            replication,
-            targets_transform,
-            recorder_factory=recorder_factory,
+    all_reports: _t.Optional[_t.Dict[int, _t.Dict[str, MetricsReport]]] = None
+    optima: _t.Dict[int, float] = {}
+    if jobs is not None and jobs > 1 and recorder_factory is None:
+        from repro.experiments.parallel import (
+            ParallelExecutionError,
+            run_cell_tasks,
         )
-        for name, report in reports.items():
+
+        try:
+            all_reports, optima = run_cell_tasks(
+                config, policies, jobs, targets_transform
+            )
+        except ParallelExecutionError:
+            all_reports = None  # graceful serial fallback
+
+    if all_reports is None:
+        all_reports = {}
+        for replication in range(config.replications):
+            _, reports, optimum = run_replication(
+                config,
+                policies,
+                replication,
+                targets_transform,
+                recorder_factory=recorder_factory,
+            )
+            all_reports[replication] = reports
+            optima[replication] = optimum
+
+    for replication in range(config.replications):
+        optimum = optima[replication]
+        for name, report in all_reports[replication].items():
             per_policy[name].append(report)
             if optimum > 0:
                 normalized[name].append(

@@ -63,6 +63,7 @@ def sweep(
     parameter: str,
     values: _t.Sequence[object],
     targets_transform: _t.Optional[_t.Callable] = None,
+    jobs: _t.Optional[int] = None,
 ) -> SweepResult:
     """Run the cell once per parameter value.
 
@@ -73,6 +74,11 @@ def sweep(
         ``"spec.lambda_s"``, ``"duration"``, ...
     values:
         The x-axis values, in order.
+    jobs:
+        Worker processes per cell (passed to
+        :func:`~repro.experiments.runner.run_cell`); None runs serially.
+        Points stay sequential — the per-cell fan-out already saturates
+        the pool, and results must not depend on point ordering.
     """
     if not values:
         raise ValueError("sweep needs at least one value")
@@ -80,7 +86,10 @@ def sweep(
     for value in values:
         cell_config = _apply_parameter(config, parameter, value)
         result = run_cell(
-            cell_config, policies, targets_transform=targets_transform
+            cell_config,
+            policies,
+            targets_transform=targets_transform,
+            jobs=jobs,
         )
         points.append(
             SweepPoint(parameter=parameter, value=value, result=result)

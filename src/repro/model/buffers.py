@@ -64,6 +64,9 @@ class InputBuffer:
     #: Trace bus + owning-PE identity; see :meth:`attach_recorder`.
     recorder: TraceRecorder = NULL_RECORDER
     pe_id: _t.Optional[str] = None
+    #: Cached ``recorder.enabled`` so the offer/sample fast paths pay a
+    #: single attribute load (set by :meth:`attach_recorder`).
+    _recording: bool = False
 
     def __init__(self, capacity: int, name: str = "buffer"):
         if capacity <= 0:
@@ -80,6 +83,7 @@ class InputBuffer:
         events for this buffer under the given PE identity."""
         self.recorder = recorder
         self.pe_id = pe_id if pe_id is not None else self.name
+        self._recording = recorder.enabled
 
     # -- state -----------------------------------------------------------
 
@@ -105,30 +109,47 @@ class InputBuffer:
 
     def offer(self, sdo: SDO, now: float) -> bool:
         """Try to enqueue ``sdo``; return False (drop) when full."""
-        self._integrate(now)
-        self.telemetry.offered += 1
-        if len(self._items) >= self.capacity:
-            self.telemetry.dropped += 1
-            if self.recorder.enabled:
+        items = self._items
+        telemetry = self.telemetry
+        elapsed = now - telemetry.last_update
+        if elapsed < 0:
+            raise ValueError(
+                f"{self.name}: time went backwards "
+                f"({telemetry.last_update} -> {now})"
+            )
+        telemetry.occupancy_integral += elapsed * len(items)
+        telemetry.last_update = now
+        telemetry.offered += 1
+        if len(items) >= self.capacity:
+            telemetry.dropped += 1
+            if self._recording:
                 self.recorder.emit(
                     "drop",
                     pe=self.pe_id,
                     cause="buffer_full",
-                    occupancy=len(self._items),
+                    occupancy=len(items),
                     capacity=self.capacity,
                 )
             return False
-        self._items.append(sdo)
-        self.telemetry.accepted += 1
-        if len(self._items) > self.telemetry.high_water:
-            self.telemetry.high_water = len(self._items)
+        items.append(sdo)
+        telemetry.accepted += 1
+        if len(items) > telemetry.high_water:
+            telemetry.high_water = len(items)
         return True
 
     def pop(self, now: float) -> SDO:
         """Dequeue the oldest SDO; raises IndexError when empty."""
-        self._integrate(now)
+        telemetry = self.telemetry
+        elapsed = now - telemetry.last_update
+        if elapsed < 0:
+            raise ValueError(
+                f"{self.name}: time went backwards "
+                f"({telemetry.last_update} -> {now})"
+            )
+        telemetry.occupancy_integral += elapsed * len(self._items)
+        telemetry.last_update = now
         sdo = self._items.popleft()
-        self.telemetry.popped += 1
+        telemetry.popped += 1
         return sdo
 
     def peek(self) -> _t.Optional[SDO]:
@@ -155,7 +176,7 @@ class InputBuffer:
     def sample(self, now: float) -> int:
         """Update the occupancy integral and return current occupancy."""
         self._integrate(now)
-        if self.recorder.enabled:
+        if self._recording:
             self.recorder.emit(
                 "buffer_occupancy",
                 pe=self.pe_id,

@@ -14,14 +14,16 @@ from __future__ import annotations
 
 import itertools
 import typing as _t
-from dataclasses import dataclass, field
 
 _SDO_IDS = itertools.count()
 
 
-@dataclass
 class SDO:
     """One Stream Data Object.
+
+    A ``__slots__`` class rather than a dataclass: SDOs are created on
+    every source arrival and every PE emission, so the per-instance dict
+    is measurable overhead at simulation scale.
 
     Parameters
     ----------
@@ -38,12 +40,33 @@ class SDO:
         Optional application payload (unused by the control algorithms).
     """
 
-    stream_id: str
-    origin_time: float
-    size: float = 1.0
-    hops: int = 0
-    payload: object = None
-    sdo_id: int = field(default_factory=lambda: next(_SDO_IDS))
+    __slots__ = (
+        "stream_id", "origin_time", "size", "hops", "payload", "sdo_id"
+    )
+
+    def __init__(
+        self,
+        stream_id: str,
+        origin_time: float,
+        size: float = 1.0,
+        hops: int = 0,
+        payload: object = None,
+        sdo_id: _t.Optional[int] = None,
+    ):
+        self.stream_id = stream_id
+        self.origin_time = origin_time
+        self.size = size
+        self.hops = hops
+        self.payload = payload
+        self.sdo_id = next(_SDO_IDS) if sdo_id is None else sdo_id
+
+    def __repr__(self) -> str:
+        return (
+            f"SDO(stream_id={self.stream_id!r}, "
+            f"origin_time={self.origin_time!r}, size={self.size!r}, "
+            f"hops={self.hops!r}, payload={self.payload!r}, "
+            f"sdo_id={self.sdo_id!r})"
+        )
 
     def derive(self, stream_id: str, size: _t.Optional[float] = None) -> "SDO":
         """Create an output SDO descended from this one.

@@ -45,6 +45,9 @@ class Environment:
         self._queue: _t.List[_t.Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: _t.Optional["Process"] = None
+        #: Total events dispatched by this environment (for perf benches
+        #: and sanity checks; one integer add per event).
+        self.events_processed = 0
         #: Optional wall-clock phase profiler (repro.obs.profiler).  When
         #: set, every event's callback execution is bracketed in an
         #: ``event_dispatch`` phase; components opening nested phases
@@ -91,6 +94,28 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
+    def call_at(
+        self,
+        at: float,
+        callback: _t.Callable[[Event], None],
+        value: object = None,
+        priority: int = NORMAL,
+    ) -> Event:
+        """Run ``callback(event)`` when the clock reaches time ``at``.
+
+        The public primitive for timed callbacks: one pre-succeeded event
+        carrying ``value``, scheduled at ``max(at, now)``.  Cheaper than a
+        :class:`Timeout` plus a callback append, and safe under ``-O``
+        (no assert-guarded internals).
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        _t.cast(_t.List, event.callbacks).append(callback)
+        delay = at - self._now
+        self.schedule(event, priority=priority, delay=delay if delay > 0.0 else 0.0)
+        return event
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         if not self._queue:
@@ -103,6 +128,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_processed += 1
 
         profiler = self.profiler
         if profiler is None:
@@ -144,12 +170,42 @@ class Environment:
                 until_event._ok = True
                 until_event._value = None
                 self.schedule(until_event, priority=URGENT, delay=at - self._now)
-            assert until_event.callbacks is not None
-            until_event.callbacks.append(_stop_simulation)
+            until_event.add_callback(_stop_simulation)
 
+        # The dispatch loop below is :meth:`step` inlined with the queue,
+        # heappop, and profiler bound to locals: one event costs one pop,
+        # one callback sweep, and one failed-event check, with no method
+        # dispatch.  This loop is the hottest code in the repository.
+        queue = self._queue
+        pop = heapq.heappop
+        profiler = self.profiler
+        processed = 0
         try:
             while True:
-                self.step()
+                try:
+                    item = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = item[0]
+                event = item[3]
+                processed += 1
+
+                if profiler is None:
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in _t.cast(_t.List, callbacks):
+                        callback(event)
+                else:
+                    profiler.push("event_dispatch")
+                    try:
+                        event._run_callbacks()
+                    finally:
+                        profiler.pop()
+
+                if not event._ok and not event._defused:
+                    # Nobody is waiting on this failed event: surface the
+                    # error instead of letting it pass silently.
+                    raise _t.cast(BaseException, event._value)
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:
@@ -158,6 +214,8 @@ class Environment:
                     "simulation ran out of events before the until-event fired"
                 ) from None
             return None
+        finally:
+            self.events_processed += processed
 
 
 def _stop_simulation(event: Event) -> None:

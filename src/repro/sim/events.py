@@ -42,11 +42,16 @@ class Interrupt(Exception):
 class Event:
     """A one-shot occurrence that processes can wait on.
 
+    Events (and their :class:`Timeout` subclass) are the single most
+    allocated kernel object, so the whole hierarchy uses ``__slots__``.
+
     Parameters
     ----------
     env:
         The environment that owns this event's clock and event queue.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -82,6 +87,22 @@ class Event:
         if self._value is _PENDING:
             raise RuntimeError(f"{self!r} has not been triggered yet")
         return self._value
+
+    def add_callback(
+        self, callback: _t.Callable[["Event"], None]
+    ) -> None:
+        """Register ``callback(event)`` to run when this event is processed.
+
+        The public way to attach callbacks: raises instead of silently
+        misbehaving when the event has already been processed (the bare
+        ``assert`` it replaces would vanish under ``python -O``).
+        """
+        if self.callbacks is None:
+            raise RuntimeError(
+                f"{self!r} has already been processed; "
+                "its callbacks can no longer be extended"
+            )
+        self.callbacks.append(callback)
 
     # -- triggering ------------------------------------------------------
 
@@ -142,6 +163,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after ``delay`` time units."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -162,6 +185,8 @@ class Condition(Event):
     exception.  The condition's value is a dict mapping each *triggered*
     child event to its value (insertion-ordered).
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -224,12 +249,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once all child events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: _t.Sequence[Event]):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Triggers as soon as any child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: _t.Sequence[Event]):
         super().__init__(env, Condition.any_events, events)

@@ -18,6 +18,8 @@ from repro.sim.events import Event, Interrupt
 class Process(Event):
     """Wraps a generator and executes it as a cooperative process."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: Environment, generator: _t.Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")

@@ -154,10 +154,10 @@ class FaultInjector:
         def stalled_gate(pe: object) -> bool:
             return False
 
-        self.system.gates[fault.target] = stalled_gate
+        self.system.set_gate(fault.target, stalled_gate)
 
         def revert() -> None:
-            self.system.gates[fault.target] = previous_gate
+            self.system.set_gate(fault.target, previous_gate)
             runtime.blocked_last_interval = False
 
         return revert

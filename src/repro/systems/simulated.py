@@ -100,6 +100,33 @@ class SystemConfig:
             raise ValueError("link_latency must be >= 0")
 
 
+class _TickRecord:
+    """Per-PE state resolved once at wiring time for the control loop.
+
+    The per-tick loops in :meth:`SimulatedSystem._tick_node` run for every
+    PE on every node every ``dt``; anything constant across ticks (gate,
+    controller, downstream ids, the Tier-1 CPU target) lives here instead
+    of being re-looked-up from the policy/targets dictionaries each time.
+    """
+
+    __slots__ = ("pe", "pe_id", "gate", "controller", "downstream_ids",
+                 "cpu_target")
+
+    def __init__(
+        self,
+        pe: PERuntime,
+        gate: _t.Optional[_t.Callable[[PERuntime], bool]],
+        controller: _t.Optional[FlowController],
+        cpu_target: float,
+    ):
+        self.pe = pe
+        self.pe_id = pe.pe_id
+        self.gate = gate
+        self.controller = controller
+        self.downstream_ids = tuple(d.pe_id for d in pe.downstream)
+        self.cpu_target = cpu_target
+
+
 @dataclass
 class _Snapshot:
     """Cumulative counters captured at the start of the measured window."""
@@ -157,10 +184,17 @@ class SimulatedSystem:
         self._build_control()
         self._build_sources()
         self._build_gauges(gauge_cadence)
+        self._build_tick_records()
         self._start_node_loops()
 
         self._emit_attempts = 0
         self._emit_drops = 0
+        #: Same-timestamp delivery batches: arrival time -> list of
+        #: (consumer-or-None, producer, sdo); one engine event per distinct
+        #: arrival instant instead of one per SDO.
+        self._delivery_batches: _t.Dict[
+            float, _t.List[_t.Tuple[_t.Optional[PERuntime], PERuntime, SDO]]
+        ] = {}
         #: Number of Tier-1 refreshes performed during the run.
         self.reoptimizations = 0
         if self.config.reoptimize_interval is not None:
@@ -260,6 +294,14 @@ class SimulatedSystem:
         }
         self._shed_drops = 0
 
+        # Tick-loop constants, resolved once instead of per control tick.
+        self._uses_feedback = self.policy.uses_feedback
+        self._aggregate_max = (
+            self.policy.aggregate_feedback() == "max"
+            if self._uses_feedback
+            else True
+        )
+
     def _build_sources(self) -> None:
         config = self.config
         self.sources = []
@@ -325,32 +367,107 @@ class SimulatedSystem:
             )
         self.gauges.start()
 
+    def _build_tick_records(self) -> None:
+        """Resolve everything the per-tick loops need, once.
+
+        Per node: the scheduler's concrete protocol (``isinstance`` checks
+        hoisted out of the tick path) and one :class:`_TickRecord` per
+        resident PE carrying its gate, flow controller, downstream ids,
+        and Tier-1 CPU target.
+        """
+        cpu_targets = self.targets.cpu
+        self._node_records: _t.List[_t.List[_TickRecord]] = [
+            [
+                _TickRecord(
+                    pe,
+                    self.gates[pe.pe_id],
+                    self.controllers.get(pe.pe_id),
+                    cpu_targets.get(pe.pe_id, 0.0),
+                )
+                for pe in node.pes
+            ]
+            for node in self.nodes
+        ]
+        self._scheduler_is_aces: _t.List[bool] = [
+            isinstance(scheduler, AcesCpuScheduler)
+            for scheduler in self.schedulers
+        ]
+
+    def _refresh_cpu_targets(self) -> None:
+        """Propagate refreshed Tier-1 targets into the tick records."""
+        cpu_targets = self.targets.cpu
+        for records in self._node_records:
+            for record in records:
+                record.cpu_target = cpu_targets.get(record.pe_id, 0.0)
+
+    def set_gate(
+        self,
+        pe_id: str,
+        gate: _t.Optional[_t.Callable[[PERuntime], bool]],
+    ) -> None:
+        """Replace a PE's transmission gate at runtime.
+
+        The tick loop reads gates from per-PE records resolved at wiring
+        time, so dynamic replacement (fault injection stalling a PE, an
+        operator pausing a stream) must go through here rather than
+        mutating :attr:`gates` directly.
+        """
+        self.gates[pe_id] = gate
+        for records in self._node_records:
+            for record in records:
+                if record.pe_id == pe_id:
+                    record.gate = gate
+                    return
+
     def _start_node_loops(self) -> None:
         for index, (node, scheduler) in enumerate(
             zip(self.nodes, self.schedulers)
         ):
             offset = (index + 1) / (len(self.nodes) + 1) * self.config.dt
-            self.env.process(self._node_loop(node, scheduler, offset))
+            self.env.process(
+                self._node_loop(
+                    node,
+                    scheduler,
+                    self._node_records[index],
+                    self._scheduler_is_aces[index],
+                    offset,
+                )
+            )
 
     # -- control loop --------------------------------------------------------
 
     def _node_loop(
-        self, node: ProcessingNode, scheduler: _t.Any, offset: float
+        self,
+        node: ProcessingNode,
+        scheduler: _t.Any,
+        records: _t.List[_TickRecord],
+        is_aces: bool,
+        offset: float,
     ) -> _t.Generator:
         # Unsynchronized phase offsets: no global tick (Section V-E).
-        yield self.env.timeout(offset)
+        env = self.env
+        dt = self.config.dt
+        tick = self._tick_node
+        yield env.timeout(offset)
         while True:
-            self._tick_node(node, scheduler, self.env.now)
-            yield self.env.timeout(self.config.dt)
+            tick(node, scheduler, records, is_aces, env.now)
+            yield env.timeout(dt)
 
     def _tick_node(
-        self, node: ProcessingNode, scheduler: _t.Any, now: float
+        self,
+        node: ProcessingNode,
+        scheduler: _t.Any,
+        records: _t.List[_TickRecord],
+        is_aces: bool,
+        now: float,
     ) -> None:
         profiler = self.profiler
         if profiler is not None:
             profiler.push("controller_tick")
         try:
-            allocations = self._control_step(node, scheduler, now)
+            allocations = self._control_step(
+                scheduler, records, is_aces, now
+            )
         finally:
             if profiler is not None:
                 profiler.pop()
@@ -359,57 +476,63 @@ class SimulatedSystem:
             profiler.push("pe_execute")
         try:
             dt = self.config.dt
-            for pe in node.pes:
-                cpu = allocations.get(pe.pe_id, 0.0)
+            emit = self._emit
+            allocations_get = allocations.get
+            settle = scheduler.settle
+            for record in records:
+                pe = record.pe
                 used = pe.execute(
                     now,
                     dt,
-                    cpu,
-                    emit=self._emit,
-                    gate=self.gates[pe.pe_id],
+                    allocations_get(record.pe_id, 0.0),
+                    emit=emit,
+                    gate=record.gate,
                 )
-                scheduler.settle(pe.pe_id, used, dt)
+                settle(record.pe_id, used, dt)
         finally:
             if profiler is not None:
                 profiler.pop()
 
     def _control_step(
-        self, node: ProcessingNode, scheduler: _t.Any, now: float
+        self,
+        scheduler: _t.Any,
+        records: _t.List[_TickRecord],
+        is_aces: bool,
+        now: float,
     ) -> _t.Dict[str, float]:
         """Feedback aggregation, CPU allocation, and Eq. 7 updates."""
         dt = self.config.dt
 
-        if self.policy.uses_feedback:
-            aggregate = self.policy.aggregate_feedback()
+        if self._uses_feedback:
+            bus = self.bus
+            read_bound = (
+                bus.max_downstream_rate
+                if self._aggregate_max
+                else bus.min_downstream_rate
+            )
             caps: _t.Dict[str, float] = {}
-            for pe in node.pes:
-                downstream_ids = [d.pe_id for d in pe.downstream]
-                if aggregate == "max":
-                    caps[pe.pe_id] = self.bus.max_downstream_rate(
-                        downstream_ids, now
-                    )
-                else:
-                    caps[pe.pe_id] = self.bus.min_downstream_rate(
-                        downstream_ids, now
-                    )
-            if isinstance(scheduler, AcesCpuScheduler):
+            for record in records:
+                caps[record.pe_id] = read_bound(record.downstream_ids, now)
+            if is_aces:
                 allocations = scheduler.allocate(dt, caps)
             else:
                 allocations = scheduler.allocate(dt)
-            for pe in node.pes:
+            allocations_get = allocations.get
+            publish = bus.publish
+            for record in records:
+                pe = record.pe
                 # rho_j(n) is the rate the PE can *sustain*: when the PE is
                 # momentarily unallocated (e.g. empty buffer) it still earns
                 # tokens at its long-term target, so advertising the target
                 # rate upstream is what keeps the pipeline from converging
                 # to a self-throttled equilibrium.
-                cpu_effective = max(
-                    allocations.get(pe.pe_id, 0.0),
-                    self.targets.cpu.get(pe.pe_id, 0.0),
-                )
+                cpu_effective = allocations_get(record.pe_id, 0.0)
+                if cpu_effective < record.cpu_target:
+                    cpu_effective = record.cpu_target
                 rho = pe.processing_rate(cpu_effective)
-                controller = self.controllers[pe.pe_id]
-                r_max = controller.update(pe.buffer.sample(now), rho)
-                self.bus.publish(pe.pe_id, r_max, now)
+                # records always carry a controller when uses_feedback.
+                r_max = record.controller.update(pe.buffer.sample(now), rho)
+                publish(record.pe_id, r_max, now)
             return allocations
         else:
             # Redistribution reacts to *observed* blocking (last interval):
@@ -420,14 +543,15 @@ class SimulatedSystem:
             # at tick granularity, like the wake-up notification it would
             # receive), so one stop costs at least one interval.
             blocked = set()
-            for pe in node.pes:
+            for record in records:
+                pe = record.pe
                 if not pe.blocked_last_interval:
                     continue
-                gate = self.gates[pe.pe_id]
+                gate = record.gate
                 if gate is None or gate(pe):
                     pe.blocked_last_interval = False
                 else:
-                    blocked.add(pe.pe_id)
+                    blocked.add(record.pe_id)
             allocations = scheduler.allocate(dt, blocked=blocked)
             return allocations
 
@@ -458,6 +582,7 @@ class SimulatedSystem:
             self.targets = result.targets
             for scheduler in self.schedulers:
                 scheduler.update_targets(result.targets.cpu)
+            self._refresh_cpu_targets()
             self.reoptimizations += 1
 
     def _emit(self, pe: PERuntime, sdo: SDO, completion: float) -> None:
@@ -467,33 +592,67 @@ class SimulatedSystem:
         interval; delivering through a timed event (rather than touching
         the consumer's buffer immediately) keeps cross-node causality: the
         consumer sees the SDO only when the clock actually reaches the
-        completion (plus any link-transfer) instant.
+        completion (plus any link-transfer) instant.  Deliveries landing
+        at the same instant share one engine event (see
+        :meth:`_enqueue_delivery`).
         """
         if pe.is_egress:
-            self._schedule(
-                completion,
-                lambda pe=pe, sdo=sdo: self.collector.record(
-                    pe.pe_id, sdo, self.env.now
-                ),
-            )
+            self._enqueue_delivery(completion, None, pe, sdo)
             return
+        links_get = self.links.get
+        pe_id = pe.pe_id
         for consumer in pe.downstream:
-            link = self.links.get((pe.pe_id, consumer.pe_id))
+            link = links_get((pe_id, consumer.pe_id))
             if link is None:
                 arrival = completion
             else:
                 arrival = link.transfer_completion(sdo, completion)
-            self._schedule(
-                arrival,
-                lambda consumer=consumer, sdo=sdo: self._deliver_one(
-                    consumer, sdo
-                ),
-            )
+            self._enqueue_delivery(arrival, consumer, pe, sdo)
 
-    def _schedule(self, at: float, action: _t.Callable[[], None]) -> None:
-        event = self.env.timeout(max(0.0, at - self.env.now))
-        assert event.callbacks is not None
-        event.callbacks.append(lambda _event: action())
+    def _enqueue_delivery(
+        self,
+        at: float,
+        consumer: _t.Optional[PERuntime],
+        pe: PERuntime,
+        sdo: SDO,
+    ) -> None:
+        """Batch deliveries by exact arrival instant.
+
+        PEs executing a control interval interpolate many completions onto
+        the same timestamps, so keying a batch dict by the exact arrival
+        float and scheduling one :meth:`Environment.call_at` flush per
+        distinct instant replaces the per-SDO event/callback pair.  A
+        ``None`` consumer means the SDO exits through the egress collector.
+        """
+        if at < self.env.now:
+            at = self.env.now
+        batches = self._delivery_batches
+        batch = batches.get(at)
+        if batch is None:
+            batch = batches[at] = []
+            self.env.call_at(at, self._flush_deliveries, value=at)
+        batch.append((consumer, pe, sdo))
+
+    def _flush_deliveries(self, event: _t.Any) -> None:
+        """Deliver every SDO batched for this event's arrival instant."""
+        batch = self._delivery_batches.pop(event._value)
+        now = self.env.now
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("transport")
+        try:
+            collector_record = self.collector.record
+            admit = self._admit
+            for consumer, pe, sdo in batch:
+                if consumer is None:
+                    collector_record(pe.pe_id, sdo, now)
+                else:
+                    self._emit_attempts += 1
+                    if not admit(consumer, sdo, now):
+                        self._emit_drops += 1
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
     def _admit(self, runtime: PERuntime, sdo: SDO, now: float) -> bool:
         """Offer an SDO to a PE's buffer, via the policy's shed filter."""
@@ -510,18 +669,6 @@ class SimulatedSystem:
                 )
             return False
         return runtime.ingest(sdo, now)
-
-    def _deliver_one(self, consumer: PERuntime, sdo: SDO) -> None:
-        profiler = self.profiler
-        if profiler is not None:
-            profiler.push("transport")
-        try:
-            self._emit_attempts += 1
-            if not self._admit(consumer, sdo, self.env.now):
-                self._emit_drops += 1
-        finally:
-            if profiler is not None:
-                profiler.pop()
 
     # -- measurement ---------------------------------------------------------
 

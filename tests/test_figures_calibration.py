@@ -105,22 +105,24 @@ class TestCliFigurePath:
 
         calls = {}
 
-        def fake_figure(config=None):
+        def fake_figure(config=None, jobs=None):
             calls["config"] = config
+            calls["jobs"] = jobs
             return [{"x": 1, "y": 2.0}]
 
         monkeypatch.setitem(cli._FIGURES, "fig3", fake_figure)
-        assert cli.main(["figure", "fig3"]) == 0
+        assert cli.main(["figure", "fig3", "--jobs", "4"]) == 0
         out = capsys.readouterr().out
         assert "fig3" in out
         assert calls["config"].spec.num_pes == 60  # quick scale
+        assert calls["jobs"] == 4
 
     def test_cli_figure_full_flag(self, capsys, monkeypatch):
         from repro import cli
 
         seen = {}
 
-        def fake_figure(config=None):
+        def fake_figure(config=None, jobs=None):
             seen["config"] = config
             return [{"x": 1}]
 

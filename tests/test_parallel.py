@@ -1,0 +1,152 @@
+"""Tests for the process-parallel experiment runner.
+
+The contract under test (see ``docs/performance.md``): a parallel cell is
+bit-identical to a serial one, because each replication's topology and
+Tier-1 targets are generated in the parent process with the serial seed
+derivation and only the fully-determined simulations fan out to workers.
+"""
+
+import typing as _t
+from dataclasses import fields
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.core.policies import AcesPolicy, UdpPolicy
+from repro.core.targets import AllocationTargets
+from repro.experiments.config import smoke_experiment
+from repro.experiments.parallel import (
+    ParallelExecutionError,
+    prepare_replication,
+    run_cell_tasks,
+)
+from repro.experiments.runner import PolicySummary, run_cell
+from repro.metrics.stats import SummaryStats
+from repro.obs.recorder import MemoryRecorder
+
+
+def small_config(**overrides):
+    params = dict(duration=1.0, replications=2)
+    params.update(overrides)
+    return smoke_experiment(**params).with_system(warmup=0.25)
+
+
+def summary_numbers(summary: PolicySummary) -> _t.List[float]:
+    """Flatten every SummaryStats field of a PolicySummary."""
+    values: _t.List[float] = []
+    for field in fields(summary):
+        stats = getattr(summary, field.name)
+        if isinstance(stats, SummaryStats):
+            values.extend(
+                [stats.mean, stats.std, stats.minimum, stats.maximum]
+            )
+    return values
+
+
+class TestParity:
+    def test_parallel_matches_serial_exactly(self):
+        config = small_config()
+        policies = [AcesPolicy(), UdpPolicy()]
+        serial = run_cell(config, policies, jobs=1)
+        parallel = run_cell(config, policies, jobs=4)
+
+        assert set(serial.policies) == set(parallel.policies)
+        for name in serial.policies:
+            assert summary_numbers(serial.policies[name]) == (
+                summary_numbers(parallel.policies[name])
+            )
+            serial_reports = serial.policies[name].reports
+            parallel_reports = parallel.policies[name].reports
+            assert len(serial_reports) == config.replications
+            for left, right in zip(serial_reports, parallel_reports):
+                assert left == right
+
+    def test_targets_transform_applied_in_parent(self):
+        """Transforms (often closures — unpicklable) still parallelize."""
+        calls = []
+
+        def transform(targets, topology, seed):
+            calls.append(seed)
+            scaled = {pe: cpu * 0.9 for pe, cpu in targets.cpu.items()}
+            return AllocationTargets(
+                cpu=scaled,
+                rate_in=targets.rate_in,
+                rate_out=targets.rate_out,
+            )
+
+        config = small_config()
+        serial = run_cell(
+            config, [AcesPolicy()], targets_transform=transform, jobs=1
+        )
+        serial_calls, calls[:] = list(calls), []
+        parallel = run_cell(
+            config, [AcesPolicy()], targets_transform=transform, jobs=2
+        )
+        assert calls == serial_calls  # one parent-side call per replication
+        assert summary_numbers(serial.policies["aces"]) == (
+            summary_numbers(parallel.policies["aces"])
+        )
+
+
+class TestFallback:
+    def test_recorder_factory_forces_serial(self):
+        """Recorders hold process-local state, so tracing runs serially."""
+        recorders = []
+
+        def factory(policy_name, replication):
+            recorder = MemoryRecorder()
+            recorders.append(recorder)
+            return recorder
+
+        config = small_config(replications=1)
+        result = run_cell(
+            config, [AcesPolicy()], recorder_factory=factory, jobs=4
+        )
+        assert "aces" in result.policies
+        # The factory ran in this process and its recorders saw events.
+        assert recorders and any(r.events for r in recorders)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        def broken(*args, **kwargs):
+            raise ParallelExecutionError("simulated pool failure")
+
+        monkeypatch.setattr(
+            "repro.experiments.parallel.run_cell_tasks", broken
+        )
+        config = small_config(replications=1)
+        reference = run_cell(config, [AcesPolicy()], jobs=1)
+        fallen_back = run_cell(config, [AcesPolicy()], jobs=4)
+        assert summary_numbers(reference.policies["aces"]) == (
+            summary_numbers(fallen_back.policies["aces"])
+        )
+
+    def test_default_jobs_module_knob(self, monkeypatch):
+        """benchmarks/conftest.py sets DEFAULT_JOBS from REPRO_JOBS."""
+        config = small_config(replications=1)
+        reference = run_cell(config, [AcesPolicy()])
+        monkeypatch.setattr(runner_module, "DEFAULT_JOBS", 2)
+        parallel = run_cell(config, [AcesPolicy()])
+        assert summary_numbers(reference.policies["aces"]) == (
+            summary_numbers(parallel.policies["aces"])
+        )
+
+    def test_jobs_validation(self):
+        config = small_config(replications=1)
+        with pytest.raises(ValueError, match="jobs"):
+            run_cell(config, [AcesPolicy()], jobs=0)
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            run_cell_tasks(config, [AcesPolicy()], jobs=1)
+
+
+class TestPreparation:
+    def test_prepare_matches_serial_seed_derivation(self):
+        """The parent-side preparation mirrors run_replication exactly."""
+        config = small_config()
+        for replication in range(config.replications):
+            topology, targets, system_config, optimum = prepare_replication(
+                config, replication
+            )
+            seed = config.base_seed + replication
+            assert system_config.seed == seed * 1000 + 17
+            assert optimum > 0
+            assert set(targets.cpu) == set(topology.graph.pe_ids)

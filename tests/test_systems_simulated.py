@@ -233,3 +233,63 @@ class TestConservation:
         system.env.run(until=5.0)
         for runtime in system.runtimes.values():
             assert runtime.counters.emitted == runtime.counters.consumed
+
+
+class TestProfilerAttribution:
+    """PhaseProfiler accounting under the batched-delivery kernel path."""
+
+    def run_profiled(self, shared_topology, policy):
+        from repro.obs.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        system = SimulatedSystem(
+            shared_topology, policy, config=quick_config(),
+            profiler=profiler,
+        )
+        report = system.run(3.0)
+        return system, profiler, report
+
+    def test_exclusive_times_sum_to_total(self, shared_topology):
+        system, profiler, report = self.run_profiled(
+            shared_topology, AcesPolicy()
+        )
+        assert report.weighted_throughput > 0
+        total = profiler.total_seconds
+        assert total > 0
+        assert sum(profiler.totals.values()) == pytest.approx(total)
+        fractions = profiler.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_all_phases_attributed(self, shared_topology):
+        """Batched flushes still report under the transport phase."""
+        system, profiler, report = self.run_profiled(
+            shared_topology, AcesPolicy()
+        )
+        assert set(profiler.totals) == {
+            "event_dispatch",
+            "controller_tick",
+            "pe_execute",
+            "transport",
+        }
+        assert all(count > 0 for count in profiler.counts.values())
+        # One transport bracket per batch flush, not per SDO: strictly
+        # fewer pushes than delivered SDOs once batching coalesces.
+        delivered = sum(
+            r.buffer.telemetry.accepted for r in system.runtimes.values()
+        )
+        assert 0 < profiler.counts["transport"] <= delivered
+
+    def test_batches_fully_flushed(self, shared_topology):
+        """Every batch at or before the clock was flushed; only arrivals
+        beyond the stop horizon may remain pending."""
+        system, _, _ = self.run_profiled(shared_topology, AcesPolicy())
+        now = system.env.now
+        assert all(at > now for at in system._delivery_batches)
+
+    def test_profiling_does_not_perturb_results(self, shared_topology):
+        _, _, profiled = self.run_profiled(shared_topology, AcesPolicy())
+        plain = run_system(
+            shared_topology, AcesPolicy(), duration=3.0,
+            config=quick_config(),
+        )
+        assert plain == profiled
