@@ -10,6 +10,7 @@ Commands
 ``trace``     simulate one policy with full controller telemetry
 ``figure``    regenerate one of the paper's figures/claims
 ``calibrate`` run the simulator-vs-threaded-runtime comparison
+``chaos``     run the resilience fault matrix (MTTR, utility retention)
 
 Examples::
 
@@ -18,6 +19,7 @@ Examples::
     python -m repro trace --policy aces --duration 5 --trace out.jsonl
     python -m repro trace --trace-filter kind=r_max|drop,pe=pe-3 --profile
     python -m repro figure fig5
+    python -m repro chaos --smoke --output BENCH_resilience.json
 """
 
 from __future__ import annotations
@@ -281,6 +283,82 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import (
+        SCENARIOS,
+        run_chaos_matrix,
+        write_resilience_bench,
+    )
+
+    if args.smoke:
+        spec = TopologySpec(
+            num_nodes=4, num_ingress=4, num_egress=4, num_intermediate=12,
+            lambda_s=args.lambda_s, load_factor=args.load,
+        )
+        duration, warmup = 6.0, 1.5
+        policies = ["aces"]
+    else:
+        ingress = max(1, args.pes // 5)
+        egress = max(1, args.pes // 5)
+        spec = TopologySpec(
+            num_nodes=args.nodes,
+            num_ingress=ingress,
+            num_egress=egress,
+            num_intermediate=max(0, args.pes - ingress - egress),
+            lambda_s=args.lambda_s,
+            load_factor=args.load,
+        )
+        duration, warmup = args.duration, args.warmup
+        policies = [name.strip() for name in args.policies.split(",")]
+
+    scenarios = (
+        [name.strip() for name in args.scenarios.split(",")]
+        if args.scenarios
+        else None
+    )
+    results = run_chaos_matrix(
+        spec,
+        policies=policies,
+        scenarios=scenarios,
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+        jobs=args.jobs or 1,
+    )
+    write_resilience_bench(results, args.output)
+
+    rows = [
+        {
+            "scenario": cell["scenario"],
+            "policy": cell["policy"],
+            "retention": cell["utility_retention"],
+            "mttr": cell["mttr"],
+            "drops": cell["drops"],
+            "stale": cell["events"]["feedback_stale"],
+            "fallback": cell["events"]["tier1_fallback"],
+            "error": cell["error"] or "-",
+        }
+        for cell in results["cells"]
+    ]
+    print_table(
+        rows,
+        title=(
+            f"resilience matrix ({len(SCENARIOS)} scenarios available, "
+            f"{len(results['cells'])} cells run)"
+        ),
+        precision=3,
+    )
+    errors = [cell for cell in results["cells"] if cell["error"]]
+    unrecovered = [
+        cell for cell in results["cells"] if not cell["recovered"]
+    ]
+    print(
+        f"cells={len(results['cells'])} errors={len(errors)} "
+        f"unrecovered={len(unrecovered)} -> {args.output}"
+    )
+    return 1 if errors else 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     topology = generate_topology(
         calibration_spec(scale=args.scale), np.random.default_rng(args.seed)
@@ -411,6 +489,45 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     figure.set_defaults(handler=cmd_figure)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="resilience fault matrix (MTTR, utility retention, drops)",
+        description=(
+            "Inject each fault scenario (data-plane and control-plane) "
+            "into a mid-run window for every requested policy, measure "
+            "utility retention during the fault and MTTR afterwards, and "
+            "write the matrix to a JSON benchmark file."
+        ),
+    )
+    _add_topology_arguments(chaos)
+    chaos.add_argument(
+        "--policies", default="aces,udp,lockstep",
+        help="comma-separated policy names",
+    )
+    chaos.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario names (default: all)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=10.0, help="measured seconds"
+    )
+    chaos.add_argument(
+        "--warmup", type=float, default=2.0, help="warm-up seconds"
+    )
+    chaos.add_argument(
+        "--output", default="BENCH_resilience.json", metavar="PATH",
+        help="benchmark JSON output file",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan matrix cells across N worker processes",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="reduced CI matrix: small topology, short run, ACES only",
+    )
+    chaos.set_defaults(handler=cmd_chaos)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="simulator vs threaded runtime"

@@ -13,7 +13,10 @@ Two tiers:
   * :mod:`repro.core.cpu_control` implements the token-bucket CPU
     scheduler (Section V-D);
   * :mod:`repro.core.policies` packages ACES and the two baselines
-    (UDP, Lock-Step) as pluggable transmission policies.
+    (UDP, Lock-Step) as pluggable transmission policies;
+  * :mod:`repro.core.resilience` guards the control plane itself:
+    Tier-1 retry/validation/last-known-good fallback and the lossy
+    feedback-bus wrapper used by fault injection.
 """
 
 from repro.core.cpu_control import AcesCpuScheduler, StrictProportionalScheduler
@@ -25,6 +28,12 @@ from repro.core.global_opt import (
 )
 from repro.core.lqr import LQRGains, design_gains
 from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
+from repro.core.resilience import (
+    LossyFeedbackBus,
+    ResilientTier1,
+    Tier1Unavailable,
+    validate_targets,
+)
 from repro.core.targets import AllocationTargets, perturb_targets
 from repro.core.utility import (
     ExponentialUtility,
@@ -45,11 +54,15 @@ __all__ = [
     "LinearUtility",
     "LockStepPolicy",
     "LogUtility",
+    "LossyFeedbackBus",
     "Policy",
+    "ResilientTier1",
     "StrictProportionalScheduler",
+    "Tier1Unavailable",
     "UdpPolicy",
     "UtilityFunction",
     "design_gains",
     "perturb_targets",
     "solve_global_allocation",
+    "validate_targets",
 ]

@@ -12,11 +12,22 @@ like the paper's "most recent updates on the maximum input rates received"
 (Section V-E).  Nodes ticking at unsynchronized offsets therefore read
 slightly stale values, which is part of what the stability analysis must
 tolerate.
+
+Graceful degradation: the original bus trusted a published value forever,
+so a consumer whose publications stop (controller outage, message loss)
+kept advertising its last — possibly wildly optimistic — rate.  With a
+``staleness_ttl``, a value unheard-from for that long *decays* to a
+configurable conservative bound (``stale_bound``, default 0: assume the
+silent consumer can absorb nothing) until a fresh publication arrives;
+each decay episode publishes one ``feedback_stale`` trace event.
 """
 
 from __future__ import annotations
 
 import typing as _t
+from bisect import insort
+
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
 _INF = float("inf")
 
@@ -29,30 +40,81 @@ class FeedbackBus:
     delay:
         Propagation delay in seconds before a published value becomes
         visible to readers.  Zero models an idealized instantaneous network.
+    staleness_ttl:
+        When set, a value not refreshed for this long is no longer
+        trusted: reads return ``stale_bound`` instead until a fresh
+        publication becomes visible.  ``None`` (default) preserves the
+        original trust-forever behavior.
+    stale_bound:
+        The conservative r_max substituted for a stale value.
+    recorder:
+        Optional trace bus; each stale *transition* (fresh -> stale)
+        publishes one ``feedback_stale`` event for the affected PE.
     """
 
-    def __init__(self, delay: float = 0.0):
+    def __init__(
+        self,
+        delay: float = 0.0,
+        staleness_ttl: _t.Optional[float] = None,
+        stale_bound: float = 0.0,
+        recorder: _t.Optional[TraceRecorder] = None,
+    ):
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
+        if staleness_ttl is not None and staleness_ttl <= 0:
+            raise ValueError(
+                f"staleness_ttl must be positive, got {staleness_ttl}"
+            )
+        if stale_bound < 0:
+            raise ValueError(f"stale_bound must be >= 0, got {stale_bound}")
         self.delay = delay
+        self.staleness_ttl = staleness_ttl
+        self.stale_bound = stale_bound
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._current: _t.Dict[str, float] = {}
+        #: Time each current value became visible (for staleness checks).
+        self._freshened_at: _t.Dict[str, float] = {}
+        #: PEs currently in a stale episode (so the event fires once).
+        self._stale: _t.Set[str] = set()
         #: Per-PE in-flight publications as (visible_at, value) tuples,
-        #: append-ordered (so also visible_at-ordered: time is monotonic).
+        #: visible_at-ordered (publications are append-ordered in time, but
+        #: per-message extra delay/jitter can reorder them — see publish).
         self._pending: _t.Dict[str, _t.List[_t.Tuple[float, float]]] = {}
         self.publishes = 0
+        #: Number of reads answered with the conservative stale bound.
+        self.stale_reads = 0
 
-    def publish(self, pe_id: str, r_max: float, now: float) -> None:
-        """Announce PE ``pe_id``'s maximum sustainable input rate."""
+    def publish(
+        self, pe_id: str, r_max: float, now: float, extra_delay: float = 0.0
+    ) -> None:
+        """Announce PE ``pe_id``'s maximum sustainable input rate.
+
+        ``extra_delay`` adds per-message propagation delay on top of the
+        bus-wide :attr:`delay` (fault injection models network jitter and
+        congestion this way).
+        """
         if r_max < 0:
             raise ValueError(f"{pe_id}: r_max must be >= 0, got {r_max}")
+        if extra_delay < 0:
+            raise ValueError(
+                f"{pe_id}: extra_delay must be >= 0, got {extra_delay}"
+            )
         self.publishes += 1
-        if self.delay == 0.0:
+        if self.delay == 0.0 and extra_delay == 0.0:
             self._current[pe_id] = r_max
+            self._freshened_at[pe_id] = now
+            self._stale.discard(pe_id)
             return
         pending = self._pending.get(pe_id)
         if pending is None:
             pending = self._pending[pe_id] = []
-        pending.append((now + self.delay, r_max))
+        visible_at = now + self.delay + extra_delay
+        if pending and pending[-1][0] > visible_at:
+            # Jittered message overtaking an in-flight one: keep the list
+            # visible_at-ordered so _settle's ripe-prefix scan stays valid.
+            insort(pending, (visible_at, r_max))
+        else:
+            pending.append((visible_at, r_max))
 
     def _settle(self, pe_id: str, now: float) -> None:
         pending = self._pending.get(pe_id)
@@ -67,12 +129,45 @@ class FeedbackBus:
             ripe += 1
         if ripe:
             self._current[pe_id] = pending[ripe - 1][1]
+            self._freshened_at[pe_id] = pending[ripe - 1][0]
+            self._stale.discard(pe_id)
             del pending[:ripe]
 
+    def _check_staleness(
+        self, pe_id: str, value: float, now: float
+    ) -> float:
+        """Decay a value past its TTL to the conservative bound."""
+        ttl = self.staleness_ttl
+        if ttl is None:
+            return value
+        age = now - self._freshened_at.get(pe_id, now)
+        if age <= ttl:
+            return value
+        self.stale_reads += 1
+        if pe_id not in self._stale:
+            self._stale.add(pe_id)
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "feedback_stale",
+                    pe=pe_id,
+                    age=age,
+                    ttl=ttl,
+                    last_value=value,
+                    stale_bound=self.stale_bound,
+                )
+        return self.stale_bound
+
     def latest(self, pe_id: str, now: float) -> _t.Optional[float]:
-        """Most recent visible r_max for ``pe_id`` (None if never heard)."""
+        """Most recent visible r_max for ``pe_id`` (None if never heard).
+
+        With a :attr:`staleness_ttl`, a value older than the TTL is
+        reported as :attr:`stale_bound` instead.
+        """
         self._settle(pe_id, now)
-        return self._current.get(pe_id)
+        value = self._current.get(pe_id)
+        if value is None:
+            return None
+        return self._check_staleness(pe_id, value, now)
 
     def max_downstream_rate(
         self, downstream_ids: _t.Sequence[str], now: float

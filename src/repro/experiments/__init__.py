@@ -10,11 +10,17 @@
   returning the table of numbers behind it;
 * :mod:`repro.experiments.calibration` — the SPC-runtime-vs-simulator
   calibration experiment (Section VI-C);
+* :mod:`repro.experiments.resilience` — the chaos/fault matrix measuring
+  utility retention, MTTR, and drops under injected faults;
 * :mod:`repro.experiments.reporting` — plain-text rendering of results.
 """
 
 from repro.experiments.calibration import run_calibration
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.resilience import (
+    run_chaos_matrix,
+    write_resilience_bench,
+)
 from repro.experiments.figures import (
     buffer_sweep,
     figure3_latency,
@@ -35,5 +41,7 @@ __all__ = [
     "robustness",
     "run_calibration",
     "run_cell",
+    "run_chaos_matrix",
     "sweep",
+    "write_resilience_bench",
 ]

@@ -34,11 +34,22 @@ from repro.core.targets import AllocationTargets
 from repro.experiments.config import ExperimentConfig
 from repro.graph.topology import Topology, generate_topology
 from repro.metrics.collectors import MetricsReport
+from repro.systems.faults import FaultPlan
 from repro.systems.simulated import SimulatedSystem, SystemConfig
 
 #: One worker assignment: everything a child process needs to run one
-#: policy on one prepared replication.
-_Task = _t.Tuple[int, Topology, AllocationTargets, SystemConfig, Policy, float]
+#: policy on one prepared replication.  The fault plan (or None) is
+#: built in the parent — ``FaultPlan`` is plain picklable data, unlike
+#: the factory closures that produce it.
+_Task = _t.Tuple[
+    int,
+    Topology,
+    AllocationTargets,
+    SystemConfig,
+    Policy,
+    float,
+    _t.Optional[FaultPlan],
+]
 
 
 class ParallelExecutionError(RuntimeError):
@@ -50,10 +61,20 @@ def _execute_task(
     task: _Task,
 ) -> _t.Tuple[int, str, MetricsReport]:
     """Child-process entry point: run one (replication, policy) simulation."""
-    replication, topology, targets, system_config, policy, duration = task
+    (
+        replication,
+        topology,
+        targets,
+        system_config,
+        policy,
+        duration,
+        fault_plan,
+    ) = task
     system = SimulatedSystem(
         topology, policy, targets=targets, config=system_config
     )
+    if fault_plan is not None:
+        fault_plan.attach(system)
     return replication, policy.name, system.run(duration)
 
 
@@ -97,12 +118,20 @@ def run_cell_tasks(
     targets_transform: _t.Optional[
         _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
     ] = None,
+    fault_plan_factory: _t.Optional[
+        _t.Callable[[Topology, int], _t.Optional[FaultPlan]]
+    ] = None,
 ) -> _t.Tuple[_t.Dict[int, _t.Dict[str, MetricsReport]], _t.Dict[int, float]]:
     """Fan a cell's (replication x policy) grid across ``jobs`` processes.
 
     Returns per-replication report dicts plus per-replication fluid
     optima, both keyed by replication index.  Raises
     :class:`ParallelExecutionError` on any pool failure.
+
+    ``fault_plan_factory`` is invoked in the parent with the same
+    (topology, seed) arguments the serial runner uses; the resulting
+    plan rides in the task tuple and is attached in the child, so a
+    faulted parallel cell matches its serial counterpart bit-for-bit.
     """
     if jobs < 2:
         raise ValueError("run_cell_tasks needs jobs >= 2; use the serial path")
@@ -114,6 +143,11 @@ def run_cell_tasks(
             config, replication, targets_transform
         )
         optima[replication] = optimum
+        fault_plan = (
+            fault_plan_factory(topology, config.base_seed + replication)
+            if fault_plan_factory is not None
+            else None
+        )
         for policy in policies:
             tasks.append(
                 (
@@ -123,6 +157,7 @@ def run_cell_tasks(
                     system_config,
                     policy,
                     config.duration,
+                    fault_plan,
                 )
             )
 

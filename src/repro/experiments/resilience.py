@@ -1,0 +1,417 @@
+"""Resilience benchmark: a fault matrix with MTTR and utility retention.
+
+Every cell of the matrix runs one policy on one topology with one
+:class:`~repro.systems.faults.FaultPlan` scenario injected mid-run, and
+measures how the closed loop degrades and recovers:
+
+* **utility retention** — weighted egress rate during the fault window
+  relative to the pre-fault steady state (the linear-utility view of the
+  paper's sum_j w_j r_out,j objective);
+* **MTTR** — mean time to recover: from the *end* of the fault window to
+  the first (smoothed) egress-rate bin back within 10% of the pre-fault
+  steady state;
+* **drops** — SDOs lost at buffers over the measured window;
+* **guard events** — how often the degradation guards fired
+  (``feedback_stale``, ``tier1_fallback``) plus the injected ``fault``
+  markers, taken from the trace recorder.
+
+The matrix is written to ``BENCH_resilience.json`` by ``repro chaos``
+(see :func:`write_resilience_bench`); ``--smoke`` runs a reduced matrix
+sized for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.policies import Policy, policy_by_name
+from repro.graph.topology import Topology, TopologySpec, generate_topology
+from repro.obs.recorder import MemoryRecorder, TraceFilter
+from repro.systems.faults import FaultPlan
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+#: Trace kinds the chaos harness counts (everything else is filtered out
+#: at the recorder so long runs stay cheap).
+_GUARD_KINDS = ("fault", "feedback_stale", "tier1_fallback", "worker_restart")
+
+#: Recovery band: back within this fraction of the pre-fault rate.
+RECOVERY_TOLERANCE = 0.10
+
+#: Rolling-mean window (bins) used when judging recovery, so one lucky
+#: bin inside a still-degraded stretch does not count as recovered.
+SMOOTHING_BINS = 3
+
+
+class EgressRateProbe:
+    """Sim process sampling the cumulative weighted egress count per bin.
+
+    Per-bin weighted egress *rates* are first differences of the sampled
+    cumulative sum_j w_j count_j.  The collector's warm-up reset makes the
+    cumulative series drop once; :meth:`rates` clamps that bin to zero.
+    """
+
+    def __init__(self, system: SimulatedSystem, bin_width: float):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.system = system
+        self.bin_width = bin_width
+        self.times: _t.List[float] = []
+        self.cumulative: _t.List[float] = []
+        system.env.process(self._run())
+
+    def _run(self) -> _t.Generator:
+        env = self.system.env
+        collector = self.system.collector
+        while True:
+            yield env.timeout(self.bin_width)
+            self.times.append(env.now)
+            self.cumulative.append(
+                sum(
+                    record.weight * record.count
+                    for record in collector.records().values()
+                )
+            )
+
+    def rates(self) -> _t.List[_t.Tuple[float, float]]:
+        """(bin end time, weighted egress rate) per completed bin."""
+        out: _t.List[_t.Tuple[float, float]] = []
+        previous = 0.0
+        for time, value in zip(self.times, self.cumulative):
+            out.append((time, max(0.0, value - previous) / self.bin_width))
+            previous = value
+        return out
+
+
+def mean_rate(
+    rates: _t.Sequence[_t.Tuple[float, float]], start: float, end: float
+) -> float:
+    """Mean per-bin rate over bins whose end time falls in (start, end]."""
+    window = [rate for time, rate in rates if start < time <= end]
+    if not window:
+        return 0.0
+    return sum(window) / len(window)
+
+
+def measure_mttr(
+    rates: _t.Sequence[_t.Tuple[float, float]],
+    fault_end: float,
+    pre_fault_rate: float,
+    tolerance: float = RECOVERY_TOLERANCE,
+    smoothing: int = SMOOTHING_BINS,
+) -> float:
+    """Time from fault end until the smoothed rate re-enters the
+    ``(1 - tolerance)``-band around the pre-fault steady state.
+
+    Returns 0.0 when there was nothing to recover (pre-fault rate zero),
+    ``inf`` when the run ends still degraded.
+    """
+    if pre_fault_rate <= 0:
+        return 0.0
+    threshold = (1.0 - tolerance) * pre_fault_rate
+    tail = [(time, rate) for time, rate in rates if time > fault_end]
+    for index in range(len(tail)):
+        lo = max(0, index - smoothing + 1)
+        window = [rate for _, rate in tail[lo : index + 1]]
+        if sum(window) / len(window) >= threshold:
+            return tail[index][0] - fault_end
+    return float("inf")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault schedule of the matrix."""
+
+    name: str
+    category: str  # "data-plane" | "control-plane"
+    description: str
+    #: Called with (plan, topology, start, duration); adds faults in place.
+    build: _t.Callable[[FaultPlan, Topology, float, float], None]
+
+
+def _pick_victim_pe(topology: Topology) -> str:
+    """A mid-graph PE whose loss actually dents egress throughput."""
+    graph = topology.graph
+    if graph.intermediate_ids:
+        return graph.intermediate_ids[0]
+    return graph.ingress_ids[0]
+
+
+def _sc_node_slowdown(plan, topology, start, duration) -> None:
+    plan.node_slowdown(0, factor=0.4, start=start, duration=duration)
+
+
+def _sc_source_surge(plan, topology, start, duration) -> None:
+    plan.source_surge(
+        topology.graph.ingress_ids[0], factor=2.5,
+        start=start, duration=duration,
+    )
+
+
+def _sc_pe_crash(plan, topology, start, duration) -> None:
+    plan.pe_crash(_pick_victim_pe(topology), start=start, duration=duration)
+
+
+def _sc_feedback_loss(plan, topology, start, duration) -> None:
+    plan.feedback_loss(0.5, start=start, duration=duration)
+
+
+def _sc_feedback_delay(plan, topology, start, duration) -> None:
+    plan.feedback_delay(5.0, start=start, duration=duration, jitter=0.05)
+
+
+def _sc_tier1_outage(plan, topology, start, duration) -> None:
+    plan.tier1_outage(start=start, duration=duration)
+
+
+def _sc_controller_outage(plan, topology, start, duration) -> None:
+    plan.controller_outage(0, start=start, duration=duration)
+
+
+SCENARIOS: _t.Dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            "node-slowdown", "data-plane",
+            "node 0 loses 60% CPU", _sc_node_slowdown,
+        ),
+        ChaosScenario(
+            "source-surge", "data-plane",
+            "first input stream rate x2.5", _sc_source_surge,
+        ),
+        ChaosScenario(
+            "pe-crash", "data-plane",
+            "mid-graph PE crashes, buffer lost", _sc_pe_crash,
+        ),
+        ChaosScenario(
+            "feedback-loss", "control-plane",
+            "50% of r_max publications dropped", _sc_feedback_loss,
+        ),
+        ChaosScenario(
+            "feedback-delay", "control-plane",
+            "feedback delay x5 with jitter", _sc_feedback_delay,
+        ),
+        ChaosScenario(
+            "tier1-outage", "control-plane",
+            "every Tier-1 re-solve fails", _sc_tier1_outage,
+        ),
+        ChaosScenario(
+            "controller-outage", "control-plane",
+            "node 0 misses all control ticks", _sc_controller_outage,
+        ),
+    )
+}
+
+
+@dataclass
+class ChaosCellResult:
+    """Outcome of one (scenario, policy) cell."""
+
+    scenario: str
+    category: str
+    policy: str
+    pre_fault_rate: float
+    fault_rate: float
+    utility_retention: float
+    recovery_rate: float
+    mttr: float
+    recovered: bool
+    drops: int
+    weighted_throughput: float
+    events: _t.Dict[str, int]
+    error: _t.Optional[str] = None
+
+
+def chaos_system_config(
+    seed: int, dt: float = 0.01, warmup: float = 2.0
+) -> SystemConfig:
+    """System config the chaos matrix runs under: degradation guards on
+    (staleness TTL of 10 control intervals, conservative bound 0) and
+    periodic Tier-1 re-solves so solver outages are actually exercised."""
+    return SystemConfig(
+        seed=seed,
+        dt=dt,
+        warmup=warmup,
+        feedback_staleness_ttl=10 * dt,
+        feedback_stale_bound=0.0,
+        reoptimize_interval=1.0,
+    )
+
+
+def run_chaos_cell(
+    topology: Topology,
+    policy: Policy,
+    scenario: ChaosScenario,
+    config: SystemConfig,
+    duration: float,
+    fault_start: float,
+    fault_duration: float,
+) -> ChaosCellResult:
+    """Run one faulted simulation and measure degradation and recovery.
+
+    ``fault_start`` is measured from the start of the *measured* window
+    (i.e. the fault fires at sim time ``warmup + fault_start``).
+    """
+    recorder = MemoryRecorder(
+        trace_filter=TraceFilter.parse("kind=" + "|".join(_GUARD_KINDS))
+    )
+    system = SimulatedSystem(
+        topology, policy, config=config, recorder=recorder
+    )
+    bin_width = max(config.dt * 2, duration / 80.0)
+    probe = EgressRateProbe(system, bin_width)
+
+    absolute_start = config.warmup + fault_start
+    plan = FaultPlan()
+    scenario.build(plan, topology, absolute_start, fault_duration)
+    plan.attach(system)
+
+    error: _t.Optional[str] = None
+    try:
+        report = system.run(duration)
+    except Exception as exc:  # noqa: BLE001 — a cell must never kill the matrix
+        error = f"{type(exc).__name__}: {exc}"
+        report = None
+
+    rates = probe.rates()
+    fault_end = absolute_start + fault_duration
+    # Skip the first post-warmup bins while the measured window settles.
+    settle = config.warmup + 2 * bin_width
+    pre = mean_rate(rates, settle, absolute_start)
+    during = mean_rate(rates, absolute_start, fault_end)
+    recovery_window_end = config.warmup + duration
+    post = mean_rate(rates, fault_end, recovery_window_end)
+    mttr = measure_mttr(rates, fault_end, pre)
+
+    return ChaosCellResult(
+        scenario=scenario.name,
+        category=scenario.category,
+        policy=policy.name,
+        pre_fault_rate=pre,
+        fault_rate=during,
+        utility_retention=(during / pre) if pre > 0 else 1.0,
+        recovery_rate=post,
+        mttr=mttr,
+        recovered=mttr != float("inf"),
+        drops=report.buffer_drops if report is not None else 0,
+        weighted_throughput=(
+            report.weighted_throughput if report is not None else 0.0
+        ),
+        events={kind: recorder.counts.get(kind, 0) for kind in _GUARD_KINDS},
+        error=error,
+    )
+
+
+#: Everything one matrix cell needs, picklable for process fan-out:
+#: (spec, topology seed, policy name, scenario name, system seed,
+#:  duration, fault_start, fault_duration, warmup).
+_CellArgs = _t.Tuple[
+    TopologySpec, int, str, str, int, float, float, float, float
+]
+
+
+def _run_cell_args(args: _CellArgs) -> ChaosCellResult:
+    (
+        spec, topo_seed, policy_name, scenario_name,
+        system_seed, duration, fault_start, fault_duration, warmup,
+    ) = args
+    topology = generate_topology(spec, np.random.default_rng(topo_seed))
+    return run_chaos_cell(
+        topology=topology,
+        policy=policy_by_name(policy_name),
+        scenario=SCENARIOS[scenario_name],
+        config=chaos_system_config(seed=system_seed, warmup=warmup),
+        duration=duration,
+        fault_start=fault_start,
+        fault_duration=fault_duration,
+    )
+
+
+def run_chaos_matrix(
+    spec: TopologySpec,
+    policies: _t.Sequence[str] = ("aces", "udp", "lockstep"),
+    scenarios: _t.Optional[_t.Sequence[str]] = None,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+    jobs: int = 1,
+) -> _t.Dict[str, _t.Any]:
+    """Run the full (scenario x policy) fault matrix on one topology.
+
+    Every cell shares the topology (generated from ``spec`` with
+    ``seed``) and the fault timeline: the fault fires 35% into the
+    measured window and lasts 25% of it, leaving a 40% tail for recovery
+    measurement.  ``jobs`` > 1 fans cells across worker processes.
+    """
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown scenarios {unknown}; known: {sorted(SCENARIOS)}"
+        )
+    if not policies:
+        raise ValueError("at least one policy is required")
+
+    fault_start = 0.35 * duration
+    fault_duration = 0.25 * duration
+    tasks: _t.List[_CellArgs] = [
+        (
+            spec, seed, policy_name, scenario_name,
+            seed * 1000 + 17, duration, fault_start, fault_duration, warmup,
+        )
+        for scenario_name in names
+        for policy_name in policies
+    ]
+
+    cells: _t.List[ChaosCellResult]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            cells = list(pool.map(_run_cell_args, tasks, chunksize=1))
+    else:
+        cells = [_run_cell_args(task) for task in tasks]
+
+    return {
+        "suite": "resilience",
+        "seed": seed,
+        "duration": duration,
+        "warmup": warmup,
+        "fault": {"start": fault_start, "duration": fault_duration},
+        "recovery_tolerance": RECOVERY_TOLERANCE,
+        "topology": {
+            "pes": (
+                spec.num_ingress + spec.num_egress + spec.num_intermediate
+            ),
+            "nodes": spec.num_nodes,
+        },
+        "scenarios": {
+            name: {
+                "category": SCENARIOS[name].category,
+                "description": SCENARIOS[name].description,
+            }
+            for name in names
+        },
+        "cells": [asdict(cell) for cell in cells],
+    }
+
+
+def write_resilience_bench(
+    results: _t.Dict[str, _t.Any], path: str
+) -> None:
+    """Write the matrix to disk (``inf`` MTTRs serialize as null)."""
+
+    def _clean(value: _t.Any) -> _t.Any:
+        if isinstance(value, float) and not np.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {key: _clean(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [_clean(item) for item in value]
+        return value
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_clean(results), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -22,11 +22,19 @@ from repro.graph.topology import Topology, generate_topology
 from repro.metrics.collectors import MetricsReport
 from repro.metrics.stats import SummaryStats, summarize
 from repro.obs.recorder import TraceRecorder
+from repro.systems.faults import FaultPlan
 from repro.systems.simulated import SimulatedSystem, SystemConfig
 
 #: Hook producing a per-run trace recorder: called with (policy name,
 #: replication index); returning None leaves that run untraced.
 RecorderFactory = _t.Callable[[str, int], _t.Optional[TraceRecorder]]
+
+#: Hook producing a per-replication fault plan: called with (topology,
+#: seed); returning None runs that replication fault-free.  Every policy
+#: in the replication runs under the *same* plan (the paired design),
+#: and plans are generated in the parent process so parallel cells stay
+#: bit-identical to serial ones (see ``repro.experiments.parallel``).
+FaultPlanFactory = _t.Callable[[Topology, int], _t.Optional[FaultPlan]]
 
 #: Process-count used when ``run_cell`` is called without an explicit
 #: ``jobs`` argument.  ``None`` keeps the serial path.  The benchmark
@@ -88,12 +96,14 @@ def run_replication(
         _t.Callable[[AllocationTargets, Topology, int], AllocationTargets]
     ] = None,
     recorder_factory: _t.Optional[RecorderFactory] = None,
+    fault_plan_factory: _t.Optional[FaultPlanFactory] = None,
 ) -> _t.Tuple[Topology, _t.Dict[str, MetricsReport], float]:
     """One topology, all policies; returns reports plus the fluid optimum.
 
     ``recorder_factory`` lets an experiment attach a trace recorder to any
     (policy, replication) run — e.g. trace only ACES on replication 0 —
-    without altering the paired-topology design.
+    without altering the paired-topology design.  ``fault_plan_factory``
+    subjects every policy in the replication to the same fault schedule.
     """
     seed = config.base_seed + replication
     topo_rng = np.random.default_rng(seed)
@@ -106,6 +116,11 @@ def run_replication(
     run_targets = targets
     if targets_transform is not None:
         run_targets = targets_transform(targets, topology, seed)
+    fault_plan = (
+        fault_plan_factory(topology, seed)
+        if fault_plan_factory is not None
+        else None
+    )
 
     reports: _t.Dict[str, MetricsReport] = {}
     for policy in policies:
@@ -127,6 +142,8 @@ def run_replication(
             config=system_config,
             recorder=recorder,
         )
+        if fault_plan is not None:
+            fault_plan.attach(system)
         reports[policy.name] = system.run(config.duration)
     return topology, reports, optimum
 
@@ -139,6 +156,7 @@ def run_cell(
     ] = None,
     recorder_factory: _t.Optional[RecorderFactory] = None,
     jobs: _t.Optional[int] = None,
+    fault_plan_factory: _t.Optional[FaultPlanFactory] = None,
 ) -> CellResult:
     """Run every policy over ``config.replications`` random topologies.
 
@@ -148,6 +166,11 @@ def run_cell(
     and targets are generated in the parent with the serial seed
     derivation.  ``jobs`` of None or 1, a ``recorder_factory`` (recorders
     hold process-local state), or any pool failure runs serially.
+
+    ``fault_plan_factory`` (topology, seed) -> FaultPlan | None applies
+    the same fault schedule to every policy of a replication; plans are
+    built in the parent process on both paths, so serial and parallel
+    faulted cells stay bit-identical.
     """
     if not policies:
         raise ValueError("at least one policy is required")
@@ -174,7 +197,11 @@ def run_cell(
 
         try:
             all_reports, optima = run_cell_tasks(
-                config, policies, jobs, targets_transform
+                config,
+                policies,
+                jobs,
+                targets_transform,
+                fault_plan_factory=fault_plan_factory,
             )
         except ParallelExecutionError:
             all_reports = None  # graceful serial fallback
@@ -188,6 +215,7 @@ def run_cell(
                 replication,
                 targets_transform,
                 recorder_factory=recorder_factory,
+                fault_plan_factory=fault_plan_factory,
             )
             all_reports[replication] = reports
             optima[replication] = optimum

@@ -161,6 +161,27 @@ class InputBuffer:
         count = len(self._items) if limit is None else min(limit, len(self._items))
         return [self.pop(now) for _ in range(count)]
 
+    def flush(self, now: float, cause: str = "flush") -> int:
+        """Discard every buffered SDO, counting each as a drop.
+
+        Models state loss (a PE crash takes its input buffer with it);
+        returns the number of SDOs lost.
+        """
+        self._integrate(now)
+        lost = len(self._items)
+        self._items.clear()
+        self.telemetry.dropped += lost
+        if lost and self._recording:
+            self.recorder.emit(
+                "drop",
+                pe=self.pe_id,
+                cause=cause,
+                occupancy=0,
+                capacity=self.capacity,
+                count=lost,
+            )
+        return lost
+
     # -- telemetry ---------------------------------------------------------
 
     def _integrate(self, now: float) -> None:

@@ -35,6 +35,10 @@ EVENT_KINDS = frozenset(
         "drop",  # one SDO lost, with its cause
         "tier1_resolve",  # a Tier-1 global-optimization (re-)solve
         "gauge",  # a registered gauge sample (GaugeRegistry)
+        "tier1_fallback",  # Tier-1 solve failed; last-known-good installed
+        "feedback_stale",  # a feedback value exceeded its staleness TTL
+        "worker_restart",  # a supervisor restarted a dead runtime worker
+        "fault",  # a fault-injection apply/revert transition
     }
 )
 

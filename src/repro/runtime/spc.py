@@ -31,6 +31,7 @@ from repro.graph.topology import Topology
 from repro.metrics.collectors import EgressCollector
 from repro.metrics.stats import SummaryStats
 from repro.model.sdo import SDO
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.runtime.worker import RuntimePE
 from repro.sim.rng import RandomStreams, exponential
 
@@ -48,6 +49,22 @@ class RuntimeConfig:
     warmup: float = 1.0
     source_kind: str = "poisson"
     seed: int = 0
+    #: Run the worker supervisor (detects dead worker threads and
+    #: restarts them with bounded exponential backoff).
+    supervise: bool = True
+    #: Supervisor scan period (model seconds).
+    supervisor_poll: float = 0.02
+    #: Restart budget per worker; a worker that keeps dying past this is
+    #: abandoned (and counted in ``RuntimeReport.workers_abandoned``).
+    max_worker_restarts: int = 5
+    #: Exponential-backoff schedule between restarts of one worker
+    #: (model seconds): base * factor**restarts_so_far.
+    restart_backoff_base: float = 0.05
+    restart_backoff_factor: float = 2.0
+    #: Staleness TTL for feedback values (model seconds; None = trust
+    #: forever), mirroring ``SystemConfig.feedback_staleness_ttl``.
+    feedback_staleness_ttl: _t.Optional[float] = None
+    feedback_stale_bound: float = 0.0
 
 
 @dataclass
@@ -62,6 +79,10 @@ class RuntimeReport:
     buffer_drops: int
     cpu_utilization: float
     per_egress_counts: _t.Dict[str, int] = field(default_factory=dict)
+    #: Dead workers revived by the supervisor during the run.
+    worker_restarts: int = 0
+    #: Workers that exhausted their restart budget and stayed dead.
+    workers_abandoned: int = 0
 
 
 class SPCRuntime:
@@ -73,10 +94,14 @@ class SPCRuntime:
         policy: Policy,
         targets: _t.Optional[AllocationTargets] = None,
         config: _t.Optional[RuntimeConfig] = None,
+        recorder: _t.Optional[TraceRecorder] = None,
     ):
         self.topology = topology
         self.policy = policy
         self.config = config or RuntimeConfig()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if self.recorder.enabled:
+            self.recorder.bind_clock(self.now)
         if targets is None:
             targets = solve_global_allocation(
                 topology.graph, topology.placement, topology.source_rates
@@ -89,6 +114,8 @@ class SPCRuntime:
         self._collector_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: _t.List[threading.Thread] = []
+        self.worker_restarts = 0
+        self.workers_abandoned = 0
 
         self._build()
 
@@ -145,7 +172,12 @@ class SPCRuntime:
         self._nodes: _t.List[_t.List[RuntimePE]] = []
         self._schedulers = []
         self._controllers: _t.Dict[str, FlowController] = {}
-        self._bus = FeedbackBus(delay=0.0)
+        self._bus = FeedbackBus(
+            delay=0.0,
+            staleness_ttl=config.feedback_staleness_ttl,
+            stale_bound=config.feedback_stale_bound,
+            recorder=self.recorder,
+        )
         uses_feedback = self.policy.uses_feedback
         if uses_feedback:
             gains = self.policy.controller_gains(config.dt)
@@ -234,6 +266,60 @@ class SPCRuntime:
                 last_used[pe.pe_id] = used_total
             time.sleep(period_wall)
 
+    def _supervisor_loop(self) -> None:
+        """Detect dead workers and revive them with bounded backoff.
+
+        A worker thread that dies (an injected crash, or a real bug in
+        work emulation) would otherwise silently wedge the pipeline: its
+        channel fills, upstream backpressure propagates, and throughput
+        collapses with no error anywhere.  The supervisor scans every
+        ``supervisor_poll`` model-seconds; a dead worker is restarted
+        after an exponential-backoff delay, at most
+        ``max_worker_restarts`` times, and each revival publishes one
+        ``worker_restart`` trace event.
+        """
+        config = self.config
+        poll_wall = config.supervisor_poll * config.dilation
+        restarts: _t.Dict[str, int] = {pe_id: 0 for pe_id in self.pes}
+        revive_at: _t.Dict[str, _t.Optional[float]] = {
+            pe_id: None for pe_id in self.pes
+        }
+        abandoned: _t.Set[str] = set()
+        while not self._stop.is_set():
+            time.sleep(poll_wall)
+            for pe_id, pe in self.pes.items():
+                if self._stop.is_set():
+                    return
+                if not pe.started or pe.is_alive or pe_id in abandoned:
+                    continue
+                if restarts[pe_id] >= config.max_worker_restarts:
+                    abandoned.add(pe_id)
+                    self.workers_abandoned += 1
+                    continue
+                now_wall = time.monotonic()
+                scheduled = revive_at[pe_id]
+                if scheduled is None:
+                    backoff = (
+                        config.restart_backoff_base
+                        * config.restart_backoff_factor ** restarts[pe_id]
+                        * config.dilation
+                    )
+                    revive_at[pe_id] = now_wall + backoff
+                    continue
+                if now_wall < scheduled:
+                    continue
+                pe.restart()
+                restarts[pe_id] += 1
+                revive_at[pe_id] = None
+                self.worker_restarts += 1
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "worker_restart",
+                        pe=pe_id,
+                        restarts=restarts[pe_id],
+                        generation=pe.generation,
+                    )
+
     def _source_loop(self, pe_id: str, rate: float) -> None:
         config = self.config
         rng = self.streams.stream(f"src:{pe_id}")
@@ -262,6 +348,10 @@ class SPCRuntime:
             pe.start()
         for thread in self._threads:
             thread.start()
+        if config.supervise:
+            threading.Thread(
+                target=self._supervisor_loop, name="supervisor", daemon=True
+            ).start()
 
         time.sleep(config.warmup * config.dilation)
         with self._collector_lock:
@@ -303,6 +393,8 @@ class SPCRuntime:
                 / (window * max(1, self.topology.num_nodes))
             ),
             per_egress_counts=per_egress,
+            worker_restarts=self.worker_restarts,
+            workers_abandoned=self.workers_abandoned,
         )
 
 
@@ -312,6 +404,7 @@ def run_runtime(
     duration: float = 4.0,
     targets: _t.Optional[AllocationTargets] = None,
     config: _t.Optional[RuntimeConfig] = None,
+    recorder: _t.Optional[TraceRecorder] = None,
 ) -> RuntimeReport:
     """One-call entry point mirroring :func:`repro.systems.run_system`."""
     policies: _t.Dict[str, Policy] = {
@@ -320,6 +413,10 @@ def run_runtime(
         "lockstep": LockStepPolicy(),
     }
     runtime = SPCRuntime(
-        topology, policies[policy_name], targets=targets, config=config
+        topology,
+        policies[policy_name],
+        targets=targets,
+        config=config,
+        recorder=recorder,
     )
     return runtime.run(duration)

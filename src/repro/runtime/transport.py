@@ -74,6 +74,19 @@ class Channel:
             self._not_empty.notify()
             return True
 
+    def clear(self) -> int:
+        """Discard everything queued, counting each SDO as a drop.
+
+        Models buffer loss when the owning worker crashes; returns the
+        number of SDOs lost.
+        """
+        with self._lock:
+            lost = len(self._items)
+            self._items.clear()
+            self.stats.dropped += lost
+            self._not_full.notify_all()
+            return lost
+
     def get(self, timeout: _t.Optional[float] = None) -> _t.Optional[SDO]:
         """Pop the oldest SDO, waiting up to ``timeout``; None on timeout."""
         with self._not_empty:

@@ -85,6 +85,12 @@ class RuntimePE:
         self._clock: _t.Optional[_t.Callable[[], float]] = None
 
         self._stop = threading.Event()
+        self._crash = threading.Event()
+        #: Incremented on every restart (thread generation).
+        self.generation = 0
+        #: True once start() ran (so a supervisor can tell "not yet
+        #: started" apart from "died").
+        self.started = False
         self._thread = threading.Thread(
             target=self._run, name=f"pe-{profile.pe_id}", daemon=True
         )
@@ -130,11 +136,44 @@ class RuntimePE:
     def start(self) -> None:
         if self._clock is None:
             raise RuntimeError(f"{self.pe_id}: attach() before start()")
+        self.started = True
         self._thread.start()
 
     def stop(self, timeout: float = 2.0) -> None:
         self._stop.set()
         self._thread.join(timeout=timeout)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the worker thread is currently running."""
+        return self._thread.is_alive()
+
+    def kill(self, timeout: float = 2.0) -> int:
+        """Simulate a worker crash: the thread dies, buffered input is lost.
+
+        Returns the number of SDOs lost with the channel.  The PE stays
+        dead until :meth:`restart` (normally invoked by the runtime's
+        supervisor thread).
+        """
+        self._crash.set()
+        lost = self.channel.clear()
+        self._thread.join(timeout=timeout)
+        return lost
+
+    def restart(self) -> None:
+        """Revive a crashed worker with a fresh thread (counters persist)."""
+        if self._thread.is_alive():
+            raise RuntimeError(f"{self.pe_id}: cannot restart a live worker")
+        if self._stop.is_set():
+            raise RuntimeError(f"{self.pe_id}: cannot restart after stop()")
+        self._crash.clear()
+        self.generation += 1
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"pe-{self.pe_id}-g{self.generation}",
+            daemon=True,
+        )
+        self._thread.start()
 
     # -- worker loop --------------------------------------------------------
 
@@ -148,6 +187,8 @@ class RuntimePE:
     def _run(self) -> None:
         poll = 0.002
         while not self._stop.is_set():
+            if self._crash.is_set():
+                return  # simulated crash: the worker dies mid-flight
             if self.min_flow_gate and self.downstream and not self._gate_open():
                 time.sleep(poll)
                 continue

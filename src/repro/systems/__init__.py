@@ -7,6 +7,10 @@ system that can run under any :class:`~repro.core.policies.Policy`.
 
 :mod:`repro.systems.analysis` provides steady-state and stability
 diagnostics over a finished run.
+
+:mod:`repro.systems.faults` injects data-plane and control-plane faults
+(slowdowns, crashes, feedback loss/delay, solver and controller outages)
+into either substrate.
 """
 
 from repro.systems.analysis import (
@@ -15,9 +19,12 @@ from repro.systems.analysis import (
     max_rate_imbalance,
     rate_balance,
 )
+from repro.systems.faults import Fault, FaultPlan
 from repro.systems.simulated import SimulatedSystem, SystemConfig, run_system
 
 __all__ = [
+    "Fault",
+    "FaultPlan",
     "OccupancyProbe",
     "SimulatedSystem",
     "SystemConfig",

@@ -1,10 +1,12 @@
-"""Fault and disturbance injection for simulated systems.
+"""Fault and disturbance injection for simulated and threaded systems.
 
 The paper evaluates robustness to *allocation errors*
 (:func:`repro.core.targets.perturb_targets`); this module extends the
 reproduction with the runtime disturbances an operator of an extreme-scale
 system actually sees, so the controller's self-stabilization claim can be
-exercised end to end:
+exercised end to end.
+
+Data-plane faults (the workload/hardware misbehaving):
 
 * :meth:`FaultPlan.node_slowdown` — a node loses a fraction of its CPU for
   a while (co-tenant interference, thermal throttling);
@@ -13,8 +15,30 @@ exercised end to end:
 * :meth:`FaultPlan.source_surge` — an input stream's rate multiplies for a
   while (flash crowd).
 
+Control-plane faults (the *controller itself* misbehaving):
+
+* :meth:`FaultPlan.feedback_loss` — each r_max publication is dropped
+  with a probability (lossy control network);
+* :meth:`FaultPlan.feedback_delay` — propagation delay of surviving
+  publications is multiplied, plus optional uniform jitter (congested
+  control network);
+* :meth:`FaultPlan.tier1_outage` — every Tier-1 re-solve during the
+  window raises (optimizer service down);
+* :meth:`FaultPlan.controller_outage` — one node's control loop misses
+  all its ticks during the window (controller process hang);
+* :meth:`FaultPlan.pe_crash` — a PE crashes, *losing its input buffer*,
+  and restarts after the window.
+
 Build a :class:`FaultPlan`, then ``plan.attach(system)`` *before* running;
-each fault is applied and reverted by simulation processes.
+each fault is applied and reverted by simulation processes.  For the
+threaded runtime use ``plan.attach_runtime(runtime)``, which schedules
+the supported kinds on a wall-clock timer thread (worker crashes there
+are healed by the runtime's supervisor, see :mod:`repro.runtime.spc`).
+
+Overlapping faults contending for the same underlying state (two
+slowdowns of one node, a stall and a crash of one PE, ...) would revert
+to intermediate captured values, so they are rejected at attach time
+with a clear error; faults on *different* resources compose freely.
 """
 
 from __future__ import annotations
@@ -22,8 +46,15 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
+from repro.core.resilience import LossyFeedbackBus
 from repro.model.workload import ConstantRateSource, PoissonSource
 from repro.systems.simulated import SimulatedSystem
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.spc import SPCRuntime
+
+#: Fault kinds the threaded runtime's injector can apply.
+RUNTIME_KINDS = frozenset({"pe_crash", "feedback_loss", "feedback_delay"})
 
 
 @dataclass(frozen=True)
@@ -35,6 +66,8 @@ class Fault:
     start: float
     duration: float
     magnitude: float
+    #: Kind-specific second parameter (feedback_delay: uniform jitter).
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.start < 0:
@@ -43,6 +76,70 @@ class Fault:
             raise ValueError("fault duration must be positive")
         if self.magnitude < 0:
             raise ValueError("fault magnitude must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("fault jitter must be >= 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def _check_magnitude(kind: str, magnitude: float) -> None:
+    """Kind-specific magnitude validation, shared by the FaultPlan
+    builders (fail early) and FaultInjector._validate (so directly
+    constructed Faults cannot bypass the checks)."""
+    if kind == "node_slowdown" and not 0.0 <= magnitude <= 1.0:
+        raise ValueError(
+            f"slowdown factor must lie in [0, 1], got {magnitude}"
+        )
+    if kind == "source_surge" and magnitude <= 0:
+        raise ValueError(f"surge factor must be positive, got {magnitude}")
+    if kind == "feedback_loss" and not 0.0 <= magnitude <= 1.0:
+        raise ValueError(
+            f"loss probability must lie in [0, 1], got {magnitude}"
+        )
+    if kind == "feedback_delay" and magnitude < 1.0:
+        raise ValueError(
+            f"delay multiplier must be >= 1, got {magnitude}"
+        )
+
+
+def _resource_key(fault: Fault) -> _t.Tuple[str, str]:
+    """The piece of system state a fault captures and restores.
+
+    Two faults with the same key would restore stale intermediate state
+    if their windows overlapped, so overlaps are rejected per key.
+    """
+    if fault.kind == "node_slowdown":
+        return ("node_capacity", fault.target)
+    if fault.kind in ("pe_stall", "pe_crash"):
+        return ("pe_gate", fault.target)
+    if fault.kind == "source_surge":
+        return ("source_rate", fault.target)
+    if fault.kind in ("feedback_loss", "feedback_delay"):
+        return ("feedback_bus", "*")
+    if fault.kind == "tier1_outage":
+        return ("tier1", "*")
+    if fault.kind == "controller_outage":
+        return ("controller_ticks", fault.target)
+    return (fault.kind, fault.target)
+
+
+def _reject_overlaps(faults: _t.Sequence[Fault]) -> None:
+    by_key: _t.Dict[_t.Tuple[str, str], _t.List[Fault]] = {}
+    for fault in faults:
+        by_key.setdefault(_resource_key(fault), []).append(fault)
+    for key, group in by_key.items():
+        group = sorted(group, key=lambda f: f.start)
+        for earlier, later in zip(group, group[1:]):
+            if later.start < earlier.end:
+                raise ValueError(
+                    f"overlapping faults on {key[0]} {key[1]!r}: "
+                    f"{earlier.kind} [{earlier.start}, {earlier.end}) and "
+                    f"{later.kind} [{later.start}, {later.end}) — "
+                    "reverts would restore intermediate state; "
+                    "stagger the windows or target different resources"
+                )
 
 
 @dataclass
@@ -51,12 +148,13 @@ class FaultPlan:
 
     faults: _t.List[Fault] = field(default_factory=list)
 
+    # -- data-plane faults ------------------------------------------------
+
     def node_slowdown(
         self, node_index: int, factor: float, start: float, duration: float
     ) -> "FaultPlan":
         """Scale a node's CPU capacity by ``factor`` during the window."""
-        if not 0.0 <= factor <= 1.0:
-            raise ValueError("slowdown factor must lie in [0, 1]")
+        _check_magnitude("node_slowdown", factor)
         self.faults.append(
             Fault("node_slowdown", str(node_index), start, duration, factor)
         )
@@ -73,16 +171,74 @@ class FaultPlan:
         self, ingress_pe_id: str, factor: float, start: float, duration: float
     ) -> "FaultPlan":
         """Multiply one source's arrival rate by ``factor`` in the window."""
-        if factor <= 0:
-            raise ValueError("surge factor must be positive")
+        _check_magnitude("source_surge", factor)
         self.faults.append(
             Fault("source_surge", ingress_pe_id, start, duration, factor)
         )
         return self
 
+    # -- control-plane faults ---------------------------------------------
+
+    def feedback_loss(
+        self, probability: float, start: float, duration: float
+    ) -> "FaultPlan":
+        """Drop each r_max publication with ``probability`` in the window."""
+        _check_magnitude("feedback_loss", probability)
+        self.faults.append(
+            Fault("feedback_loss", "*", start, duration, probability)
+        )
+        return self
+
+    def feedback_delay(
+        self,
+        multiplier: float,
+        start: float,
+        duration: float,
+        jitter: float = 0.0,
+    ) -> "FaultPlan":
+        """Stretch feedback propagation delay by ``multiplier`` (+ uniform
+        ``jitter`` extra seconds per message) in the window."""
+        _check_magnitude("feedback_delay", multiplier)
+        self.faults.append(
+            Fault(
+                "feedback_delay", "*", start, duration, multiplier,
+                jitter=jitter,
+            )
+        )
+        return self
+
+    def tier1_outage(self, start: float, duration: float) -> "FaultPlan":
+        """Make every Tier-1 (re-)solve fail during the window."""
+        self.faults.append(Fault("tier1_outage", "*", start, duration, 0.0))
+        return self
+
+    def controller_outage(
+        self, node_index: int, start: float, duration: float
+    ) -> "FaultPlan":
+        """Suspend one node's control ticks during the window."""
+        self.faults.append(
+            Fault("controller_outage", str(node_index), start, duration, 0.0)
+        )
+        return self
+
+    def pe_crash(
+        self, pe_id: str, start: float, duration: float
+    ) -> "FaultPlan":
+        """Crash a PE: its input buffer is lost, it restarts after the
+        window (simulator) or when the supervisor revives it (runtime)."""
+        self.faults.append(Fault("pe_crash", pe_id, start, duration, 0.0))
+        return self
+
+    # -- attachment -------------------------------------------------------
+
     def attach(self, system: SimulatedSystem) -> "FaultInjector":
         """Bind this plan to a built (but not yet run) system."""
         return FaultInjector(system, list(self.faults))
+
+    def attach_runtime(self, runtime: "SPCRuntime") -> "RuntimeFaultInjector":
+        """Bind the runtime-supported subset of this plan to a threaded
+        runtime (see :data:`RUNTIME_KINDS`)."""
+        return RuntimeFaultInjector(runtime, list(self.faults))
 
 
 class FaultInjector:
@@ -92,16 +248,18 @@ class FaultInjector:
         self.system = system
         self.faults = list(faults)
         self.applied: _t.List[_t.Tuple[float, Fault, str]] = []
+        _reject_overlaps(self.faults)
         for fault in self.faults:
             self._validate(fault)
             system.env.process(self._run(fault))
 
     def _validate(self, fault: Fault) -> None:
-        if fault.kind == "node_slowdown":
+        _check_magnitude(fault.kind, fault.magnitude)
+        if fault.kind in ("node_slowdown", "controller_outage"):
             index = int(fault.target)
             if not 0 <= index < len(self.system.nodes):
                 raise ValueError(f"no node {index}")
-        elif fault.kind == "pe_stall":
+        elif fault.kind in ("pe_stall", "pe_crash"):
             if fault.target not in self.system.runtimes:
                 raise ValueError(f"no PE {fault.target!r}")
         elif fault.kind == "source_surge":
@@ -110,27 +268,53 @@ class FaultInjector:
                 for source in self.system.sources
             ):
                 raise ValueError(f"no source feeding {fault.target!r}")
+        elif fault.kind in (
+            "feedback_loss", "feedback_delay", "tier1_outage"
+        ):
+            pass  # bus-wide / solver-wide: no target to resolve
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 
     def _run(self, fault: Fault) -> _t.Generator:
         env = self.system.env
+        recorder = self.system.recorder
         if fault.start > 0:
             yield env.timeout(fault.start)
         revert = self._apply(fault)
         self.applied.append((env.now, fault, "applied"))
+        if recorder.enabled:
+            recorder.emit(
+                "fault",
+                fault_kind=fault.kind,
+                target=fault.target,
+                phase="applied",
+                magnitude=fault.magnitude,
+            )
         yield env.timeout(fault.duration)
         revert()
         self.applied.append((env.now, fault, "reverted"))
+        if recorder.enabled:
+            recorder.emit(
+                "fault",
+                fault_kind=fault.kind,
+                target=fault.target,
+                phase="reverted",
+                magnitude=fault.magnitude,
+            )
 
     # -- fault application ---------------------------------------------------
 
     def _apply(self, fault: Fault) -> _t.Callable[[], None]:
-        if fault.kind == "node_slowdown":
-            return self._apply_node_slowdown(fault)
-        if fault.kind == "pe_stall":
-            return self._apply_pe_stall(fault)
-        return self._apply_source_surge(fault)
+        return {
+            "node_slowdown": self._apply_node_slowdown,
+            "pe_stall": self._apply_pe_stall,
+            "source_surge": self._apply_source_surge,
+            "feedback_loss": self._apply_feedback_fault,
+            "feedback_delay": self._apply_feedback_fault,
+            "tier1_outage": self._apply_tier1_outage,
+            "controller_outage": self._apply_controller_outage,
+            "pe_crash": self._apply_pe_crash,
+        }[fault.kind](fault)
 
     def _apply_node_slowdown(self, fault: Fault) -> _t.Callable[[], None]:
         index = int(fault.target)
@@ -182,5 +366,147 @@ class FaultInjector:
 
         def revert() -> None:
             source.peak_rate = original_peak
+
+        return revert
+
+    def _apply_feedback_fault(self, fault: Fault) -> _t.Callable[[], None]:
+        system = self.system
+        rng = system.streams.stream("fault:feedback")
+        if fault.kind == "feedback_loss":
+            wrapper = LossyFeedbackBus(
+                system.bus, rng, loss_probability=fault.magnitude
+            )
+        else:
+            wrapper = LossyFeedbackBus(
+                system.bus,
+                rng,
+                delay_multiplier=fault.magnitude,
+                jitter=fault.jitter,
+            )
+        system.bus = wrapper
+
+        def revert() -> None:
+            system.bus = wrapper.inner
+
+        return revert
+
+    def _apply_tier1_outage(self, fault: Fault) -> _t.Callable[[], None]:
+        tier1 = self.system.tier1
+
+        def outage() -> None:
+            raise RuntimeError("injected tier1 solver outage")
+
+        tier1.inject_failure = outage
+
+        def revert() -> None:
+            tier1.inject_failure = None
+
+        return revert
+
+    def _apply_controller_outage(self, fault: Fault) -> _t.Callable[[], None]:
+        index = int(fault.target)
+        system = self.system
+        system.suspend_node(index)
+
+        def revert() -> None:
+            system.resume_node(index)
+
+        return revert
+
+    def _apply_pe_crash(self, fault: Fault) -> _t.Callable[[], None]:
+        system = self.system
+        runtime = system.runtimes[fault.target]
+        previous_gate = system.gates[fault.target]
+        runtime.buffer.flush(system.env.now, cause="pe_crash")
+
+        def crashed_gate(pe: object) -> bool:
+            return False
+
+        system.set_gate(fault.target, crashed_gate)
+
+        def revert() -> None:
+            system.set_gate(fault.target, previous_gate)
+            runtime.blocked_last_interval = False
+
+        return revert
+
+
+class RuntimeFaultInjector:
+    """Applies the runtime-supported fault kinds to a threaded
+    :class:`~repro.runtime.spc.SPCRuntime` on a wall-clock schedule.
+
+    Start/duration are in *model* seconds (scaled by the runtime's
+    dilation); the injector runs one daemon thread that sleeps between
+    transitions.  ``pe_crash`` kills the worker thread (its channel is
+    lost) and leaves revival to the runtime's supervisor — the fault
+    window only scopes how long the injector reports the fault active.
+    """
+
+    def __init__(self, runtime: "SPCRuntime", faults: _t.Sequence[Fault]):
+        import threading
+
+        supported = [f for f in faults if f.kind in RUNTIME_KINDS]
+        unsupported = [f for f in faults if f.kind not in RUNTIME_KINDS]
+        if unsupported:
+            raise ValueError(
+                "threaded runtime supports fault kinds "
+                f"{sorted(RUNTIME_KINDS)}; got "
+                f"{sorted({f.kind for f in unsupported})}"
+            )
+        _reject_overlaps(supported)
+        for fault in supported:
+            _check_magnitude(fault.kind, fault.magnitude)
+            if fault.kind == "pe_crash" and fault.target not in runtime.pes:
+                raise ValueError(f"no PE {fault.target!r}")
+        self.runtime = runtime
+        self.faults = sorted(supported, key=lambda f: f.start)
+        self.applied: _t.List[_t.Tuple[float, Fault, str]] = []
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(fault,), daemon=True,
+                name=f"fault-{fault.kind}",
+            )
+            for fault in self.faults
+        ]
+
+    def start(self) -> None:
+        """Arm the plan (call right after ``runtime.run`` starts, or
+        before — threads sleep until each fault's start time)."""
+        for thread in self._threads:
+            thread.start()
+
+    def _run(self, fault: Fault) -> None:
+        import time
+
+        runtime = self.runtime
+        dilation = runtime.config.dilation
+        time.sleep(fault.start * dilation)
+        revert = self._apply(fault)
+        self.applied.append((runtime.now(), fault, "applied"))
+        time.sleep(fault.duration * dilation)
+        revert()
+        self.applied.append((runtime.now(), fault, "reverted"))
+
+    def _apply(self, fault: Fault) -> _t.Callable[[], None]:
+        runtime = self.runtime
+        if fault.kind == "pe_crash":
+            runtime.pes[fault.target].kill()
+            return lambda: None
+        rng = runtime.streams.stream("fault:feedback")
+        if fault.kind == "feedback_loss":
+            wrapper = LossyFeedbackBus(
+                runtime._bus, rng, loss_probability=fault.magnitude
+            )
+        else:
+            wrapper = LossyFeedbackBus(
+                runtime._bus,
+                rng,
+                delay_multiplier=fault.magnitude,
+                jitter=fault.jitter,
+            )
+        runtime._bus = wrapper
+
+        def revert() -> None:
+            runtime._bus = wrapper.inner
 
         return revert

@@ -24,8 +24,8 @@ from dataclasses import dataclass, field
 from repro.core.cpu_control import AcesCpuScheduler
 from repro.core.feedback import FeedbackBus
 from repro.core.flow_control import FlowController
-from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import Policy
+from repro.core.resilience import ResilientTier1, Tier1Unavailable
 from repro.core.targets import AllocationTargets
 from repro.core.utility import LogUtility
 from repro.graph.topology import Topology
@@ -57,6 +57,13 @@ class SystemConfig:
     dt: float = 0.01
     #: Feedback propagation delay; None means one control interval.
     feedback_delay: _t.Optional[float] = None
+    #: Staleness TTL for feedback values (seconds; typically a few Δt).
+    #: A value unheard-from for longer decays to the conservative
+    #: ``feedback_stale_bound`` instead of being trusted forever.  None
+    #: (default) preserves the original trust-forever behavior.
+    feedback_staleness_ttl: _t.Optional[float] = None
+    #: Conservative r_max substituted for stale feedback values.
+    feedback_stale_bound: float = 0.0
     #: Source model: 'onoff' (bursty), 'poisson', or 'constant'.
     source_kind: str = "onoff"
     #: ON fraction for the on/off source.
@@ -94,6 +101,13 @@ class SystemConfig:
             raise ValueError("warmup must be >= 0")
         if self.reoptimize_interval is not None and self.reoptimize_interval <= 0:
             raise ValueError("reoptimize_interval must be positive")
+        if (
+            self.feedback_staleness_ttl is not None
+            and self.feedback_staleness_ttl <= 0
+        ):
+            raise ValueError("feedback_staleness_ttl must be positive")
+        if self.feedback_stale_bound < 0:
+            raise ValueError("feedback_stale_bound must be >= 0")
         if self.link_bandwidth is not None and self.link_bandwidth <= 0:
             raise ValueError("link_bandwidth must be positive")
         if self.link_latency < 0:
@@ -168,14 +182,19 @@ class SimulatedSystem:
         self.profiler = profiler
         self.env.profiler = profiler
 
+        #: Degradation-guarded Tier-1 solver: retries, validates, and
+        #: falls back to last-known-good targets when a re-solve fails
+        #: (fault injection hooks into it via ``inject_failure``).
+        self.tier1 = ResilientTier1(recorder=self.recorder)
         if targets is None:
-            targets = solve_global_allocation(
+            targets = self.tier1.solve(
                 topology.graph,
                 topology.placement,
                 topology.source_rates,
-                recorder=self.recorder,
                 reason="initial",
             ).targets
+        else:
+            self.tier1.seed(targets)
         self.targets = targets
 
         self._build_runtimes()
@@ -257,7 +276,12 @@ class SimulatedSystem:
     def _build_control(self) -> None:
         config = self.config
         delay = config.dt if config.feedback_delay is None else config.feedback_delay
-        self.bus = FeedbackBus(delay=delay)
+        self.bus = FeedbackBus(
+            delay=delay,
+            staleness_ttl=config.feedback_staleness_ttl,
+            stale_bound=config.feedback_stale_bound,
+            recorder=self.recorder,
+        )
 
         self.schedulers = [
             self.policy.make_scheduler(
@@ -419,7 +443,23 @@ class SimulatedSystem:
                     record.gate = gate
                     return
 
+    def suspend_node(self, node_index: int) -> None:
+        """Make a node's control loop miss its ticks (controller outage).
+
+        The loop keeps waking every ``dt`` but performs no control step
+        and no PE execution until :meth:`resume_node` — exactly a hung
+        controller process: feedback from the node stops, its values on
+        the bus age out (see ``feedback_staleness_ttl``), and its PEs
+        make no progress.
+        """
+        self._node_paused[node_index] = True
+
+    def resume_node(self, node_index: int) -> None:
+        """Resume a suspended node's control loop."""
+        self._node_paused[node_index] = False
+
     def _start_node_loops(self) -> None:
+        self._node_paused: _t.List[bool] = [False] * len(self.nodes)
         for index, (node, scheduler) in enumerate(
             zip(self.nodes, self.schedulers)
         ):
@@ -431,6 +471,7 @@ class SimulatedSystem:
                     self._node_records[index],
                     self._scheduler_is_aces[index],
                     offset,
+                    index,
                 )
             )
 
@@ -443,14 +484,17 @@ class SimulatedSystem:
         records: _t.List[_TickRecord],
         is_aces: bool,
         offset: float,
+        node_index: int,
     ) -> _t.Generator:
         # Unsynchronized phase offsets: no global tick (Section V-E).
         env = self.env
         dt = self.config.dt
         tick = self._tick_node
+        paused = self._node_paused
         yield env.timeout(offset)
         while True:
-            tick(node, scheduler, records, is_aces, env.now)
+            if not paused[node_index]:
+                tick(node, scheduler, records, is_aces, env.now)
             yield env.timeout(dt)
 
     def _tick_node(
@@ -572,13 +616,18 @@ class SimulatedSystem:
                 last_generated[source.stream_id] = generated
                 pe_id = source.stream_id.split(":", 1)[1]
                 measured_rates[pe_id] = delta / interval
-            result = solve_global_allocation(
-                self.topology.graph,
-                self.topology.placement,
-                measured_rates,
-                recorder=self.recorder,
-                reason="reoptimize",
-            )
+            try:
+                result = self.tier1.solve(
+                    self.topology.graph,
+                    self.topology.placement,
+                    measured_rates,
+                    reason="reoptimize",
+                )
+            except Tier1Unavailable:
+                # No targets ever computed (cannot happen after a normal
+                # construction, which seeds last-known-good): keep serving
+                # under the current targets.
+                continue
             self.targets = result.targets
             for scheduler in self.schedulers:
                 scheduler.update_targets(result.targets.cpu)

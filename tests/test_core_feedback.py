@@ -86,3 +86,99 @@ class TestAggregation:
         consumers = ["c1", "c2", "c3"]
         assert bus.max_downstream_rate(consumers, 0.0) == 30.0
         assert bus.min_downstream_rate(consumers, 0.0) == 10.0
+
+
+class TestDelayEdgeCases:
+    def test_visible_exactly_at_boundary(self):
+        """A value published with delay d is visible at now + d inclusive."""
+        bus = FeedbackBus(delay=0.5)
+        bus.publish("c", 10.0, 1.0)  # visible_at == 1.5
+        assert bus.latest("c", 1.4999) is None
+        assert bus.latest("c", 1.5) == 10.0
+
+    def test_multiple_ripe_entries_collapse_to_newest(self):
+        bus = FeedbackBus(delay=0.1)
+        bus.publish("c", 10.0, 0.0)
+        bus.publish("c", 20.0, 0.05)
+        bus.publish("c", 30.0, 0.10)
+        # All three ripe at 0.25; the newest wins and the queue drains.
+        assert bus.latest("c", 0.25) == 30.0
+        assert bus._pending["c"] == []
+
+    def test_jittered_publication_keeps_order(self):
+        """A later publication with big extra delay must not bury an
+        earlier-visible one (insort keeps the ripe-prefix scan valid)."""
+        bus = FeedbackBus(delay=0.1)
+        bus.publish("c", 10.0, 0.0, extra_delay=1.0)  # visible at 1.1
+        bus.publish("c", 20.0, 0.01)  # visible at 0.11 — overtakes
+        assert bus.latest("c", 0.5) == 20.0
+        assert bus.latest("c", 1.2) == 10.0
+
+    def test_min_downstream_with_partially_published_consumers(self):
+        """Consumers whose values are still in flight count as unheard."""
+        bus = FeedbackBus(delay=0.2)
+        bus.publish("c1", 10.0, 0.0)  # visible at 0.2
+        bus.publish("c2", 5.0, 0.15)  # visible at 0.35
+        # c2 still in flight: min skips it, max is unconstrained.
+        assert bus.min_downstream_rate(["c1", "c2"], 0.25) == 10.0
+        assert bus.max_downstream_rate(["c1", "c2"], 0.25) == float("inf")
+        assert bus.min_downstream_rate(["c1", "c2"], 0.35) == 5.0
+        assert bus.max_downstream_rate(["c1", "c2"], 0.35) == 10.0
+
+
+class TestStalenessTTL:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackBus(staleness_ttl=0.0)
+        with pytest.raises(ValueError):
+            FeedbackBus(stale_bound=-1.0)
+
+    def test_fresh_value_trusted_within_ttl(self):
+        bus = FeedbackBus(staleness_ttl=1.0, stale_bound=0.0)
+        bus.publish("c", 10.0, 0.0)
+        assert bus.latest("c", 1.0) == 10.0  # age == ttl: still fresh
+
+    def test_stale_value_decays_to_bound(self):
+        bus = FeedbackBus(staleness_ttl=1.0, stale_bound=2.5)
+        bus.publish("c", 10.0, 0.0)
+        assert bus.latest("c", 1.5) == 2.5
+        assert bus.stale_reads == 1
+
+    def test_fresh_publication_ends_stale_episode(self):
+        bus = FeedbackBus(staleness_ttl=1.0, stale_bound=0.0)
+        bus.publish("c", 10.0, 0.0)
+        assert bus.latest("c", 2.0) == 0.0
+        bus.publish("c", 7.0, 2.0)
+        assert bus.latest("c", 2.0) == 7.0
+
+    def test_decay_applies_to_aggregates(self):
+        bus = FeedbackBus(staleness_ttl=1.0, stale_bound=0.0)
+        bus.publish("fast", 30.0, 0.0)
+        bus.publish("slow", 10.0, 1.9)
+        # At 2.5 'fast' is stale (decays to 0), 'slow' is fresh.
+        assert bus.max_downstream_rate(["fast", "slow"], 2.5) == 10.0
+        assert bus.min_downstream_rate(["fast", "slow"], 2.5) == 0.0
+
+    def test_stale_event_fires_once_per_episode(self):
+        from repro.obs.recorder import MemoryRecorder
+
+        recorder = MemoryRecorder()
+        bus = FeedbackBus(
+            staleness_ttl=1.0, stale_bound=0.0, recorder=recorder
+        )
+        bus.publish("c", 10.0, 0.0)
+        for now in (1.5, 1.6, 1.7):
+            assert bus.latest("c", now) == 0.0
+        assert recorder.counts.get("feedback_stale", 0) == 1
+        assert bus.stale_reads == 3
+        # A fresh publication arms a new episode.
+        bus.publish("c", 8.0, 2.0)
+        assert bus.latest("c", 3.5) == 0.0
+        assert recorder.counts.get("feedback_stale", 0) == 2
+
+    def test_delayed_publication_freshness_dates_from_visibility(self):
+        """Staleness age counts from when the value became *visible*."""
+        bus = FeedbackBus(delay=0.5, staleness_ttl=1.0, stale_bound=0.0)
+        bus.publish("c", 10.0, 0.0)  # visible at 0.5
+        assert bus.latest("c", 1.4) == 10.0  # age 0.9 < ttl
+        assert bus.latest("c", 1.6) == 0.0  # age 1.1 > ttl

@@ -23,6 +23,7 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import PolicySummary, run_cell
 from repro.metrics.stats import SummaryStats
 from repro.obs.recorder import MemoryRecorder
+from repro.systems.faults import FaultPlan
 
 
 def small_config(**overrides):
@@ -60,6 +61,35 @@ class TestParity:
             assert len(serial_reports) == config.replications
             for left, right in zip(serial_reports, parallel_reports):
                 assert left == right
+
+    def test_fault_plan_parity_serial_vs_parallel(self):
+        """The same parent-built fault plan yields bit-identical cells."""
+        calls = []
+
+        def chaos(topology, seed):
+            calls.append(seed)
+            plan = FaultPlan()
+            plan.feedback_loss(0.5, start=0.3, duration=0.4)
+            plan.node_slowdown(0, factor=0.5, start=0.3, duration=0.4)
+            return plan
+
+        config = small_config()
+        serial = run_cell(
+            config, [AcesPolicy()], fault_plan_factory=chaos, jobs=1
+        )
+        serial_calls, calls[:] = list(calls), []
+        parallel = run_cell(
+            config, [AcesPolicy()], fault_plan_factory=chaos, jobs=2
+        )
+        assert calls == serial_calls  # one parent-side call per replication
+        assert summary_numbers(serial.policies["aces"]) == (
+            summary_numbers(parallel.policies["aces"])
+        )
+        # The faults actually bit: a fault-free cell differs.
+        clean = run_cell(config, [AcesPolicy()], jobs=1)
+        assert summary_numbers(clean.policies["aces"]) != (
+            summary_numbers(serial.policies["aces"])
+        )
 
     def test_targets_transform_applied_in_parent(self):
         """Transforms (often closures — unpicklable) still parallelize."""

@@ -1,0 +1,491 @@
+"""Tests for the control-plane chaos harness and degradation guards.
+
+Covers the Tier-1 retry/fallback wrapper, the lossy feedback-bus fault
+wrapper, control-plane fault kinds end to end (simulator and threaded
+runtime), fault validation (including directly constructed faults and
+overlap rejection), and the resilience benchmark's MTTR machinery.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.global_opt import GlobalOptimizationResult
+from repro.core.feedback import FeedbackBus
+from repro.core.policies import AcesPolicy, UdpPolicy
+from repro.core.resilience import (
+    LossyFeedbackBus,
+    ResilientTier1,
+    Tier1Unavailable,
+    validate_targets,
+)
+from repro.core.targets import AllocationTargets
+from repro.experiments.resilience import (
+    SCENARIOS,
+    chaos_system_config,
+    mean_rate,
+    measure_mttr,
+    run_chaos_cell,
+    write_resilience_bench,
+)
+from repro.graph.topology import TopologySpec, generate_topology
+from repro.obs.recorder import MemoryRecorder, TraceFilter
+from repro.runtime.spc import RuntimeConfig, SPCRuntime
+from repro.systems.faults import Fault, FaultPlan
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+
+def small_topology(seed=0, **overrides):
+    params = dict(
+        num_nodes=3,
+        num_ingress=2,
+        num_egress=2,
+        num_intermediate=4,
+        calibrate_rates=False,
+    )
+    params.update(overrides)
+    return generate_topology(
+        TopologySpec(**params), np.random.default_rng(seed)
+    )
+
+
+def simple_targets(cpu=0.5):
+    return AllocationTargets(
+        cpu={"a": cpu}, rate_in={"a": 1.0}, rate_out={"a": 1.0}
+    )
+
+
+def good_result(targets=None):
+    return GlobalOptimizationResult(
+        targets=targets if targets is not None else simple_targets(),
+        objective=1.0,
+        solver="fake",
+        iterations=1,
+        converged=True,
+        max_violation=0.0,
+        messages=[],
+    )
+
+
+class TestValidateTargets:
+    def test_valid_targets_pass(self):
+        assert validate_targets(simple_targets(), {"a": 0}) == []
+
+    def test_non_finite_rejected(self):
+        targets = AllocationTargets(
+            cpu={"a": float("nan")}, rate_in={"a": 1.0}, rate_out={"a": 1.0}
+        )
+        problems = validate_targets(targets)
+        assert any("not finite" in p for p in problems)
+
+    def test_negative_rejected(self):
+        targets = AllocationTargets(
+            cpu={"a": 0.5}, rate_in={"a": -1.0}, rate_out={"a": 1.0}
+        )
+        problems = validate_targets(targets)
+        assert any("negative" in p for p in problems)
+
+    def test_node_overcommit_rejected(self):
+        targets = AllocationTargets(
+            cpu={"a": 0.7, "b": 0.7},
+            rate_in={"a": 1.0, "b": 1.0},
+            rate_out={"a": 1.0, "b": 1.0},
+        )
+        problems = validate_targets(targets, {"a": 0, "b": 0})
+        assert any("overcommitted" in p for p in problems)
+        # Spread over two nodes the same shares are fine.
+        assert validate_targets(targets, {"a": 0, "b": 1}) == []
+
+
+class TestResilientTier1:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ResilientTier1(max_attempts=0)
+        with pytest.raises(ValueError):
+            ResilientTier1(backoff_factor=0.5)
+
+    def test_retry_then_success(self):
+        attempts = []
+        backoffs = []
+
+        def flaky(graph, placement, source_rates, **kwargs):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return good_result()
+
+        tier1 = ResilientTier1(
+            solver=flaky, max_attempts=3,
+            backoff_base=0.05, backoff_factor=2.0, sleep=backoffs.append,
+        )
+        result = tier1.solve(None, {}, {})
+        assert result.solver == "fake"
+        assert tier1.failures == 2
+        assert tier1.fallbacks == 0
+        assert tier1.last_good is result
+        assert backoffs == [0.05, 0.1]
+
+    def test_fallback_to_last_known_good(self):
+        def broken(*args, **kwargs):
+            raise RuntimeError("solver down")
+
+        recorder = MemoryRecorder()
+        tier1 = ResilientTier1(
+            solver=broken, max_attempts=2, recorder=recorder
+        )
+        tier1.seed(simple_targets())
+        result = tier1.solve(None, {}, {})
+        assert result.solver == "fallback(seeded)"
+        assert not result.converged
+        assert result.targets.cpu == {"a": 0.5}
+        assert tier1.fallbacks == 1
+        assert recorder.counts.get("tier1_fallback") == 1
+        event = next(
+            e for e in recorder.events if e["kind"] == "tier1_fallback"
+        )
+        assert event["have_last_good"] is True
+
+    def test_unavailable_without_last_good(self):
+        def broken(*args, **kwargs):
+            raise RuntimeError("solver down")
+
+        tier1 = ResilientTier1(solver=broken, max_attempts=2)
+        with pytest.raises(Tier1Unavailable):
+            tier1.solve(None, {}, {})
+
+    def test_insane_targets_trigger_fallback(self):
+        def overcommitting(graph, placement, source_rates, **kwargs):
+            return good_result(
+                AllocationTargets(
+                    cpu={"a": 0.9, "b": 0.9},
+                    rate_in={"a": 1.0, "b": 1.0},
+                    rate_out={"a": 1.0, "b": 1.0},
+                )
+            )
+
+        tier1 = ResilientTier1(solver=overcommitting, max_attempts=1)
+        tier1.seed(simple_targets())
+        result = tier1.solve(None, {"a": 0, "b": 0}, {})
+        assert result.solver == "fallback(seeded)"
+        assert tier1.failures == 1
+
+    def test_inject_failure_hook(self):
+        def fine(graph, placement, source_rates, **kwargs):
+            return good_result()
+
+        tier1 = ResilientTier1(solver=fine, max_attempts=1)
+        tier1.seed(simple_targets())
+
+        def outage():
+            raise RuntimeError("injected")
+
+        tier1.inject_failure = outage
+        assert tier1.solve(None, {}, {}).solver == "fallback(seeded)"
+        tier1.inject_failure = None
+        assert tier1.solve(None, {}, {}).solver == "fake"
+
+
+class TestLossyFeedbackBus:
+    def test_parameter_validation(self):
+        inner = FeedbackBus()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            LossyFeedbackBus(inner, rng, loss_probability=1.5)
+        with pytest.raises(ValueError):
+            LossyFeedbackBus(inner, rng, delay_multiplier=0.5)
+        with pytest.raises(ValueError):
+            LossyFeedbackBus(inner, rng, jitter=-1.0)
+
+    def test_total_loss_drops_everything(self):
+        inner = FeedbackBus()
+        bus = LossyFeedbackBus(
+            inner, np.random.default_rng(0), loss_probability=1.0
+        )
+        for i in range(10):
+            bus.publish("c", float(i), now=0.1 * i)
+        assert bus.lost == 10
+        assert inner.publishes == 0
+        assert bus.latest("c", 2.0) is None
+
+    def test_partial_loss_lets_some_through(self):
+        inner = FeedbackBus()
+        bus = LossyFeedbackBus(
+            inner, np.random.default_rng(0), loss_probability=0.5
+        )
+        for i in range(100):
+            bus.publish("c", float(i), now=0.0)
+        assert 0 < bus.lost < 100
+        assert inner.publishes == 100 - bus.lost
+
+    def test_delay_multiplier_stretches_visibility(self):
+        inner = FeedbackBus(delay=0.1)
+        bus = LossyFeedbackBus(
+            inner, np.random.default_rng(0), delay_multiplier=3.0
+        )
+        bus.publish("c", 5.0, now=0.0)  # visible at ~0.3, not 0.1
+        assert bus.latest("c", 0.15) is None
+        assert bus.latest("c", 0.31) == 5.0
+
+    def test_reads_and_counters_delegate(self):
+        inner = FeedbackBus()
+        bus = LossyFeedbackBus(inner, np.random.default_rng(0))
+        bus.publish("c1", 10.0, 0.0)
+        bus.publish("c2", 20.0, 0.0)
+        assert bus.max_downstream_rate(["c1", "c2"], 0.0) == 20.0
+        assert bus.min_downstream_rate(["c1", "c2"], 0.0) == 10.0
+        assert bus.publishes == 2  # __getattr__ passthrough
+
+
+class TestFaultValidationSatellites:
+    def make_system(self, seed=3):
+        return SimulatedSystem(
+            small_topology(seed=seed), AcesPolicy(),
+            config=SystemConfig(seed=7, warmup=0.5),
+        )
+
+    def test_directly_constructed_fault_validated_at_attach(self):
+        """Bypassing the builders must not bypass magnitude checks."""
+        bad = Fault("node_slowdown", "0", start=1.0, duration=1.0,
+                    magnitude=1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultPlan(faults=[bad]).attach(self.make_system())
+        bad_loss = Fault("feedback_loss", "*", start=1.0, duration=1.0,
+                         magnitude=2.0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(faults=[bad_loss]).attach(self.make_system())
+
+    def test_overlapping_same_resource_rejected(self):
+        plan = FaultPlan()
+        plan.node_slowdown(0, factor=0.5, start=1.0, duration=2.0)
+        plan.node_slowdown(0, factor=0.8, start=2.0, duration=2.0)
+        with pytest.raises(ValueError, match="overlapping"):
+            plan.attach(self.make_system())
+
+    def test_stall_and_crash_share_the_pe_gate(self):
+        system = self.make_system()
+        pe = next(iter(system.runtimes))
+        plan = FaultPlan()
+        plan.pe_stall(pe, start=1.0, duration=1.0)
+        plan.pe_crash(pe, start=1.5, duration=1.0)
+        with pytest.raises(ValueError, match="overlapping"):
+            plan.attach(system)
+
+    def test_adjacent_windows_allowed(self):
+        plan = FaultPlan()
+        plan.node_slowdown(0, factor=0.5, start=1.0, duration=1.0)
+        plan.node_slowdown(0, factor=0.8, start=2.0, duration=1.0)
+        plan.attach(self.make_system())  # no error
+
+    def test_different_resources_compose(self):
+        plan = FaultPlan()
+        plan.node_slowdown(0, factor=0.5, start=1.0, duration=2.0)
+        plan.feedback_loss(0.5, start=1.0, duration=2.0)
+        plan.tier1_outage(start=1.0, duration=2.0)
+        plan.attach(self.make_system())  # no error
+
+    def test_unknown_node_rejected(self):
+        plan = FaultPlan().controller_outage(99, start=1.0, duration=1.0)
+        with pytest.raises(ValueError, match="no node"):
+            plan.attach(self.make_system())
+
+
+class TestControlPlaneFaultsEndToEnd:
+    def run_faulted(self, build_plan, seed=3, duration=4.0, **config_kw):
+        topology = small_topology(seed=seed)
+        recorder = MemoryRecorder(
+            trace_filter=TraceFilter.parse(
+                "kind=fault|feedback_stale|tier1_fallback"
+            )
+        )
+        params = dict(
+            seed=7, warmup=1.0, dt=0.01,
+            feedback_staleness_ttl=0.05, feedback_stale_bound=0.0,
+        )
+        params.update(config_kw)
+        system = SimulatedSystem(
+            topology, AcesPolicy(),
+            config=SystemConfig(**params), recorder=recorder,
+        )
+        plan = FaultPlan()
+        build_plan(plan, topology)
+        plan.attach(system)
+        report = system.run(duration)
+        return system, report, recorder
+
+    def test_feedback_loss_completes_with_stale_events(self):
+        """Acceptance: heavy feedback loss degrades gracefully — the run
+        completes, staleness decay fires, and output keeps flowing."""
+        system, report, recorder = self.run_faulted(
+            lambda plan, topo: plan.feedback_loss(
+                0.9, start=1.5, duration=2.0
+            )
+        )
+        assert report.weighted_throughput > 0
+        assert recorder.counts.get("feedback_stale", 0) >= 1
+        assert recorder.counts.get("fault") == 2  # applied + reverted
+        assert system.bus.stale_reads > 0
+        assert not isinstance(system.bus, LossyFeedbackBus)  # reverted
+
+    def test_tier1_outage_serves_from_last_known_good(self):
+        """Acceptance: with Tier-1 down, re-solves fall back to the last
+        good targets and the system keeps serving."""
+        system, report, recorder = self.run_faulted(
+            lambda plan, topo: plan.tier1_outage(start=1.2, duration=2.0),
+            reoptimize_interval=0.5,
+        )
+        assert report.weighted_throughput > 0
+        assert system.tier1.fallbacks >= 1
+        assert recorder.counts.get("tier1_fallback", 0) >= 1
+        assert system.tier1.inject_failure is None  # reverted
+        # After the window, re-solves succeed again.
+        assert system.tier1.last_good is not None
+
+    def test_controller_outage_suspends_and_recovers(self):
+        system, report, recorder = self.run_faulted(
+            lambda plan, topo: plan.controller_outage(
+                0, start=1.5, duration=1.0
+            )
+        )
+        assert report.weighted_throughput > 0
+        assert recorder.counts.get("fault") == 2
+        assert not any(system._node_paused)  # resumed
+
+    def test_pe_crash_loses_buffer_and_recovers(self):
+        picked = {}
+
+        def build(plan, topo):
+            victim = topo.graph.intermediate_ids[0]
+            picked["victim"] = victim
+            plan.pe_crash(victim, start=2.0, duration=0.5)
+
+        system, report, recorder = self.run_faulted(build)
+        assert report.weighted_throughput > 0
+        victim = system.runtimes[picked["victim"]]
+        assert victim.buffer.telemetry.dropped > 0
+        assert recorder.counts.get("fault") == 2
+
+    def test_feedback_delay_jitter_completes(self):
+        system, report, recorder = self.run_faulted(
+            lambda plan, topo: plan.feedback_delay(
+                5.0, start=1.5, duration=1.5, jitter=0.05
+            )
+        )
+        assert report.weighted_throughput > 0
+        assert recorder.counts.get("fault") == 2
+
+
+class TestRuntimeSupervisor:
+    def test_killed_worker_restarted_with_throughput(self):
+        """Acceptance: a killed runtime worker is revived by the
+        supervisor and the run still produces output."""
+        topology = small_topology(seed=5)
+        recorder = MemoryRecorder(
+            trace_filter=TraceFilter.parse("kind=worker_restart")
+        )
+        runtime = SPCRuntime(
+            topology, UdpPolicy(),
+            config=RuntimeConfig(
+                seed=3, warmup=0.4, dt=0.05,
+                supervisor_poll=0.01, restart_backoff_base=0.02,
+            ),
+            recorder=recorder,
+        )
+        victim = topology.graph.ingress_ids[0]
+        plan = FaultPlan().pe_crash(victim, start=0.7, duration=0.2)
+        injector = plan.attach_runtime(runtime)
+        injector.start()
+        report = runtime.run(duration=1.6)
+
+        assert report.worker_restarts >= 1
+        assert runtime.pes[victim].generation >= 1
+        assert report.total_output_sdos > 0
+        assert recorder.counts.get("worker_restart", 0) >= 1
+        event = next(
+            e for e in recorder.events if e["kind"] == "worker_restart"
+        )
+        assert event["pe"] == victim
+
+    def test_runtime_rejects_sim_only_kinds(self):
+        topology = small_topology(seed=5)
+        runtime = SPCRuntime(topology, UdpPolicy())
+        plan = FaultPlan().tier1_outage(start=0.5, duration=0.5)
+        with pytest.raises(ValueError, match="supports fault kinds"):
+            plan.attach_runtime(runtime)
+
+
+class TestMTTRMachinery:
+    def test_mean_rate_window(self):
+        rates = [(0.5, 1.0), (1.0, 2.0), (1.5, 3.0), (2.0, 4.0)]
+        assert mean_rate(rates, 0.5, 1.5) == pytest.approx(2.5)
+        assert mean_rate(rates, 5.0, 6.0) == 0.0
+
+    def test_mttr_immediate_recovery(self):
+        rates = [(t, 10.0) for t in np.arange(0.5, 5.0, 0.5)]
+        assert measure_mttr(rates, fault_end=2.0, pre_fault_rate=10.0) == (
+            pytest.approx(0.5)
+        )
+
+    def test_mttr_delayed_recovery_with_smoothing(self):
+        # Degraded until t=3.0, then back; smoothing over 3 bins means
+        # the window mean crosses 90% a couple of bins later.
+        rates = [(t, 2.0) for t in (2.5, 3.0)] + [
+            (t, 10.0) for t in (3.5, 4.0, 4.5, 5.0)
+        ]
+        mttr = measure_mttr(rates, fault_end=2.0, pre_fault_rate=10.0)
+        assert mttr == pytest.approx(2.5)
+
+    def test_mttr_never_recovers(self):
+        rates = [(t, 1.0) for t in np.arange(2.5, 6.0, 0.5)]
+        assert measure_mttr(rates, fault_end=2.0, pre_fault_rate=10.0) == (
+            float("inf")
+        )
+
+    def test_mttr_zero_pre_fault_rate(self):
+        assert measure_mttr([], fault_end=1.0, pre_fault_rate=0.0) == 0.0
+
+
+class TestChaosCells:
+    def test_feedback_loss_cell_recovers(self):
+        """Acceptance: a 50%-feedback-loss ACES cell completes with
+        stale-feedback events and a finite MTTR."""
+        topology = small_topology(seed=2)
+        result = run_chaos_cell(
+            topology=topology,
+            policy=AcesPolicy(),
+            scenario=SCENARIOS["feedback-loss"],
+            config=chaos_system_config(seed=11, warmup=1.0),
+            duration=4.0,
+            fault_start=1.4,
+            fault_duration=1.0,
+        )
+        assert result.error is None
+        assert result.pre_fault_rate > 0
+        assert result.recovered
+        assert result.mttr != float("inf")
+        assert result.events["fault"] == 2
+
+    def test_tier1_outage_cell(self):
+        topology = small_topology(seed=2)
+        result = run_chaos_cell(
+            topology=topology,
+            policy=AcesPolicy(),
+            scenario=SCENARIOS["tier1-outage"],
+            config=chaos_system_config(seed=11, warmup=1.0),
+            duration=4.0,
+            fault_start=1.4,
+            fault_duration=1.0,
+        )
+        assert result.error is None
+        assert result.events["tier1_fallback"] >= 1
+        assert result.weighted_throughput > 0
+
+    def test_bench_serialization_maps_inf_to_null(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_resilience_bench(
+            {"cells": [{"mttr": float("inf"), "retention": 0.5}]},
+            str(path),
+        )
+        data = json.loads(path.read_text())
+        assert data["cells"][0]["mttr"] is None
+        assert data["cells"][0]["retention"] == 0.5
