@@ -221,6 +221,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     profiler = PhaseProfiler() if args.profile else None
     gauge_cadence = args.gauge_cadence if args.gauge_cadence > 0 else None
 
+    if args.substrate == "threaded":
+        return _trace_threaded(args, topology, policy, recorder)
+
     system = SimulatedSystem(
         topology,
         policy,
@@ -258,6 +261,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
     if profiler is not None:
         print(profiler.one_line())
+    return 0
+
+
+def _trace_threaded(
+    args: argparse.Namespace,
+    topology: Topology,
+    policy: _t.Any,
+    recorder: TraceRecorder,
+) -> int:
+    """Trace the same control plane on the threaded runtime substrate."""
+    from repro.runtime.spc import RuntimeConfig, SPCRuntime
+
+    runtime = SPCRuntime(
+        topology,
+        policy,
+        config=RuntimeConfig(
+            buffer_size=args.buffer,
+            warmup=args.warmup,
+            seed=args.seed + 1,
+        ),
+        recorder=recorder,
+    )
+    report = runtime.run(args.duration)
+
+    if args.format == "csv":
+        assert isinstance(recorder, MemoryRecorder)
+        write_events_csv(recorder.events, args.trace)
+    recorder.close()
+
+    print(
+        f"{report.policy} [threaded]: "
+        f"throughput={report.weighted_throughput:.2f} "
+        f"output={report.total_output_sdos} "
+        f"latency_mean={report.latency.mean:.4f} "
+        f"drops={report.buffer_drops}"
+    )
+    total = sum(recorder.counts.values())
+    breakdown = " ".join(
+        f"{kind}={count}" for kind, count in sorted(recorder.counts.items())
+    )
+    print(f"trace: {total} events -> {args.trace} ({breakdown})")
+    if args.gauges is not None:
+        print("gauges: not available on the threaded substrate")
+    if args.profile:
+        print("profile: not available on the threaded substrate")
     return 0
 
 
@@ -445,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--trace", default="trace.jsonl", metavar="PATH",
         help="trace event output file (default trace.jsonl)",
+    )
+    trace.add_argument(
+        "--substrate", choices=("sim", "threaded"), default="sim",
+        help=(
+            "execution substrate driving the shared control plane: the "
+            "discrete-event simulator (default) or the threaded runtime"
+        ),
     )
     trace.add_argument(
         "--trace-filter", dest="trace_filter", default=None,

@@ -1,0 +1,39 @@
+"""Substrate-agnostic control plane (the paper's Tier-2 algorithm).
+
+This package is the single home of the per-node control step the paper
+describes in Section V — downstream feedback aggregation (Eq. 8), CPU
+allocation (Section V-D), and the LQR flow-control update with upstream
+``r_max`` publication (Eq. 7) — expressed against a narrow
+:class:`~repro.control.adapter.SystemAdapter` protocol instead of a
+concrete execution substrate.
+
+* :class:`~repro.control.node.NodeController` runs the Tier-2 step for
+  the PEs resident on one node.
+* :class:`~repro.control.plane.ControlPlane` builds one controller per
+  node from a :class:`~repro.core.policies.Policy`'s hook points, owns
+  the shared :class:`~repro.core.feedback.FeedbackBus` and the
+  :class:`~repro.core.resilience.ResilientTier1` guard, and exposes the
+  operational surface (gate replacement, controller suspend/resume,
+  target adoption) both substrates share.
+
+Two substrates currently drive it: the discrete-event simulator
+(:class:`repro.systems.dataplane.SimAdapter`) and the threaded mini-SPC
+runtime (:class:`repro.runtime.spc.ThreadAdapter`).  A new substrate —
+sharded, multi-process, remote — implements one small adapter instead of
+re-implementing the controller.
+"""
+
+from repro.control.adapter import BufferLike, PELike, SystemAdapter
+from repro.control.node import ControlRecord, NodeController
+from repro.control.plane import ControlPlane, NodeGroup, resolve_initial_targets
+
+__all__ = [
+    "BufferLike",
+    "ControlPlane",
+    "ControlRecord",
+    "NodeController",
+    "NodeGroup",
+    "PELike",
+    "SystemAdapter",
+    "resolve_initial_targets",
+]

@@ -1,0 +1,135 @@
+"""Protocols between the control core and an execution substrate.
+
+The controller never imports a substrate.  It sees the world through two
+structural protocols:
+
+* :class:`PELike` — the narrow per-PE surface every substrate's PE object
+  already exposes (the simulator's :class:`~repro.model.pe.PERuntime` and
+  the threaded runtime's :class:`~repro.runtime.worker.RuntimePE` both
+  satisfy it).  The CPU schedulers in :mod:`repro.core.cpu_control` are
+  written against the same protocol.
+* :class:`SystemAdapter` — the five substrate operations the Tier-2 step
+  needs: a clock, an occupancy snapshot, grant application (which reports
+  CPU actually used back through the scheduler's ``settle``), gate
+  installation, and trace emission.
+
+Keeping the adapter this narrow is what makes new substrates cheap: a
+sharded or multi-process node implements these five methods and inherits
+the whole controller, including every policy and fault-injection hook.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.node import ControlRecord
+    from repro.model.params import PEProfile
+
+#: gate(pe) -> bool.  Checked before a PE may process; Lock-Step uses it
+#: to refuse work while any downstream buffer lacks room.
+GateFn = _t.Callable[["PELike"], bool]
+
+#: settle(pe_id, cpu_seconds_used, dt) — the scheduler's token-accounting
+#: callback an adapter invokes after measuring real CPU usage.
+SettleFn = _t.Callable[[str, float, float], None]
+
+
+class BufferLike(_t.Protocol):
+    """Input-buffer observables the control plane and policies read."""
+
+    @property
+    def occupancy(self) -> int: ...
+
+    @property
+    def free(self) -> int: ...
+
+    @property
+    def capacity(self) -> int: ...
+
+
+class PELike(_t.Protocol):
+    """Per-PE protocol shared by every substrate's PE object.
+
+    Attribute semantics (all already documented on the concrete classes):
+    ``processing_rate(cpu)`` is the short-horizon rate ``rho_j`` at
+    fractional allocation ``cpu``; ``cpu_for_output_rate_now(rate)`` is
+    the state-aware inverse ``g^{-1}`` used by the Eq. 8 CPU cap;
+    ``backlog_work`` estimates queued CPU-seconds; and
+    ``blocked_last_interval`` reports reactive Lock-Step blocking (a
+    substrate that blocks inside the worker, like the threaded runtime,
+    simply always returns False).
+    """
+
+    pe_id: str
+    profile: "PEProfile"
+    downstream: _t.Sequence["PELike"]
+    blocked_last_interval: bool
+
+    @property
+    def buffer(self) -> BufferLike: ...
+
+    @property
+    def backlog_work(self) -> float: ...
+
+    def processing_rate(self, cpu: float) -> float: ...
+
+    def cpu_for_output_rate_now(self, rate: float) -> float: ...
+
+
+class SystemAdapter(_t.Protocol):
+    """The substrate surface one :class:`NodeController` drives.
+
+    One adapter instance serves all nodes of a system; the controller
+    passes its node index and resolved records into every call so the
+    adapter does not need per-node state of its own.
+    """
+
+    def clock(self) -> float:
+        """Current substrate time (simulated or dilated wall clock)."""
+        ...
+
+    def snapshot(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        now: float,
+    ) -> _t.Mapping[str, float]:
+        """Per-PE input-buffer occupancy ``b(n)`` at ``now``.
+
+        This is the one controller observable whose measurement differs
+        between substrates (the simulator folds the read into its
+        occupancy-integral telemetry; the threaded runtime reads the
+        live channel depth).
+        """
+        ...
+
+    def apply_grants(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        grants: _t.Mapping[str, float],
+        now: float,
+        dt: float,
+        settle: SettleFn,
+    ) -> None:
+        """Put this interval's CPU fractions into effect.
+
+        The substrate executes (or schedules) the granted work and must
+        report the CPU-seconds each PE actually consumed back through
+        ``settle`` so token balances reflect reality.
+        """
+        ...
+
+    def apply_gates(self, pe_id: str, gate: _t.Optional[GateFn]) -> None:
+        """React to a gate replacement (fault injection, operator pause).
+
+        The control plane keeps the authoritative gate in its records;
+        substrates that enforce gates outside the control step (the
+        threaded runtime's in-worker Lock-Step check) hook here.
+        """
+        ...
+
+    def emit_trace(self, kind: str, **fields: _t.Any) -> None:
+        """Publish one trace event on the substrate's recorder."""
+        ...

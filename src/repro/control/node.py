@@ -1,0 +1,199 @@
+"""Per-node Tier-2 controller (paper Section V-E, one loop per node).
+
+Each control tick performs, in the paper's order: downstream feedback
+aggregation (Eq. 8) -> CPU allocation (Section V-D) -> flow-control
+update + upstream publication (Eq. 7) -> grant application on the
+substrate.  The tick body is substrate-free; everything physical goes
+through the :class:`~repro.control.adapter.SystemAdapter`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.control.adapter import GateFn, PELike, SystemAdapter
+from repro.core.flow_control import FlowController
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.plane import ControlPlane
+
+#: Scheduler protocol: .allocate(...) -> {pe_id: cpu}, .settle(pe_id, used, dt)
+Scheduler = _t.Any
+
+
+class ControlRecord:
+    """Per-PE state resolved once at wiring time for the control loop.
+
+    The per-tick loops in :meth:`NodeController.control` run for every PE
+    on every node every ``dt``; anything constant across ticks (gate,
+    controller, downstream ids, the Tier-1 CPU target) lives here instead
+    of being re-looked-up from the policy/targets dictionaries each time.
+    """
+
+    __slots__ = ("pe", "pe_id", "gate", "controller", "downstream_ids",
+                 "cpu_target")
+
+    def __init__(
+        self,
+        pe: PELike,
+        gate: _t.Optional[GateFn],
+        controller: _t.Optional[FlowController],
+        cpu_target: float,
+    ):
+        self.pe = pe
+        self.pe_id = pe.pe_id
+        self.gate = gate
+        self.controller = controller
+        self.downstream_ids = tuple(d.pe_id for d in pe.downstream)
+        self.cpu_target = cpu_target
+
+
+class NodeController:
+    """Runs the full Tier-2 step for the PEs resident on one node.
+
+    Substrate-agnostic: reads occupancies through the adapter's
+    ``snapshot``, publishes ``r_max`` on the plane's feedback bus (read
+    through the plane every tick so fault-injection bus swaps take
+    effect), and applies grants through the adapter.  The simulator and
+    the threaded runtime pump the *same* controller object type — the
+    parity test in ``tests/test_control_parity.py`` holds them to
+    identical decision sequences.
+    """
+
+    def __init__(
+        self,
+        node_index: int,
+        node_id: str,
+        scheduler: Scheduler,
+        records: _t.Sequence[ControlRecord],
+        plane: "ControlPlane",
+        adapter: SystemAdapter,
+        dt: float,
+        uses_feedback: bool,
+        aggregate_max: bool,
+        is_aces: bool,
+        profiler: _t.Optional[_t.Any] = None,
+    ):
+        self.node_index = node_index
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.records = list(records)
+        self.plane = plane
+        self.adapter = adapter
+        self.dt = dt
+        self.uses_feedback = uses_feedback
+        self.aggregate_max = aggregate_max
+        self.is_aces = is_aces
+        self.profiler = profiler
+        #: Gate decisions of the most recent non-feedback control step
+        #: (the PEs refused by their gates); feedback policies leave it
+        #: empty.  Exposed for diagnostics and the parity test.
+        self.last_blocked: _t.FrozenSet[str] = frozenset()
+        self.ticks = 0
+
+    # -- the Tier-2 step -----------------------------------------------------
+
+    def control(self, now: float) -> _t.Dict[str, float]:
+        """Feedback aggregation, CPU allocation, and Eq. 7 updates.
+
+        Returns this interval's CPU grants (``pe_id -> fraction``)
+        without touching the substrate; :meth:`tick` applies them.
+        """
+        dt = self.dt
+        records = self.records
+        scheduler = self.scheduler
+
+        if self.uses_feedback:
+            bus = self.plane.bus
+            read_bound = (
+                bus.max_downstream_rate
+                if self.aggregate_max
+                else bus.min_downstream_rate
+            )
+            caps: _t.Dict[str, float] = {}
+            for record in records:
+                caps[record.pe_id] = read_bound(record.downstream_ids, now)
+            if self.is_aces:
+                allocations = scheduler.allocate(dt, caps)
+            else:
+                allocations = scheduler.allocate(dt)
+            occupancies = self.adapter.snapshot(self.node_index, records, now)
+            allocations_get = allocations.get
+            publish = bus.publish
+            for record in records:
+                # rho_j(n) is the rate the PE can *sustain*: when the PE is
+                # momentarily unallocated (e.g. empty buffer) it still earns
+                # tokens at its long-term target, so advertising the target
+                # rate upstream is what keeps the pipeline from converging
+                # to a self-throttled equilibrium.
+                cpu_effective = allocations_get(record.pe_id, 0.0)
+                if cpu_effective < record.cpu_target:
+                    cpu_effective = record.cpu_target
+                rho = record.pe.processing_rate(cpu_effective)
+                controller = record.controller
+                # records always carry a controller when uses_feedback.
+                assert controller is not None
+                r_max = controller.update(occupancies[record.pe_id], rho)
+                publish(record.pe_id, r_max, now)
+            return allocations
+
+        # Redistribution reacts to *observed* blocking (last interval):
+        # the scheduler has no clairvoyant knowledge of which PEs will
+        # sleep this interval, so a PE that blocks mid-interval wastes
+        # the rest of its grant — the stop-start cost of Lock-Step.
+        # A sleeping PE wakes when its downstream frees space (checked
+        # at tick granularity, like the wake-up notification it would
+        # receive), so one stop costs at least one interval.  A substrate
+        # that blocks inside the worker (threaded runtime) never reports
+        # blocked_last_interval, leaving the set empty.
+        blocked: _t.Set[str] = set()
+        for record in records:
+            pe = record.pe
+            if not pe.blocked_last_interval:
+                continue
+            gate = record.gate
+            if gate is None or gate(pe):
+                pe.blocked_last_interval = False
+            else:
+                blocked.add(record.pe_id)
+        self.last_blocked = frozenset(blocked)
+        return scheduler.allocate(dt, blocked=blocked)
+
+    def tick(self, now: float) -> None:
+        """One full control interval: decide, then act on the substrate."""
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("controller_tick")
+        try:
+            grants = self.control(now)
+        finally:
+            if profiler is not None:
+                profiler.pop()
+        self.ticks += 1
+        self.adapter.apply_grants(
+            self.node_index, self.records, grants, now, self.dt,
+            self.scheduler.settle,
+        )
+
+    # -- operational surface -------------------------------------------------
+
+    def set_gate(self, pe_id: str, gate: _t.Optional[GateFn]) -> bool:
+        """Replace one resident PE's gate; True when the PE lives here."""
+        for record in self.records:
+            if record.pe_id == pe_id:
+                record.gate = gate
+                return True
+        return False
+
+    def refresh_cpu_targets(
+        self, cpu_targets: _t.Mapping[str, float]
+    ) -> None:
+        """Propagate refreshed Tier-1 targets into the tick records."""
+        for record in self.records:
+            record.cpu_target = cpu_targets.get(record.pe_id, 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeController({self.node_id}, pes={len(self.records)}, "
+            f"ticks={self.ticks})"
+        )

@@ -1,0 +1,325 @@
+"""The control plane: policy hooks -> per-node controllers, shared state.
+
+:class:`ControlPlane` is the one place a :class:`~repro.core.policies.
+Policy`'s behavioural factories (scheduler, flow-controller gains, gate,
+admission filter, feedback aggregation) are resolved into runnable
+control state.  It owns everything the Tier-2 loops share:
+
+* the :class:`~repro.core.feedback.FeedbackBus` (swappable at runtime,
+  which is how fault injection models lossy/congested control networks);
+* the :class:`~repro.core.resilience.ResilientTier1` degradation guard
+  and the target-adoption path used by periodic re-optimization;
+* the authoritative gate and admission-filter registries, with the
+  single dynamic-replacement entry point (:meth:`set_gate`);
+* the per-node pause flags behind controller-outage injection
+  (:meth:`suspend_node` / :meth:`resume_node`).
+
+Feedback aggregation (Eq. 8 max-flow vs the min-flow ablation) is
+resolved here exactly once — substrates must not re-derive it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.control.adapter import GateFn, PELike, SystemAdapter
+from repro.control.node import ControlRecord, NodeController
+from repro.core.cpu_control import AcesCpuScheduler
+from repro.core.feedback import FeedbackBus
+from repro.core.flow_control import FlowController
+from repro.core.resilience import ResilientTier1, Tier1Unavailable
+from repro.core.targets import AllocationTargets
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.global_opt import GlobalOptimizationResult
+    from repro.core.policies import Policy
+    from repro.graph.dag import ProcessingGraph
+    from repro.graph.placement import Placement
+    from repro.graph.topology import Topology
+    from repro.obs.gauges import GaugeRegistry
+
+#: Admission filter: admit(pe, sdo) -> bool, or None for admit-everything.
+AdmissionFn = _t.Optional[_t.Callable[[PELike, object], bool]]
+
+
+@dataclass
+class NodeGroup:
+    """The PEs resident on one node, as the control plane sees them."""
+
+    node_id: str
+    pes: _t.Sequence[PELike] = field(default_factory=list)
+    cpu_capacity: float = 1.0
+
+
+def resolve_initial_targets(
+    tier1: ResilientTier1,
+    topology: "Topology",
+    targets: _t.Optional[AllocationTargets] = None,
+) -> AllocationTargets:
+    """Tier-1 bootstrap: solve when no targets given, else seed the guard.
+
+    Either way the :class:`ResilientTier1` ends up holding a
+    last-known-good result, so later re-solves can fall back instead of
+    crashing the run.
+    """
+    if targets is None:
+        return tier1.solve(
+            topology.graph,
+            topology.placement,
+            topology.source_rates,
+            reason="initial",
+        ).targets
+    tier1.seed(targets)
+    return targets
+
+
+class ControlPlane:
+    """Tier-2 control state shared across one system's nodes.
+
+    Parameters
+    ----------
+    policy:
+        The behavioural strategy object; its factories are invoked here
+        and nowhere else.
+    adapter:
+        The substrate the node controllers act through.
+    groups:
+        One :class:`NodeGroup` per node (may be empty of PEs).
+    targets:
+        Tier-1 allocation targets in effect at construction.
+    dt:
+        Control interval length (seconds).
+    b0:
+        Flow-control occupancy set-point in SDOs (absolute, not a
+        fraction).
+    feedback_delay:
+        Propagation delay of the feedback bus (0 models an idealized
+        instantaneous control network).
+    feedback_staleness_ttl, feedback_stale_bound:
+        Staleness guard of the bus (see :class:`FeedbackBus`).
+    recorder:
+        Trace bus; the null default keeps hot paths branch-free.
+    tier1:
+        Optional :class:`ResilientTier1` guard used by
+        :meth:`reoptimize`; substrates that never re-solve may omit it.
+    profiler:
+        Optional phase profiler forwarded to node controllers
+        (simulator only).
+    """
+
+    def __init__(
+        self,
+        policy: "Policy",
+        adapter: SystemAdapter,
+        groups: _t.Sequence[NodeGroup],
+        targets: AllocationTargets,
+        dt: float,
+        b0: float,
+        feedback_delay: float = 0.0,
+        feedback_staleness_ttl: _t.Optional[float] = None,
+        feedback_stale_bound: float = 0.0,
+        recorder: _t.Optional[TraceRecorder] = None,
+        tier1: _t.Optional[ResilientTier1] = None,
+        profiler: _t.Optional[_t.Any] = None,
+    ):
+        self.policy = policy
+        self.adapter = adapter
+        self.groups = list(groups)
+        self.targets = targets
+        self.dt = dt
+        self.b0 = b0
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.tier1 = tier1
+
+        self.bus: _t.Any = FeedbackBus(
+            delay=feedback_delay,
+            staleness_ttl=feedback_staleness_ttl,
+            stale_bound=feedback_stale_bound,
+            recorder=self.recorder,
+        )
+
+        #: Behavioural constants, resolved from the policy exactly once.
+        self.uses_feedback = policy.uses_feedback
+        self.aggregate_max = (
+            policy.aggregate_feedback() == "max"
+            if self.uses_feedback
+            else True
+        )
+
+        self.schedulers: _t.List[_t.Any] = [
+            policy.make_scheduler(
+                group.pes, targets.cpu, group.cpu_capacity, dt
+            )
+            for group in self.groups
+        ]
+        if self.recorder.enabled:
+            for group, scheduler in zip(self.groups, self.schedulers):
+                attach = getattr(scheduler, "attach_tracing", None)
+                if attach is not None:
+                    attach(self.recorder, group.node_id)
+
+        self.controllers: _t.Dict[str, FlowController] = {}
+        if self.uses_feedback:
+            gains = policy.controller_gains(dt)
+            # feedback policies always provide controller gains.
+            assert gains is not None
+            for group in self.groups:
+                for pe in group.pes:
+                    self.controllers[pe.pe_id] = FlowController(
+                        gains,
+                        target_occupancy=b0,
+                        buffer_capacity=pe.buffer.capacity,
+                        pe_id=pe.pe_id,
+                        recorder=self.recorder,
+                    )
+
+        self.gates: _t.Dict[str, _t.Optional[GateFn]] = {}
+        self.admission_filters: _t.Dict[str, AdmissionFn] = {}
+        for group in self.groups:
+            for pe in group.pes:
+                self.gates[pe.pe_id] = policy.make_gate(pe)
+                self.admission_filters[pe.pe_id] = (
+                    policy.make_admission_filter(pe)
+                )
+
+        self.node_controllers: _t.List[NodeController] = [
+            NodeController(
+                node_index=index,
+                node_id=group.node_id,
+                scheduler=scheduler,
+                records=[
+                    ControlRecord(
+                        pe,
+                        self.gates[pe.pe_id],
+                        self.controllers.get(pe.pe_id),
+                        targets.cpu.get(pe.pe_id, 0.0),
+                    )
+                    for pe in group.pes
+                ],
+                plane=self,
+                adapter=adapter,
+                dt=dt,
+                uses_feedback=self.uses_feedback,
+                aggregate_max=self.aggregate_max,
+                is_aces=isinstance(scheduler, AcesCpuScheduler),
+                profiler=profiler,
+            )
+            for index, (group, scheduler) in enumerate(
+                zip(self.groups, self.schedulers)
+            )
+        ]
+
+        #: Per-node pause flags (controller-outage injection).  Loops may
+        #: capture this list object; mutate it, never rebind it.
+        self.paused: _t.List[bool] = [False] * len(self.groups)
+        #: Number of Tier-1 refreshes adopted during the run.
+        self.reoptimizations = 0
+
+    # -- operational surface -------------------------------------------------
+
+    def set_gate(self, pe_id: str, gate: _t.Optional[GateFn]) -> None:
+        """Replace a PE's processing gate at runtime.
+
+        The tick loops read gates from per-PE records resolved at wiring
+        time, so dynamic replacement (fault injection stalling a PE, an
+        operator pausing a stream) must go through here rather than
+        mutating :attr:`gates` directly.
+        """
+        self.gates[pe_id] = gate
+        for controller in self.node_controllers:
+            if controller.set_gate(pe_id, gate):
+                break
+        self.adapter.apply_gates(pe_id, gate)
+
+    def suspend_node(self, node_index: int) -> None:
+        """Make a node's control loop miss its ticks (controller outage).
+
+        The loop keeps waking every ``dt`` but performs no control step
+        and no PE execution until :meth:`resume_node` — exactly a hung
+        controller process: feedback from the node stops, its values on
+        the bus age out (see the bus's ``staleness_ttl``), and its PEs
+        make no progress.
+        """
+        self.paused[node_index] = True
+
+    def resume_node(self, node_index: int) -> None:
+        """Resume a suspended node's control loop."""
+        self.paused[node_index] = False
+
+    # -- Tier-1 interaction --------------------------------------------------
+
+    def adopt_targets(self, targets: AllocationTargets) -> None:
+        """Install refreshed Tier-1 targets into schedulers and records."""
+        self.targets = targets
+        for scheduler in self.schedulers:
+            scheduler.update_targets(targets.cpu)
+        for controller in self.node_controllers:
+            controller.refresh_cpu_targets(targets.cpu)
+
+    def reoptimize(
+        self,
+        graph: "ProcessingGraph",
+        placement: "Placement",
+        measured_rates: _t.Mapping[str, float],
+        reason: str = "reoptimize",
+    ) -> _t.Optional["GlobalOptimizationResult"]:
+        """Re-solve Tier 1 from measured rates and adopt the result.
+
+        Returns None when the guarded solver has nothing to offer (no
+        attempt succeeded and no last-known-good exists — cannot happen
+        after a normal bootstrap, which seeds last-known-good); the
+        system keeps serving under the current targets.
+        """
+        if self.tier1 is None:
+            raise RuntimeError(
+                "this control plane was built without a Tier-1 solver"
+            )
+        try:
+            result = self.tier1.solve(
+                graph, placement, measured_rates, reason=reason
+            )
+        except Tier1Unavailable:
+            return None
+        self.adopt_targets(result.targets)
+        self.reoptimizations += 1
+        return result
+
+    # -- observability -------------------------------------------------------
+
+    def register_gauges(
+        self,
+        gauges: "GaugeRegistry",
+        pe_order: _t.Optional[_t.Iterable[str]] = None,
+    ) -> None:
+        """Register the control-plane gauges: token levels and r_max.
+
+        ``pe_order`` fixes the r_max registration (hence trace-emission)
+        order; by default controllers register in node-placement order.
+        """
+        for scheduler in self.schedulers:
+            if isinstance(scheduler, AcesCpuScheduler):
+                for pe in scheduler.pes:
+                    gauges.register(
+                        "token_level",
+                        lambda s=scheduler, p=pe.pe_id: s.token_level(p),
+                        pe=pe.pe_id,
+                    )
+        controllers = self.controllers
+        ids = controllers.keys() if pe_order is None else pe_order
+        for pe_id in ids:
+            controller = controllers.get(pe_id)
+            if controller is None:
+                continue
+            gauges.register(
+                "r_max",
+                lambda c=controller: c.last_r_max,
+                pe=pe_id,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlPlane({self.policy.name}, nodes={len(self.groups)}, "
+            f"pes={sum(len(g.pes) for g in self.groups)})"
+        )

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.model.pe import PERuntime
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.adapter import PELike
 
 _INF = float("inf")
 
@@ -135,7 +137,7 @@ class AcesCpuScheduler:
 
     def __init__(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float = 1.0,
         bucket_depth_intervals: float = 20.0,
@@ -164,7 +166,7 @@ class AcesCpuScheduler:
             )
         #: (pe, bucket) pairs resolved once; :meth:`allocate` runs every
         #: control interval and must not pay per-tick dict lookups.
-        self._pairs: _t.List[_t.Tuple[PERuntime, TokenBucket]] = [
+        self._pairs: _t.List[_t.Tuple["PELike", TokenBucket]] = [
             (pe, self.buckets[pe.pe_id]) for pe in self.pes
         ]
 
@@ -302,7 +304,7 @@ class StrictProportionalScheduler:
 
     def __init__(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float = 1.0,
     ):

@@ -27,7 +27,9 @@ from repro.core.cpu_control import (
     StrictProportionalScheduler,
 )
 from repro.core.lqr import LQRGains, design_gains, proportional_gains
-from repro.model.pe import PERuntime
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.adapter import PELike
 
 #: Scheduler protocol: .allocate(...) -> {pe_id: cpu}, .settle(pe_id, used, dt)
 Scheduler = _t.Any
@@ -42,7 +44,7 @@ class Policy:
 
     def make_scheduler(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float,
         dt: float,
@@ -50,8 +52,8 @@ class Policy:
         raise NotImplementedError
 
     def make_gate(
-        self, pe: PERuntime
-    ) -> _t.Optional[_t.Callable[[PERuntime], bool]]:
+        self, pe: "PELike"
+    ) -> _t.Optional[_t.Callable[["PELike"], bool]]:
         """Per-PE processing gate; None means never blocked."""
         return None
 
@@ -64,8 +66,8 @@ class Policy:
         return "max"
 
     def make_admission_filter(
-        self, pe: PERuntime
-    ) -> _t.Optional[_t.Callable[[PERuntime, object], bool]]:
+        self, pe: "PELike"
+    ) -> _t.Optional[_t.Callable[["PELike", object], bool]]:
         """Optional early-drop filter applied before a buffer offer.
 
         Returning a callable lets a policy shed load *before* it occupies
@@ -136,7 +138,7 @@ class AcesPolicy(Policy):
 
     def make_scheduler(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float,
         dt: float,
@@ -181,7 +183,7 @@ class UdpPolicy(Policy):
 
     def make_scheduler(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float,
         dt: float,
@@ -202,7 +204,7 @@ class LockStepPolicy(Policy):
 
     def make_scheduler(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float,
         dt: float,
@@ -210,11 +212,11 @@ class LockStepPolicy(Policy):
         return StrictProportionalScheduler(pes, cpu_targets, capacity=capacity)
 
     def make_gate(
-        self, pe: PERuntime
-    ) -> _t.Optional[_t.Callable[[PERuntime], bool]]:
+        self, pe: "PELike"
+    ) -> _t.Optional[_t.Callable[["PELike"], bool]]:
         expected_m = max(1, int(round(pe.profile.lambda_m)))
 
-        def gate(runtime: PERuntime) -> bool:
+        def gate(runtime: "PELike") -> bool:
             return all(
                 consumer.buffer.free >= expected_m
                 for consumer in runtime.downstream
@@ -246,7 +248,7 @@ class LoadSheddingPolicy(Policy):
 
     def make_scheduler(
         self,
-        pes: _t.Sequence[PERuntime],
+        pes: _t.Sequence["PELike"],
         cpu_targets: _t.Mapping[str, float],
         capacity: float,
         dt: float,
@@ -254,8 +256,8 @@ class LoadSheddingPolicy(Policy):
         return StrictProportionalScheduler(pes, cpu_targets, capacity=capacity)
 
     def make_admission_filter(
-        self, pe: PERuntime
-    ) -> _t.Callable[[PERuntime, object], bool]:
+        self, pe: "PELike"
+    ) -> _t.Callable[["PELike", object], bool]:
         import numpy as np
 
         rng = np.random.default_rng(
@@ -263,7 +265,7 @@ class LoadSheddingPolicy(Policy):
         )
         threshold = self.threshold
 
-        def admit(runtime: PERuntime, sdo: object) -> bool:
+        def admit(runtime: "PELike", sdo: object) -> bool:
             occupancy = runtime.buffer.occupancy
             capacity = runtime.buffer.capacity
             start = threshold * capacity

@@ -22,6 +22,7 @@ applicable); remaining keys are kind-specific payload.
 from __future__ import annotations
 
 import json
+import threading
 import typing as _t
 from collections import Counter
 
@@ -149,6 +150,11 @@ class TraceRecorder:
         self._clock = clock
         self.filter = trace_filter or TraceFilter()
         self.counts: Counter = Counter()
+        # The threaded runtime emits from one control thread per node;
+        # serializing count+sink keeps JSONL lines whole.  Uncontended
+        # (single-threaded simulator) this is one atomic acquire per
+        # *recorded* event — hot paths already guard with ``enabled``.
+        self._emit_lock = threading.Lock()
 
     def bind_clock(self, clock: _t.Callable[[], float]) -> None:
         """Attach the virtual-time source (typically ``env.now``)."""
@@ -171,8 +177,9 @@ class TraceRecorder:
             "node": node,
         }
         event.update(data)
-        self.counts[kind] += 1
-        self._write(event)
+        with self._emit_lock:
+            self.counts[kind] += 1
+            self._write(event)
 
     def _write(self, event: _t.Dict[str, object]) -> None:
         raise NotImplementedError
@@ -260,8 +267,7 @@ class JsonlRecorder(TraceRecorder):
         if self._file is None:
             assert self._path is not None
             self._file = open(self._path, "w", encoding="utf-8")
-        self._file.write(json.dumps(event, separators=(",", ":")))
-        self._file.write("\n")
+        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
 
     def close(self) -> None:
         if self._file is not None and self._path is not None:

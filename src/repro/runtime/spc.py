@@ -6,10 +6,11 @@ with real worker threads, real bounded queues, wall-clock node control
 loops, and source threads.  Time is dilated: one model second takes
 ``dilation`` wall seconds, so a 60-PE calibration run finishes quickly.
 
-The control loop per node is a line-for-line mirror of
-:meth:`repro.systems.simulated.SimulatedSystem._tick_node`, operating the
-identical controller classes — that equivalence is what the calibration
-experiment (paper Section VI-C) measures.
+The control loop per node pumps the *same*
+:class:`~repro.control.node.NodeController` the simulator uses, through
+a :class:`ThreadAdapter` — the controller code is shared, not mirrored;
+that equivalence is what the calibration experiment (paper Section VI-C)
+measures and ``tests/test_control_parity.py`` asserts tick-by-tick.
 """
 
 from __future__ import annotations
@@ -19,11 +20,8 @@ import time
 import typing as _t
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core.cpu_control import AcesCpuScheduler
-from repro.core.feedback import FeedbackBus
-from repro.core.flow_control import FlowController
+from repro.control import ControlPlane, NodeGroup
+from repro.control.adapter import GateFn, SettleFn
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
 from repro.core.targets import AllocationTargets
@@ -34,6 +32,9 @@ from repro.model.sdo import SDO
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.runtime.worker import RuntimePE
 from repro.sim.rng import RandomStreams, exponential
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.node import ControlRecord
 
 
 @dataclass
@@ -85,6 +86,65 @@ class RuntimeReport:
     workers_abandoned: int = 0
 
 
+class ThreadAdapter:
+    """:class:`~repro.control.adapter.SystemAdapter` over worker threads.
+
+    Grants are applied by writing each worker's fractional ``allocation``
+    (the worker reads it per SDO); consumed CPU is settled from the
+    workers' monotonically growing ``cpu_used`` counters.
+    """
+
+    def __init__(self, clock: _t.Callable[[], float], recorder: TraceRecorder):
+        self._clock = clock
+        self.recorder = recorder
+        #: Per-PE cpu_used watermark at the previous settle.
+        self._last_used: _t.Dict[str, float] = {}
+
+    def clock(self) -> float:
+        return self._clock()
+
+    def snapshot(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        now: float,
+    ) -> _t.Dict[str, float]:
+        """Live channel depths (the threaded runtime's only observable)."""
+        return {
+            record.pe_id: record.pe.buffer.occupancy for record in records
+        }
+
+    def apply_grants(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        grants: _t.Mapping[str, float],
+        now: float,
+        dt: float,
+        settle: SettleFn,
+    ) -> None:
+        """Publish allocations to the workers and settle real CPU usage."""
+        last_used = self._last_used
+        grants_get = grants.get
+        for record in records:
+            pe = record.pe
+            pe_id = record.pe_id
+            pe.allocation = grants_get(pe_id, 0.0)
+            used_total = pe.cpu_used
+            settle(
+                pe_id, max(0.0, used_total - last_used.get(pe_id, 0.0)), dt
+            )
+            last_used[pe_id] = used_total
+
+    def apply_gates(self, pe_id: str, gate: _t.Optional[GateFn]) -> None:
+        """No-op: the threaded runtime enforces Lock-Step gating inside
+        the worker (``RuntimePE.min_flow_gate``), not in the control step."""
+
+    def emit_trace(self, kind: str, **fields: _t.Any) -> None:
+        if self.recorder.enabled:
+            self.recorder.emit(kind, **fields)
+
+
 class SPCRuntime:
     """A running threaded stream-processing system."""
 
@@ -127,6 +187,17 @@ class SPCRuntime:
             return 0.0
         return (time.monotonic() - self._start_wall) / self.config.dilation
 
+    # -- control-plane delegation --------------------------------------------
+
+    @property
+    def _bus(self) -> _t.Any:
+        """The feedback bus (swappable: fault injection wraps it)."""
+        return self.plane.bus
+
+    @_bus.setter
+    def _bus(self, value: _t.Any) -> None:
+        self.plane.bus = value
+
     # -- construction --------------------------------------------------------
 
     def _build(self) -> None:
@@ -146,6 +217,8 @@ class SPCRuntime:
                 is_egress=pe_id in egress,
             )
             if isinstance(self.policy, LockStepPolicy):
+                # Substrate-side Lock-Step enforcement: the worker blocks
+                # in place instead of being pre-empted by the controller.
                 pe.min_flow_gate = True
                 pe.blocking_emission = True
             self.pes[pe_id] = pe
@@ -168,26 +241,9 @@ class SPCRuntime:
                 egress_sink=make_sink(pe_id) if pe.is_egress else None,
             )
 
-        # Node control threads (mirror of the simulator's _tick_node).
-        self._nodes: _t.List[_t.List[RuntimePE]] = []
-        self._schedulers = []
-        self._controllers: _t.Dict[str, FlowController] = {}
-        self._bus = FeedbackBus(
-            delay=0.0,
-            staleness_ttl=config.feedback_staleness_ttl,
-            stale_bound=config.feedback_stale_bound,
-            recorder=self.recorder,
-        )
-        uses_feedback = self.policy.uses_feedback
-        if uses_feedback:
-            gains = self.policy.controller_gains(config.dt)
-            b0 = config.b0_fraction * config.buffer_size
-            for pe_id in self.pes:
-                self._controllers[pe_id] = FlowController(
-                    gains,
-                    target_occupancy=b0,
-                    buffer_capacity=config.buffer_size,
-                )
+        # Node control threads: the simulator's NodeController, pumped at
+        # dilated wall cadence through the thread adapter.
+        groups: _t.List[NodeGroup] = []
         for node_index in range(self.topology.num_nodes):
             members = [
                 self.pes[pe_id]
@@ -196,16 +252,27 @@ class SPCRuntime:
             ]
             if not members:
                 continue
-            scheduler = self.policy.make_scheduler(
-                members, self.targets.cpu, 1.0, config.dt
-            )
-            self._nodes.append(members)
-            self._schedulers.append(scheduler)
+            groups.append(NodeGroup(f"node-{node_index}", members))
+
+        self.adapter = ThreadAdapter(self.now, self.recorder)
+        self.plane = ControlPlane(
+            self.policy,
+            self.adapter,
+            groups=groups,
+            targets=self.targets,
+            dt=config.dt,
+            b0=config.b0_fraction * config.buffer_size,
+            feedback_delay=0.0,
+            feedback_staleness_ttl=config.feedback_staleness_ttl,
+            feedback_stale_bound=config.feedback_stale_bound,
+            recorder=self.recorder,
+        )
+        for controller in self.plane.node_controllers:
             self._threads.append(
                 threading.Thread(
                     target=self._control_loop,
-                    args=(members, scheduler),
-                    name=f"ctl-node-{node_index}",
+                    args=(controller,),
+                    name=f"ctl-{controller.node_id}",
                     daemon=True,
                 )
             )
@@ -223,47 +290,15 @@ class SPCRuntime:
 
     # -- threads ------------------------------------------------------------
 
-    def _control_loop(self, members: _t.List[RuntimePE], scheduler) -> None:
+    def _control_loop(self, controller: _t.Any) -> None:
+        """Pump one node's controller at the dilated control cadence."""
         config = self.config
         period_wall = config.dt * config.dilation
-        last_used = {pe.pe_id: 0.0 for pe in members}
+        paused = self.plane.paused
+        node_index = controller.node_index
         while not self._stop.is_set():
-            now = self.now()
-            if self.policy.uses_feedback:
-                aggregate = self.policy.aggregate_feedback()
-                caps = {}
-                for pe in members:
-                    ids = [d.pe_id for d in pe.downstream]
-                    if aggregate == "max":
-                        caps[pe.pe_id] = self._bus.max_downstream_rate(ids, now)
-                    else:
-                        caps[pe.pe_id] = self._bus.min_downstream_rate(ids, now)
-                if isinstance(scheduler, AcesCpuScheduler):
-                    allocations = scheduler.allocate(config.dt, caps)
-                else:
-                    allocations = scheduler.allocate(config.dt)
-                for pe in members:
-                    cpu_effective = max(
-                        allocations.get(pe.pe_id, 0.0),
-                        self.targets.cpu.get(pe.pe_id, 0.0),
-                    )
-                    rho = pe.processing_rate(cpu_effective)
-                    r_max = self._controllers[pe.pe_id].update(
-                        pe.channel.occupancy, rho
-                    )
-                    self._bus.publish(pe.pe_id, r_max, now)
-            else:
-                allocations = scheduler.allocate(config.dt, blocked=set())
-
-            for pe in members:
-                pe.allocation = allocations.get(pe.pe_id, 0.0)
-                used_total = pe.cpu_used
-                scheduler.settle(
-                    pe.pe_id,
-                    max(0.0, used_total - last_used[pe.pe_id]),
-                    config.dt,
-                )
-                last_used[pe.pe_id] = used_total
+            if not paused[node_index]:
+                controller.tick(self.now())
             time.sleep(period_wall)
 
     def _supervisor_loop(self) -> None:

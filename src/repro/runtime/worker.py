@@ -47,6 +47,10 @@ class _ChannelView:
     def free(self) -> int:
         return self._channel.free
 
+    @property
+    def capacity(self) -> int:
+        return self._channel.capacity
+
 
 class RuntimePE:
     """One PE (worker thread + input channel) in the threaded runtime."""
@@ -99,7 +103,9 @@ class RuntimePE:
 
     @property
     def backlog_work(self) -> float:
-        return self.channel.occupancy / self.profile.rate_slope
+        # Same float-op order as PERuntime.backlog_work (occupancy times
+        # reciprocal slope), so the substrate parity test stays bit-exact.
+        return self.channel.occupancy * (1.0 / self.profile.rate_slope)
 
     @property
     def current_service_time(self) -> float:

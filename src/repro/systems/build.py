@@ -1,0 +1,239 @@
+"""Construction of a simulated system: config + topology/data-plane builders.
+
+Everything here wires *passive* structure — PE runtimes, processing
+nodes, inter-node links, workload sources, gauges — and schedules no
+control logic of its own.  The Tier-2 control loops live in
+:mod:`repro.control`; the delivery/admission path lives in
+:mod:`repro.systems.dataplane`; :class:`repro.systems.simulated.
+SimulatedSystem` composes the three.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.graph.topology import Topology
+from repro.metrics.collectors import EgressCollector
+from repro.model.links import Link
+from repro.model.node import ProcessingNode
+from repro.model.pe import PERuntime
+from repro.model.sdo import SDO
+from repro.model.workload import (
+    ConstantRateSource,
+    OnOffSource,
+    PoissonSource,
+)
+from repro.obs.gauges import GaugeRegistry
+from repro.obs.recorder import TraceRecorder
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+#: admit(runtime, sdo, now) -> accepted?  Provided by the data plane.
+AdmitFn = _t.Callable[[PERuntime, SDO, float], bool]
+
+
+@dataclass
+class SystemConfig:
+    """Run-time configuration of a simulated system."""
+
+    buffer_size: int = 50
+    #: b0 as a fraction of the buffer size (paper: 1/2).
+    b0_fraction: float = 0.5
+    #: Control interval Delta-t (seconds).
+    dt: float = 0.01
+    #: Feedback propagation delay; None means one control interval.
+    feedback_delay: _t.Optional[float] = None
+    #: Staleness TTL for feedback values (seconds; typically a few Δt).
+    #: A value unheard-from for longer decays to the conservative
+    #: ``feedback_stale_bound`` instead of being trusted forever.  None
+    #: (default) preserves the original trust-forever behavior.
+    feedback_staleness_ttl: _t.Optional[float] = None
+    #: Conservative r_max substituted for stale feedback values.
+    feedback_stale_bound: float = 0.0
+    #: Source model: 'onoff' (bursty), 'poisson', or 'constant'.
+    source_kind: str = "onoff"
+    #: ON fraction for the on/off source.
+    source_duty: float = 0.5
+    #: Mean ON-period duration (seconds) — the arrival burst length.
+    source_mean_on: float = 0.5
+    #: Simulated warm-up excluded from all metrics.
+    warmup: float = 5.0
+    #: Finite bandwidth (size units / second) for links between PEs on
+    #: *different* nodes; None models the paper's instantaneous
+    #: intra-cluster transport.  Co-located PEs always communicate
+    #: through memory.
+    link_bandwidth: _t.Optional[float] = None
+    #: Propagation delay added to every inter-node transfer (seconds).
+    link_latency: float = 0.0
+    #: When set, Tier 1 is re-solved every this many simulated seconds
+    #: using the *measured* recent input rates, and the refreshed CPU
+    #: targets are pushed into the running schedulers (the paper's
+    #: periodic global optimization "to support changing workload").
+    reoptimize_interval: _t.Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if not 0.0 <= self.b0_fraction <= 1.0:
+            raise ValueError("b0_fraction must lie in [0, 1]")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.source_kind not in ("onoff", "poisson", "constant"):
+            raise ValueError(f"unknown source_kind {self.source_kind!r}")
+        if not 0.0 < self.source_duty <= 1.0:
+            raise ValueError("source_duty must lie in (0, 1]")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.reoptimize_interval is not None and self.reoptimize_interval <= 0:
+            raise ValueError("reoptimize_interval must be positive")
+        if (
+            self.feedback_staleness_ttl is not None
+            and self.feedback_staleness_ttl <= 0
+        ):
+            raise ValueError("feedback_staleness_ttl must be positive")
+        if self.feedback_stale_bound < 0:
+            raise ValueError("feedback_stale_bound must be >= 0")
+        if self.link_bandwidth is not None and self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.link_latency < 0:
+            raise ValueError("link_latency must be >= 0")
+
+
+def build_runtimes(
+    topology: Topology,
+    config: SystemConfig,
+    streams: RandomStreams,
+    recorder: TraceRecorder,
+) -> _t.Tuple[_t.Dict[str, PERuntime], EgressCollector]:
+    """Instantiate every PE runtime, wire the DAG edges, and register
+    the egress collector."""
+    graph = topology.graph
+    ingress = set(graph.ingress_ids)
+    egress = set(graph.egress_ids)
+    runtimes: _t.Dict[str, PERuntime] = {}
+    for pe_id in graph.topological_order():
+        runtime = PERuntime(
+            profile=graph.profile(pe_id),
+            buffer_capacity=config.buffer_size,
+            rng=streams.stream(f"pe:{pe_id}"),
+            is_ingress=pe_id in ingress,
+            is_egress=pe_id in egress,
+        )
+        if recorder.enabled:
+            runtime.buffer.attach_recorder(recorder, pe_id)
+        runtimes[pe_id] = runtime
+    for src, dst in graph.edges():
+        runtimes[src].link_downstream(runtimes[dst])
+
+    collector = EgressCollector()
+    for pe_id in egress:
+        collector.register(pe_id, graph.profile(pe_id).weight)
+    return runtimes, collector
+
+
+def build_nodes(
+    topology: Topology, runtimes: _t.Mapping[str, PERuntime]
+) -> _t.List[ProcessingNode]:
+    """Group PE runtimes into processing nodes according to placement."""
+    nodes: _t.List[ProcessingNode] = []
+    placement = topology.placement
+    order = topology.graph.topological_order()
+    for node_index in range(topology.num_nodes):
+        node = ProcessingNode(node_id=f"node-{node_index}")
+        # Place PEs in topological order so intra-node execution flows
+        # producer -> consumer within a single tick.
+        for pe_id in order:
+            if placement[pe_id] == node_index:
+                node.place(runtimes[pe_id])
+        nodes.append(node)
+    return nodes
+
+
+def build_links(
+    topology: Topology, config: SystemConfig
+) -> _t.Dict[_t.Tuple[str, str], Link]:
+    """Create serializing links for edges that cross node boundaries."""
+    links: _t.Dict[_t.Tuple[str, str], Link] = {}
+    bandwidth = config.link_bandwidth
+    if bandwidth is None:
+        return links
+    placement = topology.placement
+    for src, dst in topology.graph.edges():
+        if placement[src] == placement[dst]:
+            continue  # co-located PEs share memory
+        links[(src, dst)] = Link(
+            name=f"{src}->{dst}",
+            bandwidth=bandwidth,
+            latency=config.link_latency,
+        )
+    return links
+
+
+def build_sources(
+    env: Environment,
+    topology: Topology,
+    config: SystemConfig,
+    streams: RandomStreams,
+    runtimes: _t.Mapping[str, PERuntime],
+    admit: AdmitFn,
+) -> _t.List[_t.Any]:
+    """Start one workload source per ingress PE, sinking through the
+    data plane's admission path."""
+    sources = []
+    for pe_id, rate in sorted(topology.source_rates.items()):
+        runtime = runtimes[pe_id]
+
+        def sink(sdo: SDO, now: float, runtime: PERuntime = runtime) -> bool:
+            return admit(runtime, sdo, now)
+
+        stream_id = f"src:{pe_id}"
+        rng = streams.stream(stream_id)
+        if config.source_kind == "constant":
+            source = ConstantRateSource(env, stream_id, sink, rate)
+        elif config.source_kind == "poisson":
+            source = PoissonSource(env, stream_id, sink, rate, rng)
+        else:
+            duty = config.source_duty
+            mean_on = config.source_mean_on
+            mean_off = mean_on * (1.0 - duty) / duty
+            source = OnOffSource(
+                env,
+                stream_id,
+                sink,
+                peak_rate=rate / duty,
+                mean_on=mean_on,
+                mean_off=mean_off,
+                rng=rng,
+            )
+        sources.append(source)
+    return sources
+
+
+def build_gauges(
+    env: Environment,
+    cadence: _t.Optional[float],
+    recorder: TraceRecorder,
+    runtimes: _t.Mapping[str, PERuntime],
+    plane: _t.Any,
+) -> _t.Optional[GaugeRegistry]:
+    """Register the standard per-PE gauges when sampling is requested.
+
+    Gauges: input-buffer ``occupancy`` for every PE (a substrate
+    observable, registered here), plus the control plane's own gauges
+    (``token_level`` for PEs under a token-bucket scheduler, the last
+    advertised ``r_max`` for PEs with a flow controller).
+    """
+    if cadence is None:
+        return None
+    gauges = GaugeRegistry(env, cadence=cadence, recorder=recorder)
+    for pe_id, runtime in runtimes.items():
+        gauges.register(
+            "occupancy",
+            lambda buffer=runtime.buffer: float(buffer.occupancy),
+            pe=pe_id,
+        )
+    plane.register_gauges(gauges, pe_order=runtimes)
+    gauges.start()
+    return gauges

@@ -1,0 +1,226 @@
+"""Simulated data plane: SDO emission, delivery, and admission.
+
+:class:`SimDataPlane` owns everything that moves SDOs between PEs —
+timed delivery with same-instant batching, link serialization, egress
+collection, and the policy admission path (which is where load shedding
+drops).  :class:`SimAdapter` is the simulator's implementation of the
+:class:`~repro.control.adapter.SystemAdapter` protocol: it lets the
+substrate-agnostic :class:`~repro.control.node.NodeController` read
+occupancies and apply CPU grants (executing PEs against the data plane's
+``emit``).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.control.adapter import GateFn, SettleFn
+from repro.metrics.collectors import EgressCollector
+from repro.model.links import Link
+from repro.model.pe import PERuntime
+from repro.model.sdo import SDO
+from repro.obs.recorder import TraceRecorder
+from repro.sim.engine import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.node import ControlRecord
+    from repro.obs.profiler import PhaseProfiler
+
+
+class SimDataPlane:
+    """SDO movement between PEs of one simulated system.
+
+    The admission-filter mapping is shared with (and owned by) the
+    control plane — the policy's shed filters are resolved there once,
+    and the data plane reads the live dict so dynamic filter updates
+    take effect without re-wiring.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        links: _t.Mapping[_t.Tuple[str, str], Link],
+        collector: EgressCollector,
+        admission_filters: _t.Mapping[str, _t.Optional[_t.Callable]],
+        recorder: TraceRecorder,
+        profiler: _t.Optional["PhaseProfiler"] = None,
+    ):
+        self.env = env
+        self.links = links
+        self.collector = collector
+        self.admission_filters = admission_filters
+        self.recorder = recorder
+        self.profiler = profiler
+
+        self.emit_attempts = 0
+        self.emit_drops = 0
+        self.shed_drops = 0
+        #: Same-timestamp delivery batches: arrival time -> list of
+        #: (consumer-or-None, producer, sdo); one engine event per distinct
+        #: arrival instant instead of one per SDO.
+        self.delivery_batches: _t.Dict[
+            float, _t.List[_t.Tuple[_t.Optional[PERuntime], PERuntime, SDO]]
+        ] = {}
+
+    def emit(self, pe: PERuntime, sdo: SDO, completion: float) -> None:
+        """Schedule delivery of an output SDO at its completion time.
+
+        Completion times are interpolated inside the current control
+        interval; delivering through a timed event (rather than touching
+        the consumer's buffer immediately) keeps cross-node causality: the
+        consumer sees the SDO only when the clock actually reaches the
+        completion (plus any link-transfer) instant.  Deliveries landing
+        at the same instant share one engine event (see
+        :meth:`_enqueue_delivery`).
+        """
+        if pe.is_egress:
+            self._enqueue_delivery(completion, None, pe, sdo)
+            return
+        links_get = self.links.get
+        pe_id = pe.pe_id
+        for consumer in pe.downstream:
+            link = links_get((pe_id, consumer.pe_id))
+            if link is None:
+                arrival = completion
+            else:
+                arrival = link.transfer_completion(sdo, completion)
+            self._enqueue_delivery(arrival, consumer, pe, sdo)
+
+    def _enqueue_delivery(
+        self,
+        at: float,
+        consumer: _t.Optional[PERuntime],
+        pe: PERuntime,
+        sdo: SDO,
+    ) -> None:
+        """Batch deliveries by exact arrival instant.
+
+        PEs executing a control interval interpolate many completions onto
+        the same timestamps, so keying a batch dict by the exact arrival
+        float and scheduling one :meth:`Environment.call_at` flush per
+        distinct instant replaces the per-SDO event/callback pair.  A
+        ``None`` consumer means the SDO exits through the egress collector.
+        """
+        if at < self.env.now:
+            at = self.env.now
+        batches = self.delivery_batches
+        batch = batches.get(at)
+        if batch is None:
+            batch = batches[at] = []
+            self.env.call_at(at, self._flush_deliveries, value=at)
+        batch.append((consumer, pe, sdo))
+
+    def _flush_deliveries(self, event: _t.Any) -> None:
+        """Deliver every SDO batched for this event's arrival instant."""
+        batch = self.delivery_batches.pop(event._value)
+        now = self.env.now
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("transport")
+        try:
+            collector_record = self.collector.record
+            admit = self.admit
+            for consumer, pe, sdo in batch:
+                if consumer is None:
+                    collector_record(pe.pe_id, sdo, now)
+                else:
+                    self.emit_attempts += 1
+                    if not admit(consumer, sdo, now):
+                        self.emit_drops += 1
+        finally:
+            if profiler is not None:
+                profiler.pop()
+
+    def admit(self, runtime: PERuntime, sdo: SDO, now: float) -> bool:
+        """Offer an SDO to a PE's buffer, via the policy's shed filter."""
+        admission = self.admission_filters[runtime.pe_id]
+        if admission is not None and not admission(runtime, sdo):
+            self.shed_drops += 1
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "drop",
+                    pe=runtime.pe_id,
+                    cause="shed",
+                    occupancy=runtime.buffer.occupancy,
+                    capacity=runtime.buffer.capacity,
+                )
+            return False
+        return runtime.ingest(sdo, now)
+
+
+class SimAdapter:
+    """:class:`SystemAdapter` implementation for the discrete-event
+    simulator.
+
+    Constructed before the control plane (which needs an adapter) but
+    acting through the data plane (which needs the control plane's
+    admission filters) — hence the late :meth:`bind`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        recorder: TraceRecorder,
+        profiler: _t.Optional["PhaseProfiler"] = None,
+    ):
+        self.env = env
+        self.recorder = recorder
+        self.profiler = profiler
+        self.dataplane: _t.Optional[SimDataPlane] = None
+
+    def bind(self, dataplane: SimDataPlane) -> None:
+        """Attach the data plane PE execution emits through."""
+        self.dataplane = dataplane
+
+    def clock(self) -> float:
+        return self.env.now
+
+    def snapshot(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        now: float,
+    ) -> _t.Dict[str, float]:
+        """Sampled occupancies (folds the read into the simulator's
+        occupancy-integral telemetry; idempotent at a fixed ``now``)."""
+        return {
+            record.pe_id: record.pe.buffer.sample(now) for record in records
+        }
+
+    def apply_grants(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        grants: _t.Mapping[str, float],
+        now: float,
+        dt: float,
+        settle: SettleFn,
+    ) -> None:
+        """Execute every resident PE for one interval under its grant."""
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("pe_execute")
+        try:
+            emit = self.dataplane.emit
+            grants_get = grants.get
+            for record in records:
+                pe = record.pe
+                used = pe.execute(
+                    now,
+                    dt,
+                    grants_get(record.pe_id, 0.0),
+                    emit=emit,
+                    gate=record.gate,
+                )
+                settle(record.pe_id, used, dt)
+        finally:
+            if profiler is not None:
+                profiler.pop()
+
+    def apply_gates(self, pe_id: str, gate: _t.Optional[GateFn]) -> None:
+        """No substrate-side gate state: the simulator enforces gates
+        inside :meth:`apply_grants` via the shared control records."""
+
+    def emit_trace(self, kind: str, **fields: _t.Any) -> None:
+        if self.recorder.enabled:
+            self.recorder.emit(kind, **fields)

@@ -1,16 +1,18 @@
-"""The complete simulated distributed stream processing system.
+"""The simulated distributed stream processing system (composition root).
 
-Wires the topology (graph + placement + source rates), a control policy
-(ACES / UDP / Lock-Step), and Tier-1 allocation targets into a running
-discrete-event simulation:
+This module is now a thin facade: construction lives in
+:mod:`repro.systems.build`, SDO movement in
+:mod:`repro.systems.dataplane`, and the entire Tier-2 control step —
+feedback aggregation (Eq. 8), CPU allocation (Section V-D), the LQR
+flow-control update with upstream ``r_max`` publication (Eq. 7) — in the
+substrate-agnostic :mod:`repro.control` package.
+:class:`SimulatedSystem` wires the three together:
 
 * every ingress PE is fed by a workload source (bursty on/off by default);
 * every processing node runs an independent periodic control loop at an
   unsynchronized phase offset (the paper stresses the algorithm needs no
-  inter-node synchronization, Section V-E);
-* each control tick performs, in the paper's order (Section V-E):
-  downstream feedback aggregation (Eq. 8) -> CPU allocation (Section V-D)
-  -> flow-control update + upstream publication (Eq. 7) -> PE execution;
+  inter-node synchronization, Section V-E), pumping one shared
+  :class:`~repro.control.node.NodeController` per node;
 * SDOs leaving through egress PEs land in the metrics collector.
 
 Use :func:`run_system` for the one-call experiment entry point.
@@ -21,124 +23,29 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.core.cpu_control import AcesCpuScheduler
-from repro.core.feedback import FeedbackBus
-from repro.core.flow_control import FlowController
+from repro.control import ControlPlane, NodeGroup, resolve_initial_targets
+from repro.control.node import NodeController
 from repro.core.policies import Policy
-from repro.core.resilience import ResilientTier1, Tier1Unavailable
+from repro.core.resilience import ResilientTier1
 from repro.core.targets import AllocationTargets
 from repro.core.utility import LogUtility
 from repro.graph.topology import Topology
-from repro.metrics.collectors import EgressCollector, MetricsReport
-from repro.model.links import Link
-from repro.model.node import ProcessingNode
-from repro.model.pe import PERuntime
-from repro.model.sdo import SDO
-from repro.model.workload import (
-    ConstantRateSource,
-    OnOffSource,
-    PoissonSource,
-)
-from repro.obs.gauges import GaugeRegistry
+from repro.metrics.collectors import MetricsReport
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
+from repro.systems.build import (
+    SystemConfig,
+    build_gauges,
+    build_links,
+    build_nodes,
+    build_runtimes,
+    build_sources,
+)
+from repro.systems.dataplane import SimAdapter, SimDataPlane
 
-
-@dataclass
-class SystemConfig:
-    """Run-time configuration of a simulated system."""
-
-    buffer_size: int = 50
-    #: b0 as a fraction of the buffer size (paper: 1/2).
-    b0_fraction: float = 0.5
-    #: Control interval Delta-t (seconds).
-    dt: float = 0.01
-    #: Feedback propagation delay; None means one control interval.
-    feedback_delay: _t.Optional[float] = None
-    #: Staleness TTL for feedback values (seconds; typically a few Δt).
-    #: A value unheard-from for longer decays to the conservative
-    #: ``feedback_stale_bound`` instead of being trusted forever.  None
-    #: (default) preserves the original trust-forever behavior.
-    feedback_staleness_ttl: _t.Optional[float] = None
-    #: Conservative r_max substituted for stale feedback values.
-    feedback_stale_bound: float = 0.0
-    #: Source model: 'onoff' (bursty), 'poisson', or 'constant'.
-    source_kind: str = "onoff"
-    #: ON fraction for the on/off source.
-    source_duty: float = 0.5
-    #: Mean ON-period duration (seconds) — the arrival burst length.
-    source_mean_on: float = 0.5
-    #: Simulated warm-up excluded from all metrics.
-    warmup: float = 5.0
-    #: Finite bandwidth (size units / second) for links between PEs on
-    #: *different* nodes; None models the paper's instantaneous
-    #: intra-cluster transport.  Co-located PEs always communicate
-    #: through memory.
-    link_bandwidth: _t.Optional[float] = None
-    #: Propagation delay added to every inter-node transfer (seconds).
-    link_latency: float = 0.0
-    #: When set, Tier 1 is re-solved every this many simulated seconds
-    #: using the *measured* recent input rates, and the refreshed CPU
-    #: targets are pushed into the running schedulers (the paper's
-    #: periodic global optimization "to support changing workload").
-    reoptimize_interval: _t.Optional[float] = None
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if self.buffer_size <= 0:
-            raise ValueError("buffer_size must be positive")
-        if not 0.0 <= self.b0_fraction <= 1.0:
-            raise ValueError("b0_fraction must lie in [0, 1]")
-        if self.dt <= 0:
-            raise ValueError("dt must be positive")
-        if self.source_kind not in ("onoff", "poisson", "constant"):
-            raise ValueError(f"unknown source_kind {self.source_kind!r}")
-        if not 0.0 < self.source_duty <= 1.0:
-            raise ValueError("source_duty must lie in (0, 1]")
-        if self.warmup < 0:
-            raise ValueError("warmup must be >= 0")
-        if self.reoptimize_interval is not None and self.reoptimize_interval <= 0:
-            raise ValueError("reoptimize_interval must be positive")
-        if (
-            self.feedback_staleness_ttl is not None
-            and self.feedback_staleness_ttl <= 0
-        ):
-            raise ValueError("feedback_staleness_ttl must be positive")
-        if self.feedback_stale_bound < 0:
-            raise ValueError("feedback_stale_bound must be >= 0")
-        if self.link_bandwidth is not None and self.link_bandwidth <= 0:
-            raise ValueError("link_bandwidth must be positive")
-        if self.link_latency < 0:
-            raise ValueError("link_latency must be >= 0")
-
-
-class _TickRecord:
-    """Per-PE state resolved once at wiring time for the control loop.
-
-    The per-tick loops in :meth:`SimulatedSystem._tick_node` run for every
-    PE on every node every ``dt``; anything constant across ticks (gate,
-    controller, downstream ids, the Tier-1 CPU target) lives here instead
-    of being re-looked-up from the policy/targets dictionaries each time.
-    """
-
-    __slots__ = ("pe", "pe_id", "gate", "controller", "downstream_ids",
-                 "cpu_target")
-
-    def __init__(
-        self,
-        pe: PERuntime,
-        gate: _t.Optional[_t.Callable[[PERuntime], bool]],
-        controller: _t.Optional[FlowController],
-        cpu_target: float,
-    ):
-        self.pe = pe
-        self.pe_id = pe.pe_id
-        self.gate = gate
-        self.controller = controller
-        self.downstream_ids = tuple(d.pe_id for d in pe.downstream)
-        self.cpu_target = cpu_target
+__all__ = ["SimulatedSystem", "SystemConfig", "run_system"]
 
 
 @dataclass
@@ -186,418 +93,148 @@ class SimulatedSystem:
         #: falls back to last-known-good targets when a re-solve fails
         #: (fault injection hooks into it via ``inject_failure``).
         self.tier1 = ResilientTier1(recorder=self.recorder)
-        if targets is None:
-            targets = self.tier1.solve(
-                topology.graph,
-                topology.placement,
-                topology.source_rates,
-                reason="initial",
-            ).targets
-        else:
-            self.tier1.seed(targets)
-        self.targets = targets
+        targets = resolve_initial_targets(self.tier1, topology, targets)
 
-        self._build_runtimes()
-        self._build_nodes()
-        self._build_links()
-        self._build_control()
-        self._build_sources()
-        self._build_gauges(gauge_cadence)
-        self._build_tick_records()
+        self.runtimes, self.collector = build_runtimes(
+            topology, self.config, self.streams, self.recorder
+        )
+        self.nodes = build_nodes(topology, self.runtimes)
+        self.links = build_links(topology, self.config)
+
+        config = self.config
+        delay = (
+            config.dt if config.feedback_delay is None
+            else config.feedback_delay
+        )
+        self.adapter = SimAdapter(self.env, self.recorder, self.profiler)
+        self.plane = ControlPlane(
+            policy,
+            self.adapter,
+            groups=[
+                NodeGroup(node.node_id, node.pes, node.cpu_capacity)
+                for node in self.nodes
+            ],
+            targets=targets,
+            dt=config.dt,
+            b0=config.b0_fraction * config.buffer_size,
+            feedback_delay=delay,
+            feedback_staleness_ttl=config.feedback_staleness_ttl,
+            feedback_stale_bound=config.feedback_stale_bound,
+            recorder=self.recorder,
+            tier1=self.tier1,
+            profiler=self.profiler,
+        )
+        self.dataplane = SimDataPlane(
+            self.env,
+            self.links,
+            self.collector,
+            self.plane.admission_filters,
+            self.recorder,
+            self.profiler,
+        )
+        self.adapter.bind(self.dataplane)
+
+        self.sources = build_sources(
+            self.env, topology, config, self.streams, self.runtimes,
+            self.dataplane.admit,
+        )
+        self.gauges = build_gauges(
+            self.env, gauge_cadence, self.recorder, self.runtimes, self.plane
+        )
         self._start_node_loops()
 
-        self._emit_attempts = 0
-        self._emit_drops = 0
-        #: Same-timestamp delivery batches: arrival time -> list of
-        #: (consumer-or-None, producer, sdo); one engine event per distinct
-        #: arrival instant instead of one per SDO.
-        self._delivery_batches: _t.Dict[
-            float, _t.List[_t.Tuple[_t.Optional[PERuntime], PERuntime, SDO]]
-        ] = {}
-        #: Number of Tier-1 refreshes performed during the run.
-        self.reoptimizations = 0
-        if self.config.reoptimize_interval is not None:
+        if config.reoptimize_interval is not None:
             self.env.process(self._reoptimize_loop())
 
-    # -- construction --------------------------------------------------------
+    # -- control-plane delegation (stable operational surface) ---------------
 
-    def _build_runtimes(self) -> None:
-        graph = self.topology.graph
-        ingress = set(graph.ingress_ids)
-        egress = set(graph.egress_ids)
-        self.runtimes: _t.Dict[str, PERuntime] = {}
-        for pe_id in graph.topological_order():
-            runtime = PERuntime(
-                profile=graph.profile(pe_id),
-                buffer_capacity=self.config.buffer_size,
-                rng=self.streams.stream(f"pe:{pe_id}"),
-                is_ingress=pe_id in ingress,
-                is_egress=pe_id in egress,
-            )
-            if self.recorder.enabled:
-                runtime.buffer.attach_recorder(self.recorder, pe_id)
-            self.runtimes[pe_id] = runtime
-        for src, dst in graph.edges():
-            self.runtimes[src].link_downstream(self.runtimes[dst])
+    @property
+    def targets(self) -> AllocationTargets:
+        """Tier-1 allocation targets currently in effect."""
+        return self.plane.targets
 
-        self.collector = EgressCollector()
-        for pe_id in egress:
-            self.collector.register(pe_id, graph.profile(pe_id).weight)
+    @property
+    def bus(self) -> _t.Any:
+        """The feedback bus (swappable: fault injection wraps it)."""
+        return self.plane.bus
 
-    def _build_nodes(self) -> None:
-        self.nodes: _t.List[ProcessingNode] = []
-        placement = self.topology.placement
-        order = self.topology.graph.topological_order()
-        for node_index in range(self.topology.num_nodes):
-            node = ProcessingNode(node_id=f"node-{node_index}")
-            # Place PEs in topological order so intra-node execution flows
-            # producer -> consumer within a single tick.
-            for pe_id in order:
-                if placement[pe_id] == node_index:
-                    node.place(self.runtimes[pe_id])
-            self.nodes.append(node)
+    @bus.setter
+    def bus(self, value: _t.Any) -> None:
+        self.plane.bus = value
 
-    def _build_links(self) -> None:
-        """Create serializing links for edges that cross node boundaries."""
-        self.links: _t.Dict[_t.Tuple[str, str], Link] = {}
-        bandwidth = self.config.link_bandwidth
-        if bandwidth is None:
-            return
-        placement = self.topology.placement
-        for src, dst in self.topology.graph.edges():
-            if placement[src] == placement[dst]:
-                continue  # co-located PEs share memory
-            self.links[(src, dst)] = Link(
-                name=f"{src}->{dst}",
-                bandwidth=bandwidth,
-                latency=self.config.link_latency,
-            )
+    @property
+    def schedulers(self) -> _t.List[_t.Any]:
+        return self.plane.schedulers
 
-    def _build_control(self) -> None:
-        config = self.config
-        delay = config.dt if config.feedback_delay is None else config.feedback_delay
-        self.bus = FeedbackBus(
-            delay=delay,
-            staleness_ttl=config.feedback_staleness_ttl,
-            stale_bound=config.feedback_stale_bound,
-            recorder=self.recorder,
-        )
+    @property
+    def controllers(self) -> _t.Dict[str, _t.Any]:
+        return self.plane.controllers
 
-        self.schedulers = [
-            self.policy.make_scheduler(
-                node.pes, self.targets.cpu, node.cpu_capacity, config.dt
-            )
-            for node in self.nodes
-        ]
-        if self.recorder.enabled:
-            for node, scheduler in zip(self.nodes, self.schedulers):
-                attach = getattr(scheduler, "attach_tracing", None)
-                if attach is not None:
-                    attach(self.recorder, node.node_id)
+    @property
+    def gates(self) -> _t.Dict[str, _t.Any]:
+        return self.plane.gates
 
-        self.controllers: _t.Dict[str, FlowController] = {}
-        if self.policy.uses_feedback:
-            gains = self.policy.controller_gains(config.dt)
-            b0 = config.b0_fraction * config.buffer_size
-            for pe_id, runtime in self.runtimes.items():
-                self.controllers[pe_id] = FlowController(
-                    gains,
-                    target_occupancy=b0,
-                    buffer_capacity=runtime.buffer.capacity,
-                    pe_id=pe_id,
-                    recorder=self.recorder,
-                )
+    @property
+    def admission_filters(self) -> _t.Dict[str, _t.Any]:
+        return self.plane.admission_filters
 
-        self.gates = {
-            pe_id: self.policy.make_gate(runtime)
-            for pe_id, runtime in self.runtimes.items()
-        }
-        self.admission_filters = {
-            pe_id: self.policy.make_admission_filter(runtime)
-            for pe_id, runtime in self.runtimes.items()
-        }
-        self._shed_drops = 0
+    @property
+    def reoptimizations(self) -> int:
+        """Number of Tier-1 refreshes adopted during the run."""
+        return self.plane.reoptimizations
 
-        # Tick-loop constants, resolved once instead of per control tick.
-        self._uses_feedback = self.policy.uses_feedback
-        self._aggregate_max = (
-            self.policy.aggregate_feedback() == "max"
-            if self._uses_feedback
-            else True
-        )
+    @property
+    def _node_paused(self) -> _t.List[bool]:
+        return self.plane.paused
 
-    def _build_sources(self) -> None:
-        config = self.config
-        self.sources = []
-        for pe_id, rate in sorted(self.topology.source_rates.items()):
-            runtime = self.runtimes[pe_id]
-
-            def sink(sdo: SDO, now: float, runtime: PERuntime = runtime) -> bool:
-                return self._admit(runtime, sdo, now)
-
-            stream_id = f"src:{pe_id}"
-            rng = self.streams.stream(stream_id)
-            if config.source_kind == "constant":
-                source = ConstantRateSource(self.env, stream_id, sink, rate)
-            elif config.source_kind == "poisson":
-                source = PoissonSource(self.env, stream_id, sink, rate, rng)
-            else:
-                duty = config.source_duty
-                mean_on = config.source_mean_on
-                mean_off = mean_on * (1.0 - duty) / duty
-                source = OnOffSource(
-                    self.env,
-                    stream_id,
-                    sink,
-                    peak_rate=rate / duty,
-                    mean_on=mean_on,
-                    mean_off=mean_off,
-                    rng=rng,
-                )
-            self.sources.append(source)
-
-    def _build_gauges(self, cadence: _t.Optional[float]) -> None:
-        """Register the standard per-PE gauges when sampling is requested.
-
-        Gauges: input-buffer ``occupancy`` for every PE, ``token_level``
-        for PEs under a token-bucket scheduler, and the last advertised
-        ``r_max`` for PEs with a flow controller.
-        """
-        self.gauges: _t.Optional[GaugeRegistry] = None
-        if cadence is None:
-            return
-        self.gauges = GaugeRegistry(
-            self.env, cadence=cadence, recorder=self.recorder
-        )
-        for pe_id, runtime in self.runtimes.items():
-            self.gauges.register(
-                "occupancy",
-                lambda buffer=runtime.buffer: float(buffer.occupancy),
-                pe=pe_id,
-            )
-        for scheduler in self.schedulers:
-            if isinstance(scheduler, AcesCpuScheduler):
-                for pe in scheduler.pes:
-                    self.gauges.register(
-                        "token_level",
-                        lambda s=scheduler, p=pe.pe_id: s.token_level(p),
-                        pe=pe.pe_id,
-                    )
-        for pe_id, controller in self.controllers.items():
-            self.gauges.register(
-                "r_max",
-                lambda c=controller: c.last_r_max,
-                pe=pe_id,
-            )
-        self.gauges.start()
-
-    def _build_tick_records(self) -> None:
-        """Resolve everything the per-tick loops need, once.
-
-        Per node: the scheduler's concrete protocol (``isinstance`` checks
-        hoisted out of the tick path) and one :class:`_TickRecord` per
-        resident PE carrying its gate, flow controller, downstream ids,
-        and Tier-1 CPU target.
-        """
-        cpu_targets = self.targets.cpu
-        self._node_records: _t.List[_t.List[_TickRecord]] = [
-            [
-                _TickRecord(
-                    pe,
-                    self.gates[pe.pe_id],
-                    self.controllers.get(pe.pe_id),
-                    cpu_targets.get(pe.pe_id, 0.0),
-                )
-                for pe in node.pes
-            ]
-            for node in self.nodes
-        ]
-        self._scheduler_is_aces: _t.List[bool] = [
-            isinstance(scheduler, AcesCpuScheduler)
-            for scheduler in self.schedulers
-        ]
-
-    def _refresh_cpu_targets(self) -> None:
-        """Propagate refreshed Tier-1 targets into the tick records."""
-        cpu_targets = self.targets.cpu
-        for records in self._node_records:
-            for record in records:
-                record.cpu_target = cpu_targets.get(record.pe_id, 0.0)
+    @property
+    def _delivery_batches(self) -> _t.Dict[float, _t.List]:
+        return self.dataplane.delivery_batches
 
     def set_gate(
         self,
         pe_id: str,
-        gate: _t.Optional[_t.Callable[[PERuntime], bool]],
+        gate: _t.Optional[_t.Callable[..., bool]],
     ) -> None:
-        """Replace a PE's transmission gate at runtime.
+        """Replace a PE's processing gate at runtime.
 
-        The tick loop reads gates from per-PE records resolved at wiring
-        time, so dynamic replacement (fault injection stalling a PE, an
-        operator pausing a stream) must go through here rather than
-        mutating :attr:`gates` directly.
+        Deprecated alias for ``system.plane.set_gate`` kept for the chaos
+        harness and operational tooling; forwards unchanged.
         """
-        self.gates[pe_id] = gate
-        for records in self._node_records:
-            for record in records:
-                if record.pe_id == pe_id:
-                    record.gate = gate
-                    return
+        self.plane.set_gate(pe_id, gate)
 
     def suspend_node(self, node_index: int) -> None:
-        """Make a node's control loop miss its ticks (controller outage).
-
-        The loop keeps waking every ``dt`` but performs no control step
-        and no PE execution until :meth:`resume_node` — exactly a hung
-        controller process: feedback from the node stops, its values on
-        the bus age out (see ``feedback_staleness_ttl``), and its PEs
-        make no progress.
-        """
-        self._node_paused[node_index] = True
+        """Deprecated alias for ``system.plane.suspend_node``."""
+        self.plane.suspend_node(node_index)
 
     def resume_node(self, node_index: int) -> None:
-        """Resume a suspended node's control loop."""
-        self._node_paused[node_index] = False
-
-    def _start_node_loops(self) -> None:
-        self._node_paused: _t.List[bool] = [False] * len(self.nodes)
-        for index, (node, scheduler) in enumerate(
-            zip(self.nodes, self.schedulers)
-        ):
-            offset = (index + 1) / (len(self.nodes) + 1) * self.config.dt
-            self.env.process(
-                self._node_loop(
-                    node,
-                    scheduler,
-                    self._node_records[index],
-                    self._scheduler_is_aces[index],
-                    offset,
-                    index,
-                )
-            )
+        """Deprecated alias for ``system.plane.resume_node``."""
+        self.plane.resume_node(node_index)
 
     # -- control loop --------------------------------------------------------
 
+    def _start_node_loops(self) -> None:
+        num_nodes = len(self.nodes)
+        for index, controller in enumerate(self.plane.node_controllers):
+            offset = (index + 1) / (num_nodes + 1) * self.config.dt
+            self.env.process(self._node_loop(controller, offset, index))
+
     def _node_loop(
         self,
-        node: ProcessingNode,
-        scheduler: _t.Any,
-        records: _t.List[_TickRecord],
-        is_aces: bool,
+        controller: NodeController,
         offset: float,
         node_index: int,
     ) -> _t.Generator:
         # Unsynchronized phase offsets: no global tick (Section V-E).
         env = self.env
         dt = self.config.dt
-        tick = self._tick_node
-        paused = self._node_paused
+        tick = controller.tick
+        paused = self.plane.paused
         yield env.timeout(offset)
         while True:
             if not paused[node_index]:
-                tick(node, scheduler, records, is_aces, env.now)
+                tick(env.now)
             yield env.timeout(dt)
-
-    def _tick_node(
-        self,
-        node: ProcessingNode,
-        scheduler: _t.Any,
-        records: _t.List[_TickRecord],
-        is_aces: bool,
-        now: float,
-    ) -> None:
-        profiler = self.profiler
-        if profiler is not None:
-            profiler.push("controller_tick")
-        try:
-            allocations = self._control_step(
-                scheduler, records, is_aces, now
-            )
-        finally:
-            if profiler is not None:
-                profiler.pop()
-
-        if profiler is not None:
-            profiler.push("pe_execute")
-        try:
-            dt = self.config.dt
-            emit = self._emit
-            allocations_get = allocations.get
-            settle = scheduler.settle
-            for record in records:
-                pe = record.pe
-                used = pe.execute(
-                    now,
-                    dt,
-                    allocations_get(record.pe_id, 0.0),
-                    emit=emit,
-                    gate=record.gate,
-                )
-                settle(record.pe_id, used, dt)
-        finally:
-            if profiler is not None:
-                profiler.pop()
-
-    def _control_step(
-        self,
-        scheduler: _t.Any,
-        records: _t.List[_TickRecord],
-        is_aces: bool,
-        now: float,
-    ) -> _t.Dict[str, float]:
-        """Feedback aggregation, CPU allocation, and Eq. 7 updates."""
-        dt = self.config.dt
-
-        if self._uses_feedback:
-            bus = self.bus
-            read_bound = (
-                bus.max_downstream_rate
-                if self._aggregate_max
-                else bus.min_downstream_rate
-            )
-            caps: _t.Dict[str, float] = {}
-            for record in records:
-                caps[record.pe_id] = read_bound(record.downstream_ids, now)
-            if is_aces:
-                allocations = scheduler.allocate(dt, caps)
-            else:
-                allocations = scheduler.allocate(dt)
-            allocations_get = allocations.get
-            publish = bus.publish
-            for record in records:
-                pe = record.pe
-                # rho_j(n) is the rate the PE can *sustain*: when the PE is
-                # momentarily unallocated (e.g. empty buffer) it still earns
-                # tokens at its long-term target, so advertising the target
-                # rate upstream is what keeps the pipeline from converging
-                # to a self-throttled equilibrium.
-                cpu_effective = allocations_get(record.pe_id, 0.0)
-                if cpu_effective < record.cpu_target:
-                    cpu_effective = record.cpu_target
-                rho = pe.processing_rate(cpu_effective)
-                # records always carry a controller when uses_feedback.
-                r_max = record.controller.update(pe.buffer.sample(now), rho)
-                publish(record.pe_id, r_max, now)
-            return allocations
-        else:
-            # Redistribution reacts to *observed* blocking (last interval):
-            # the scheduler has no clairvoyant knowledge of which PEs will
-            # sleep this interval, so a PE that blocks mid-interval wastes
-            # the rest of its grant — the stop-start cost of Lock-Step.
-            # A sleeping PE wakes when its downstream frees space (checked
-            # at tick granularity, like the wake-up notification it would
-            # receive), so one stop costs at least one interval.
-            blocked = set()
-            for record in records:
-                pe = record.pe
-                if not pe.blocked_last_interval:
-                    continue
-                gate = record.gate
-                if gate is None or gate(pe):
-                    pe.blocked_last_interval = False
-                else:
-                    blocked.add(record.pe_id)
-            allocations = scheduler.allocate(dt, blocked=blocked)
-            return allocations
 
     def _reoptimize_loop(self) -> _t.Generator:
         """Periodic Tier-1 refresh from measured input rates (Section V)."""
@@ -616,114 +253,19 @@ class SimulatedSystem:
                 last_generated[source.stream_id] = generated
                 pe_id = source.stream_id.split(":", 1)[1]
                 measured_rates[pe_id] = delta / interval
-            try:
-                result = self.tier1.solve(
-                    self.topology.graph,
-                    self.topology.placement,
-                    measured_rates,
-                    reason="reoptimize",
-                )
-            except Tier1Unavailable:
-                # No targets ever computed (cannot happen after a normal
-                # construction, which seeds last-known-good): keep serving
-                # under the current targets.
-                continue
-            self.targets = result.targets
-            for scheduler in self.schedulers:
-                scheduler.update_targets(result.targets.cpu)
-            self._refresh_cpu_targets()
-            self.reoptimizations += 1
-
-    def _emit(self, pe: PERuntime, sdo: SDO, completion: float) -> None:
-        """Schedule delivery of an output SDO at its completion time.
-
-        Completion times are interpolated inside the current control
-        interval; delivering through a timed event (rather than touching
-        the consumer's buffer immediately) keeps cross-node causality: the
-        consumer sees the SDO only when the clock actually reaches the
-        completion (plus any link-transfer) instant.  Deliveries landing
-        at the same instant share one engine event (see
-        :meth:`_enqueue_delivery`).
-        """
-        if pe.is_egress:
-            self._enqueue_delivery(completion, None, pe, sdo)
-            return
-        links_get = self.links.get
-        pe_id = pe.pe_id
-        for consumer in pe.downstream:
-            link = links_get((pe_id, consumer.pe_id))
-            if link is None:
-                arrival = completion
-            else:
-                arrival = link.transfer_completion(sdo, completion)
-            self._enqueue_delivery(arrival, consumer, pe, sdo)
-
-    def _enqueue_delivery(
-        self,
-        at: float,
-        consumer: _t.Optional[PERuntime],
-        pe: PERuntime,
-        sdo: SDO,
-    ) -> None:
-        """Batch deliveries by exact arrival instant.
-
-        PEs executing a control interval interpolate many completions onto
-        the same timestamps, so keying a batch dict by the exact arrival
-        float and scheduling one :meth:`Environment.call_at` flush per
-        distinct instant replaces the per-SDO event/callback pair.  A
-        ``None`` consumer means the SDO exits through the egress collector.
-        """
-        if at < self.env.now:
-            at = self.env.now
-        batches = self._delivery_batches
-        batch = batches.get(at)
-        if batch is None:
-            batch = batches[at] = []
-            self.env.call_at(at, self._flush_deliveries, value=at)
-        batch.append((consumer, pe, sdo))
-
-    def _flush_deliveries(self, event: _t.Any) -> None:
-        """Deliver every SDO batched for this event's arrival instant."""
-        batch = self._delivery_batches.pop(event._value)
-        now = self.env.now
-        profiler = self.profiler
-        if profiler is not None:
-            profiler.push("transport")
-        try:
-            collector_record = self.collector.record
-            admit = self._admit
-            for consumer, pe, sdo in batch:
-                if consumer is None:
-                    collector_record(pe.pe_id, sdo, now)
-                else:
-                    self._emit_attempts += 1
-                    if not admit(consumer, sdo, now):
-                        self._emit_drops += 1
-        finally:
-            if profiler is not None:
-                profiler.pop()
-
-    def _admit(self, runtime: PERuntime, sdo: SDO, now: float) -> bool:
-        """Offer an SDO to a PE's buffer, via the policy's shed filter."""
-        admission = self.admission_filters[runtime.pe_id]
-        if admission is not None and not admission(runtime, sdo):
-            self._shed_drops += 1
-            if self.recorder.enabled:
-                self.recorder.emit(
-                    "drop",
-                    pe=runtime.pe_id,
-                    cause="shed",
-                    occupancy=runtime.buffer.occupancy,
-                    capacity=runtime.buffer.capacity,
-                )
-            return False
-        return runtime.ingest(sdo, now)
+            self.plane.reoptimize(
+                self.topology.graph,
+                self.topology.placement,
+                measured_rates,
+                reason="reoptimize",
+            )
 
     # -- measurement ---------------------------------------------------------
 
     def _snapshot(self, now: float) -> _Snapshot:
         for runtime in self.runtimes.values():
             runtime.buffer.sample(now)
+        dataplane = self.dataplane
         return _Snapshot(
             buffer_drops=sum(
                 r.buffer.telemetry.dropped for r in self.runtimes.values()
@@ -733,9 +275,9 @@ class SimulatedSystem:
             cpu_used=sum(
                 r.counters.cpu_used for r in self.runtimes.values()
             ),
-            emit_attempts=self._emit_attempts,
-            emit_drops=self._emit_drops,
-            shed_drops=self._shed_drops,
+            emit_attempts=dataplane.emit_attempts,
+            emit_drops=dataplane.emit_drops,
+            shed_drops=dataplane.shed_drops,
             occupancy_integrals={
                 pe_id: r.buffer.telemetry.occupancy_integral
                 for pe_id, r in self.runtimes.items()
