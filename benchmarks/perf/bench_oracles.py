@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Oracle overhead benchmark: armed vs disarmed on the kernel workload.
+
+Runs the same calibration-topology workload as ``bench_kernel.py`` three
+ways — recorder disabled (the NullRecorder fast path), a plain memory
+recorder (trace cost alone), and the :class:`repro.check.OracleRecorder`
+checking every event (trace + invariant validation) — and reports the
+relative overhead.  The acceptance bar for the checking subsystem is
+<= 10% overhead when armed and 0% when disarmed (the NullRecorder path
+is untouched by the oracles).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_oracles.py
+    PYTHONPATH=src python benchmarks/perf/bench_oracles.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import time
+
+import numpy as np
+
+from repro.check import OracleRecorder
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import policy_by_name
+from repro.experiments.perf import scale_config
+from repro.graph.topology import generate_topology
+from repro.obs.recorder import MemoryRecorder
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+
+def measure_oracle_overhead(
+    scale: str = "calibration",
+    policy: str = "aces",
+    duration: float = 2.0,
+    warmup: float = 0.5,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    experiment = scale_config(scale)
+    topology = generate_topology(
+        experiment.spec, np.random.default_rng(seed)
+    )
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    system_config = SystemConfig(seed=seed + 1, warmup=warmup)
+
+    def run_once(recorder_factory):
+        recorder = recorder_factory() if recorder_factory else None
+        system = SimulatedSystem(
+            topology,
+            policy_by_name(policy),
+            targets=targets,
+            config=system_config,
+            **({"recorder": recorder} if recorder is not None else {}),
+        )
+        if isinstance(recorder, OracleRecorder):
+            recorder.attach_plane(system.plane)
+        # Collector pauses land at arbitrary points and dominate the
+        # variant deltas; keep GC out of the timed region.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            system.run(duration)
+            wall = time.perf_counter() - start
+        finally:
+            gc.enable()
+        if isinstance(recorder, OracleRecorder):
+            recorder.finalize()
+            if not recorder.ok:
+                raise AssertionError(recorder.summary())
+        return wall
+
+    variants = {
+        "disarmed": None,
+        "memory_recorder": MemoryRecorder,
+        "oracles_armed": OracleRecorder,
+    }
+    # Interleave the variants round-robin so slow drifts in machine load
+    # hit all of them equally, and keep each variant's best time.
+    walls = {name: float("inf") for name in variants}
+    for _ in range(max(1, repeats)):
+        for name, factory in variants.items():
+            walls[name] = min(walls[name], run_once(factory))
+    base = walls["disarmed"]
+    return {
+        "scale": scale,
+        "policy": policy,
+        "sim_seconds": duration + warmup,
+        "repeats": repeats,
+        "wall_seconds": {name: round(wall, 4) for name, wall in walls.items()},
+        "overhead_vs_disarmed": {
+            name: round((wall - base) / base, 4)
+            for name, wall in walls.items()
+            if name != "disarmed"
+        },
+        "oracle_overhead_vs_recording": round(
+            (walls["oracles_armed"] - walls["memory_recorder"])
+            / walls["memory_recorder"],
+            4,
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("smoke", "calibration", "full"),
+        default="calibration",
+    )
+    parser.add_argument("--policy", default="aces")
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--warmup", type=float, default=0.5)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the measurement to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure_oracle_overhead(
+        scale=args.scale,
+        policy=args.policy,
+        duration=args.duration,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""End-to-end SDO conservation ledger for the simulated substrate.
+
+Every SDO that enters a :class:`~repro.systems.simulated.SimulatedSystem`
+must be accounted for somewhere: delivered to the egress collector,
+dropped (overflow, shed, or crash-flush), still buffered, in execution,
+or in flight on a link.  :func:`check_conservation` closes that ledger
+after a run from the system's lifetime counters:
+
+per input buffer
+    ``offered == accepted + (dropped - flushed)`` and
+    ``accepted == popped + flushed + occupancy`` — flush losses are
+    *accepted* SDOs, so they are carried by the ``flushed`` counter, not
+    double-counted against ``offered``.
+
+per PE
+    ``popped == consumed + in_progress`` and ``cpu_used <= cpu_granted``.
+
+globally
+    ``sum(offered) == sum(generated) + emit_attempts - shed_drops``
+    (the only entry points are workload sources and upstream emissions,
+    and a shed SDO never reaches a buffer);
+    ``sum(emitted * fan_out) over non-egress PEs ==
+    emit_attempts + in-flight non-egress deliveries``; and
+    ``sum(emitted) over egress PEs ==
+    collector total + in-flight egress deliveries`` (checked only when
+    the collector window covers the whole run, i.e. ``warmup == 0``).
+
+The checker reads counters only — it never advances the system — so it
+can be run repeatedly and composes with the online oracles in
+:mod:`repro.check.oracles`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.check.oracles import InvariantViolation
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.systems.simulated import SimulatedSystem
+
+
+def check_conservation(
+    system: "SimulatedSystem", tolerance: float = 1e-9
+) -> _t.List[InvariantViolation]:
+    """Close the SDO ledger of a finished (or paused) simulated run."""
+    violations: _t.List[InvariantViolation] = []
+
+    def violate(invariant: str, detail: str, pe: _t.Optional[str] = None) -> None:
+        violations.append(
+            InvariantViolation(
+                invariant=invariant,
+                equation="Section IV (conservation)",
+                t=float(system.env.now),
+                pe=pe,
+                node=None,
+                detail=detail,
+            )
+        )
+
+    total_offered = 0
+    egress_emitted = 0
+    fanout_emissions = 0
+    for pe_id, runtime in sorted(system.runtimes.items()):
+        telemetry = runtime.buffer.telemetry
+        occupancy = runtime.buffer.occupancy
+        total_offered += telemetry.offered
+
+        if telemetry.offered != telemetry.accepted + (
+            telemetry.dropped - telemetry.flushed
+        ):
+            violate(
+                "buffer_offer_conservation",
+                f"offered={telemetry.offered} != accepted={telemetry.accepted}"
+                f" + (dropped={telemetry.dropped} - flushed={telemetry.flushed})",
+                pe=pe_id,
+            )
+        if telemetry.accepted != (
+            telemetry.popped + telemetry.flushed + occupancy
+        ):
+            violate(
+                "buffer_occupancy_conservation",
+                f"accepted={telemetry.accepted} != popped={telemetry.popped}"
+                f" + flushed={telemetry.flushed} + occupancy={occupancy}",
+                pe=pe_id,
+            )
+        if telemetry.high_water > runtime.buffer.capacity:
+            violate(
+                "buffer_high_water",
+                f"high_water={telemetry.high_water} exceeds "
+                f"capacity={runtime.buffer.capacity}",
+                pe=pe_id,
+            )
+
+        counters = runtime.counters
+        in_progress = 1 if runtime._current is not None else 0
+        if telemetry.popped != counters.consumed + in_progress:
+            violate(
+                "pe_consumption_conservation",
+                f"popped={telemetry.popped} != consumed={counters.consumed}"
+                f" + in_progress={in_progress}",
+                pe=pe_id,
+            )
+        if counters.cpu_used > counters.cpu_granted + tolerance * max(
+            1.0, counters.cpu_granted
+        ):
+            violate(
+                "cpu_budget",
+                f"cpu_used={counters.cpu_used} exceeds "
+                f"cpu_granted={counters.cpu_granted}",
+                pe=pe_id,
+            )
+
+        if runtime.is_egress:
+            egress_emitted += counters.emitted
+        else:
+            fanout_emissions += counters.emitted * len(runtime.downstream)
+
+    dataplane = system.dataplane
+    pending_egress = 0
+    pending_internal = 0
+    for batch in dataplane.delivery_batches.values():
+        for consumer, _producer, _sdo in batch:
+            if consumer is None:
+                pending_egress += 1
+            else:
+                pending_internal += 1
+
+    total_generated = sum(source.stats.generated for source in system.sources)
+    expected_offered = (
+        total_generated + dataplane.emit_attempts - dataplane.shed_drops
+    )
+    if total_offered != expected_offered:
+        violate(
+            "global_offer_conservation",
+            f"sum(offered)={total_offered} != generated={total_generated}"
+            f" + emit_attempts={dataplane.emit_attempts}"
+            f" - shed_drops={dataplane.shed_drops}",
+        )
+
+    if fanout_emissions != dataplane.emit_attempts + pending_internal:
+        violate(
+            "emission_delivery_conservation",
+            f"sum(emitted * fan_out)={fanout_emissions} != "
+            f"emit_attempts={dataplane.emit_attempts}"
+            f" + in_flight={pending_internal}",
+        )
+
+    # The collector only sees its measurement window; the egress identity
+    # is exact when that window spans the whole run (warmup == 0).
+    collector = system.collector
+    if collector.window_start == 0.0:
+        delivered = collector.total_output()
+        if egress_emitted != delivered + pending_egress:
+            violate(
+                "egress_conservation",
+                f"sum(egress emitted)={egress_emitted} != "
+                f"delivered={delivered} + in_flight={pending_egress}",
+            )
+
+    for source in system.sources:
+        stats = source.stats
+        if stats.generated != stats.admitted + stats.rejected:
+            violate(
+                "source_conservation",
+                f"{source.stream_id}: generated={stats.generated} != "
+                f"admitted={stats.admitted} + rejected={stats.rejected}",
+            )
+
+    return violations

@@ -1,0 +1,510 @@
+"""Online invariant oracles over the trace event bus.
+
+The paper states its guarantees as invariants; this module checks them
+*online*, on every Tier-2 control step, in whichever substrate is
+emitting trace events:
+
+* **Eq. 7 (flow control)** — every published ``r_max`` is finite,
+  non-negative (the ``[.]+`` clip), and equal to an independently
+  maintained reference implementation of the LQR law (including the
+  physical free-space clamp) evaluated on the event's own
+  ``(occupancy, rho)`` measurements.
+* **Eq. 8 (feedback cap)** — every ACES CPU grant respects
+  ``c_j <= g_j^{-1}(r_o,j)``: the grant never exceeds the CPU needed to
+  produce the output rate downstream advertised (re-derived from the
+  PE's rate model, not trusted from the scheduler).
+* **Eq. 4 / Section V-D (capacity)** — per node and per control
+  interval, granted CPU fractions sum to at most the node's (live,
+  fault-adjusted) capacity; token-bucket levels stay within
+  ``[0, depth]``.
+* **Gate/pause consistency** — a PE blocked by its Lock-Step gate
+  receives a zero grant; a paused (controller-outage) node emits no
+  control events at all.
+* **Tier-1 targets** — the allocation targets in effect always satisfy
+  the per-node capacity constraint ``sum_j c̄_j <= capacity``.
+
+:class:`OracleRecorder` is a :class:`~repro.obs.recorder.TraceRecorder`:
+arm it by passing it as the ``recorder`` of a simulated system, threaded
+runtime, or bare control plane, then call :meth:`attach_plane` with the
+plane so the oracle gets its narrow live view
+(:meth:`~repro.control.plane.ControlPlane.inspection`).  Violations are
+collected, not raised — a fuzzing campaign wants the full list.
+
+``strict`` mode additionally checks invariants that are only exact when
+control steps are serialized (the simulator, or a scripted drive of
+either substrate's plane): the Eq. 8 re-derivation through the PE's
+*current-state* rate model, gate/grant consistency, and the paused-node
+check.  A live threaded run interleaves worker state transitions with
+checking, so those become approximate there — pass ``strict=False`` and
+the oracle falls back to the substrate-safe subset.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.obs.recorder import TraceFilter, TraceRecorder
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.plane import ControlPlane, PlaneInspection
+
+_INF = float("inf")
+_isfinite = math.isfinite
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation of a paper-derived invariant."""
+
+    #: Machine-readable invariant name, e.g. ``"r_max_nonnegative"``.
+    invariant: str
+    #: The paper anchor, e.g. ``"Eq. 7"`` or ``"Section V-D"``.
+    equation: str
+    #: Virtual time of the offending event (0.0 for end-of-run checks).
+    t: float
+    pe: _t.Optional[str]
+    node: _t.Optional[str]
+    #: Human-readable description with the observed vs expected values.
+    detail: str
+
+    def as_dict(self) -> _t.Dict[str, object]:
+        return {
+            "invariant": self.invariant,
+            "equation": self.equation,
+            "t": self.t,
+            "pe": self.pe,
+            "node": self.node,
+            "detail": self.detail,
+        }
+
+
+def _make_shadow(controller: _t.Any) -> _t.Tuple[_t.Any, ...]:
+    """Reference Eq. 7 state for one PE, fed from r_max event payloads.
+
+    A ``(lambdas, mus, b0, capacity, inv_dt, deviations, surpluses)``
+    tuple mirroring the real controller's internal histories: deviations
+    are rebuilt from each event's measured occupancy, surpluses from the
+    controller's *actual* published ``r_max`` — so each event is judged
+    on its own step given the state the real controller was in, and one
+    wrong step does not cascade into false positives on later steps.
+    The law itself is evaluated inline in :meth:`OracleRecorder._write`
+    (the per-event hot path).
+    """
+    lambdas = tuple(controller.gains.lambdas)
+    mus = tuple(controller.gains.mus)
+    surplus_len = max(len(mus), 1)
+    return (
+        lambdas,
+        mus,
+        float(controller.b0),
+        float(controller.capacity),
+        1.0 / float(controller.gains.dt),
+        deque([0.0] * len(lambdas), maxlen=len(lambdas)),
+        deque([0.0] * surplus_len, maxlen=surplus_len),
+    )
+
+
+class OracleRecorder(TraceRecorder):
+    """A trace recorder that validates invariants instead of storing.
+
+    Parameters
+    ----------
+    plane:
+        Control plane to check against; may also be attached later via
+        :meth:`attach_plane` (required for anything beyond payload-level
+        checks, since systems emit a few bootstrap events — the initial
+        Tier-1 solve — before their plane exists).
+    strict:
+        Enable the serialized-execution-only checks (see module docs).
+    tolerance:
+        Relative floating-point slack for the arithmetic comparisons.
+    sink:
+        Optional downstream recorder each admitted event is forwarded to
+        after checking (so one run can be both checked and recorded).
+    max_violations:
+        Detail-retention cap; past it violations are still *counted*
+        (:attr:`violation_counts`) but their records are dropped.
+    """
+
+    def __init__(
+        self,
+        plane: _t.Optional["ControlPlane"] = None,
+        strict: bool = True,
+        tolerance: float = 1e-9,
+        clock: _t.Optional[_t.Callable[[], float]] = None,
+        trace_filter: _t.Optional[TraceFilter] = None,
+        sink: _t.Optional[TraceRecorder] = None,
+        max_violations: int = 1000,
+    ):
+        super().__init__(clock=clock, trace_filter=trace_filter)
+        self.strict = strict
+        self.tolerance = tolerance
+        self.sink = sink
+        self.max_violations = max_violations
+        self.violations: _t.List[InvariantViolation] = []
+        self.violation_counts: Counter = Counter()
+        self._inspection: _t.Optional["PlaneInspection"] = None
+        #: pe_id -> reference Eq. 7 state (see :func:`_make_shadow`).
+        self._shadows: _t.Dict[str, _t.Tuple[_t.Any, ...]] = {}
+        #: pe_id -> (node_id, scheduler, node_controller, machine-or-None,
+        #: t0/lambda_m, t1/lambda_m, group_size, node_index) — flattened
+        #: at attach time so the per-event cpu_grant check is a single
+        #: dict lookup, with the Eq. 8 g^-1 slope precomputed per state.
+        self._grant_info: _t.Dict[str, _t.Tuple[_t.Any, ...]] = {}
+        #: node_id -> [running grant-fraction sum, events in this group],
+        #: mutated in place per event.
+        self._grant_groups: _t.Dict[str, _t.List[float]] = {}
+        self._paused: _t.Sequence[bool] = ()
+        if plane is not None:
+            self.attach_plane(plane)
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_plane(self, plane: "ControlPlane") -> None:
+        """Bind the plane whose invariants this oracle checks.
+
+        Builds the reference Eq. 7 shadows from the plane's designed
+        gains; call before the run starts so the shadows and the real
+        controllers share their all-zero initial histories.
+        """
+        inspection = plane.inspection()
+        self._inspection = inspection
+        self._shadows = {
+            pe_id: _make_shadow(controller)
+            for pe_id, controller in inspection.controllers.items()
+        }
+        self._grant_groups = {}
+        self._paused = inspection.paused
+
+        def _eq8_terms(pe_id: str) -> _t.Tuple[_t.Any, float, float]:
+            # g^-1(rate) = rate / lambda_m * service_time, where the
+            # service time is t1 or t0 by the machine's *current* state
+            # (see PERuntime.cpu_for_output_rate_now) — precompute both
+            # slopes so the per-event check is one mul and a state read.
+            pe_runtime = inspection.pes.get(pe_id)
+            if pe_runtime is None:
+                return (None, 0.0, 0.0)
+            profile = pe_runtime.profile
+            return (
+                pe_runtime.machine,
+                profile.t0 / profile.lambda_m,
+                profile.t1 / profile.lambda_m,
+            )
+
+        self._grant_info = {
+            pe_id: (
+                node_id,
+                inspection.schedulers[node_id],
+                inspection.node_controllers.get(node_id),
+                *_eq8_terms(pe_id),
+                inspection.group_sizes.get(node_id, 0),
+                inspection.node_index[node_id],
+            )
+            for pe_id, node_id in inspection.node_of.items()
+        }
+
+    def bind_clock(self, clock: _t.Callable[[], float]) -> None:
+        super().bind_clock(clock)
+        if self.sink is not None:
+            self.sink.bind_clock(clock)
+
+    # -- violation plumbing --------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return not self.violation_counts
+
+    def record_violation(
+        self,
+        invariant: str,
+        equation: str,
+        detail: str,
+        t: float = 0.0,
+        pe: _t.Optional[str] = None,
+        node: _t.Optional[str] = None,
+    ) -> None:
+        self.violation_counts[invariant] += 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(
+                InvariantViolation(
+                    invariant=invariant,
+                    equation=equation,
+                    t=t,
+                    pe=pe,
+                    node=node,
+                    detail=detail,
+                )
+            )
+
+    def summary(self) -> str:
+        if self.ok:
+            return "oracles: all invariants held"
+        breakdown = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.violation_counts.items())
+        )
+        return (
+            f"oracles: {sum(self.violation_counts.values())} violation(s) "
+            f"({breakdown})"
+        )
+
+    # -- the checking sink ---------------------------------------------------
+
+    def _write(self, event: _t.Dict[str, _t.Any]) -> None:
+        """Check one admitted event, then forward it to the sink.
+
+        This is the per-event hot path — it runs under the emit lock on
+        every trace event of both substrates, so all four per-kind checks
+        are inlined here (no per-event dispatch or helper calls) and the
+        happy path is a handful of dict lookups and float compares, with
+        violation formatting kept on the cold path.
+        """
+        kind = event["kind"]
+        tolerance = self.tolerance
+
+        if kind == "buffer_occupancy":
+            # Section IV: occupancy within [0, capacity].
+            occupancy = event["occupancy"]
+            if not 0 <= occupancy <= event["capacity"]:
+                self.record_violation(
+                    "buffer_bounds", "Section IV",
+                    f"occupancy {occupancy} outside "
+                    f"[0, {event['capacity']}]",
+                    t=event["t"], pe=event["pe"],
+                )
+
+        elif kind == "token_bucket":
+            # Section V-D: token level within [0, depth].
+            level = event["level"]
+            depth = event["depth"]
+            slack = tolerance * depth if depth > 1.0 else tolerance
+            if not -slack <= level <= depth + slack:
+                if level < -slack:
+                    self.record_violation(
+                        "token_nonnegative", "Section V-D",
+                        f"token level {level} < 0",
+                        t=event["t"], pe=event["pe"],
+                        node=event.get("node"),
+                    )
+                else:
+                    self.record_violation(
+                        "token_cap", "Section V-D",
+                        f"token level {level} exceeds bucket depth {depth}",
+                        t=event["t"], pe=event["pe"],
+                        node=event.get("node"),
+                    )
+
+        elif kind == "r_max":
+            # Eq. 7: finite, clipped at zero, and equal to the reference
+            # LQR law evaluated on the event's own measurements.
+            r_max = event["r_max"]
+            occupancy = event["occupancy"]
+            rho = event["rho"]
+            if not _isfinite(r_max):
+                self.record_violation(
+                    "r_max_finite", "Eq. 7",
+                    f"r_max={r_max!r} is not finite",
+                    t=event["t"], pe=event["pe"],
+                )
+                shadow = None  # skip the law; still forward to the sink
+            else:
+                if r_max < 0.0:
+                    self.record_violation(
+                        "r_max_nonnegative", "Eq. 7",
+                        f"r_max={r_max} < 0 (the [.]+ clip was not "
+                        f"applied)",
+                        t=event["t"], pe=event["pe"],
+                    )
+                shadow = self._shadows.get(event["pe"])
+            if shadow is not None:
+                lambdas, mus, b0, capacity, inv_dt, deviations, surpluses \
+                    = shadow
+                deviations.appendleft(occupancy - b0)
+                # Designed gains carry one or two lags; unroll those so
+                # the per-event law is loop- and allocation-free.
+                n = len(lambdas)
+                if n == 2:
+                    reference = (
+                        rho
+                        - lambdas[0] * deviations[0]
+                        - lambdas[1] * deviations[1]
+                    )
+                elif n == 1:
+                    reference = rho - lambdas[0] * deviations[0]
+                else:
+                    reference = rho
+                    for i in range(n):
+                        reference -= lambdas[i] * deviations[i]
+                n = len(mus)
+                if n == 1:
+                    reference -= mus[0] * surpluses[0]
+                elif n:
+                    for i in range(n):
+                        reference -= mus[i] * surpluses[i]
+                if reference < 0.0:
+                    reference = 0.0
+                free = capacity - occupancy
+                ceiling = (free if free > 0.0 else 0.0) * inv_dt + rho
+                if reference > ceiling:
+                    reference = ceiling
+                delta = r_max - reference
+                slack = tolerance * reference if reference > 1.0 \
+                    else tolerance
+                if delta > slack or -delta > slack:
+                    self.record_violation(
+                        "r_max_law", "Eq. 7",
+                        f"r_max={r_max} but the LQR law with the same "
+                        f"(occupancy={occupancy}, rho={rho}) and history "
+                        f"gives {reference}",
+                        t=event["t"], pe=event["pe"],
+                    )
+                # Mirror the real controller's post-update surplus
+                # history from its *actual* published value.
+                surpluses.appendleft(r_max - rho)
+
+        elif kind == "cpu_grant":
+            grant = event["cpu"]
+            pe = event["pe"]
+            if grant < -tolerance or not _isfinite(grant):
+                self.record_violation(
+                    "cpu_grant_nonnegative", "Section V-D",
+                    f"cpu grant {grant!r} is negative or non-finite",
+                    t=event["t"], pe=pe, node=event.get("node"),
+                )
+            info = self._grant_info.get(pe)
+            if info is not None:
+                (node_id, scheduler, controller, machine,
+                 t0_slope, t1_slope, group_size, index) = info
+
+                strict = self.strict
+                if strict:
+                    if self._paused[index]:
+                        self.record_violation(
+                            "paused_node_silent", "Section V-E",
+                            "a suspended node's controller emitted a "
+                            "CPU grant",
+                            t=event["t"], pe=pe, node=node_id,
+                        )
+                    if (
+                        grant > tolerance
+                        and controller is not None
+                        and pe in controller.last_blocked
+                    ):
+                        self.record_violation(
+                            "gate_blocked_zero_grant",
+                            "Section VI (Lock-Step)",
+                            f"gate-blocked PE granted cpu={grant}",
+                            t=event["t"], pe=pe, node=node_id,
+                        )
+
+                # Eq. 8: the grant never exceeds g^{-1} of the advertised
+                # bound.  ACES events carry the bound they were capped
+                # under (None when downstream left the PE unconstrained).
+                cap_rate = event.get("cap_rate", _INF)
+                if cap_rate is not _INF and cap_rate is not None:
+                    cap_cpu = scheduler.capacity
+                    if strict and machine is not None:
+                        if cap_rate <= 0.0:
+                            derived = 0.0
+                        elif machine.state == 1:
+                            derived = cap_rate * t1_slope
+                        else:
+                            derived = cap_rate * t0_slope
+                        if derived < cap_cpu:
+                            cap_cpu = derived
+                    slack = tolerance * cap_cpu if cap_cpu > 1.0 \
+                        else tolerance
+                    if grant > cap_cpu + slack:
+                        self.record_violation(
+                            "feedback_cap", "Eq. 8",
+                            f"cpu grant {grant} exceeds the feedback cap "
+                            f"g^-1({cap_rate}) = {cap_cpu}",
+                            t=event["t"], pe=pe, node=node_id,
+                        )
+
+                # Eq. 4 / V-D: grants of one allocation round sum to
+                # <= capacity.  Rounds are delimited by event count (one
+                # cpu_grant per resident PE per round), which is
+                # substrate- and clock-agnostic.
+                if group_size > 0:
+                    group = self._grant_groups.get(node_id)
+                    if group is None:
+                        group = self._grant_groups[node_id] = [0.0, 0]
+                    group[0] += grant
+                    group[1] += 1
+                    if group[1] >= group_size:
+                        total = group[0]
+                        capacity = scheduler.capacity
+                        slack = tolerance * capacity if capacity > 1.0 \
+                            else tolerance
+                        if total > capacity + slack:
+                            self.record_violation(
+                                "node_capacity", "Eq. 4",
+                                f"granted CPU fractions sum to {total} "
+                                f"on a node with capacity {capacity}",
+                                t=event["t"], node=node_id,
+                            )
+                        group[0] = 0.0
+                        group[1] = 0
+
+        elif kind == "tier1_resolve":
+            # Eq. 4 on the targets in effect whenever Tier 1 (re-)solves.
+            if self._inspection is not None:
+                self.check_targets(t=event["t"])
+
+        sink = self.sink
+        if sink is not None:
+            sink._write(event)
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+    def check_targets(self, t: float = 0.0) -> None:
+        """Validate the live Tier-1 targets against nominal capacities.
+
+        Targets are the *nominal* budget (a transiently slowed node may
+        legitimately be over-budgeted until the next re-solve), so this
+        checks against the nominal — not fault-adjusted — capacity.  The
+        solver's own constraint tolerance sets the slack.
+        """
+        inspection = self._inspection
+        if inspection is None:
+            return
+        targets = inspection.plane.targets
+        sums: _t.Dict[str, float] = {
+            node_id: 0.0 for node_id in inspection.nominal_capacity
+        }
+        for pe_id, cpu in targets.cpu.items():
+            if cpu < -1e-9:
+                self.record_violation(
+                    "target_cpu_nonnegative", "Eq. 4",
+                    f"Tier-1 cpu target {cpu} < 0", t=t, pe=pe_id,
+                )
+            node_id = inspection.node_of.get(pe_id)
+            if node_id is not None:
+                sums[node_id] += cpu
+        for node_id, total in sums.items():
+            capacity = inspection.nominal_capacity[node_id]
+            if total > capacity + 1e-4 * max(1.0, capacity):
+                self.record_violation(
+                    "target_capacity", "Eq. 4",
+                    f"Tier-1 cpu targets sum to {total} on a node with "
+                    f"nominal capacity {capacity}",
+                    t=t, node=node_id,
+                )
+
+    def finalize(self) -> _t.List[InvariantViolation]:
+        """End-of-run checks; returns the accumulated violation list."""
+        self.check_targets()
+        return self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleRecorder(strict={self.strict}, "
+            f"violations={sum(self.violation_counts.values())})"
+        )

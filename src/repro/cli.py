@@ -11,6 +11,7 @@ Commands
 ``figure``    regenerate one of the paper's figures/claims
 ``calibrate`` run the simulator-vs-threaded-runtime comparison
 ``chaos``     run the resilience fault matrix (MTTR, utility retention)
+``fuzz``      seeded scenario fuzzing with invariant oracles armed
 
 Examples::
 
@@ -18,8 +19,10 @@ Examples::
     python -m repro compare --policies aces,udp,lockstep --buffer 20
     python -m repro trace --policy aces --duration 5 --trace out.jsonl
     python -m repro trace --trace-filter kind=r_max|drop,pe=pe-3 --profile
+    python -m repro trace --check --duration 5
     python -m repro figure fig5
     python -m repro chaos --smoke --output BENCH_resilience.json
+    python -m repro fuzz --seeds 100 --output fuzz.jsonl
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import typing as _t
 
 import numpy as np
 
+from repro.check import OracleRecorder, check_conservation
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import policy_by_name
 from repro.experiments import figures
@@ -212,17 +216,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
     policy = policy_by_name(args.policy)
     trace_filter = TraceFilter.parse(args.trace_filter)
 
-    recorder: TraceRecorder
+    # With --check, the oracle sits in front and applies the keep-filter
+    # itself; the file recorder then stores whatever the oracle admits.
+    file_recorder: TraceRecorder
+    sink_filter = None if args.check else trace_filter
     if args.format == "csv":
         # CSV needs the column union up front, so buffer in memory.
-        recorder = MemoryRecorder(trace_filter=trace_filter)
+        file_recorder = MemoryRecorder(trace_filter=sink_filter)
     else:
-        recorder = JsonlRecorder(args.trace, trace_filter=trace_filter)
+        file_recorder = JsonlRecorder(args.trace, trace_filter=sink_filter)
+    oracle: _t.Optional[OracleRecorder] = None
+    recorder: TraceRecorder = file_recorder
+    if args.check:
+        # Live threaded runs interleave worker state with checking, so
+        # only the substrate-safe subset of the oracles runs there.
+        oracle = OracleRecorder(
+            strict=args.substrate == "sim",
+            trace_filter=trace_filter,
+            sink=file_recorder,
+        )
+        recorder = oracle
     profiler = PhaseProfiler() if args.profile else None
     gauge_cadence = args.gauge_cadence if args.gauge_cadence > 0 else None
 
     if args.substrate == "threaded":
-        return _trace_threaded(args, topology, policy, recorder)
+        return _trace_threaded(
+            args, topology, policy, recorder, file_recorder, oracle
+        )
 
     system = SimulatedSystem(
         topology,
@@ -238,11 +258,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
         profiler=profiler,
         gauge_cadence=gauge_cadence,
     )
+    if oracle is not None:
+        oracle.attach_plane(system.plane)
     report = system.run(args.duration)
 
     if args.format == "csv":
-        assert isinstance(recorder, MemoryRecorder)
-        write_events_csv(recorder.events, args.trace)
+        assert isinstance(file_recorder, MemoryRecorder)
+        write_events_csv(file_recorder.events, args.trace)
     recorder.close()
 
     print(report.one_line())
@@ -261,6 +283,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
     if profiler is not None:
         print(profiler.one_line())
+    if oracle is not None:
+        oracle.finalize()
+        violations = list(oracle.violations)
+        violations.extend(check_conservation(system))
+        print(oracle.summary())
+        for violation in violations[:10]:
+            print(
+                f"  {violation.invariant} ({violation.equation}) "
+                f"t={violation.t:.3f} pe={violation.pe}: {violation.detail}"
+            )
+        if violations:
+            return 1
     return 0
 
 
@@ -269,6 +303,8 @@ def _trace_threaded(
     topology: Topology,
     policy: _t.Any,
     recorder: TraceRecorder,
+    file_recorder: TraceRecorder,
+    oracle: _t.Optional["OracleRecorder"],
 ) -> int:
     """Trace the same control plane on the threaded runtime substrate."""
     from repro.runtime.spc import RuntimeConfig, SPCRuntime
@@ -283,11 +319,13 @@ def _trace_threaded(
         ),
         recorder=recorder,
     )
+    if oracle is not None:
+        oracle.attach_plane(runtime.plane)
     report = runtime.run(args.duration)
 
     if args.format == "csv":
-        assert isinstance(recorder, MemoryRecorder)
-        write_events_csv(recorder.events, args.trace)
+        assert isinstance(file_recorder, MemoryRecorder)
+        write_events_csv(file_recorder.events, args.trace)
     recorder.close()
 
     print(
@@ -306,6 +344,16 @@ def _trace_threaded(
         print("gauges: not available on the threaded substrate")
     if args.profile:
         print("profile: not available on the threaded substrate")
+    if oracle is not None:
+        oracle.finalize()
+        print(oracle.summary())
+        for violation in oracle.violations[:10]:
+            print(
+                f"  {violation.invariant} ({violation.equation}) "
+                f"pe={violation.pe}: {violation.detail}"
+            )
+        if oracle.violations:
+            return 1
     return 0
 
 
@@ -405,6 +453,51 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"unrecovered={len(unrecovered)} -> {args.output}"
     )
     return 1 if errors else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.experiments.fuzzing import DEFAULT_POLICIES, run_fuzz_campaign
+
+    if args.seeds <= 0:
+        raise ValueError(f"--seeds must be positive, got {args.seeds}")
+    if args.policies:
+        policies = [name.strip() for name in args.policies.split(",")]
+    else:
+        policies = list(DEFAULT_POLICIES)
+    for name in policies:
+        policy_by_name(name)  # fail fast on unknown policy names
+
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    summary = run_fuzz_campaign(
+        seeds,
+        policies=policies,
+        differential=not args.no_differential,
+        shrink=not args.no_shrink,
+        output=args.output,
+        log=print,
+    )
+    destination = f" -> {args.output}" if args.output else ""
+    print(
+        f"fuzz: {summary['cases']} cases over {summary['seeds']} seeds x "
+        f"{len(policies)} policies, {len(summary['failures'])} "
+        f"failure(s){destination}"
+    )
+    for failure in summary["failures"]:
+        shrunk = failure.get("shrunk_scenario")
+        where = (
+            f"shrunk to seed={shrunk['seed']} nodes={shrunk['num_nodes']} "
+            f"pes={shrunk['num_ingress'] + shrunk['num_egress'] + shrunk['num_intermediate']} "
+            f"faults={len(shrunk['faults'])}"
+            if shrunk
+            else "not shrunk"
+        )
+        print(
+            f"  seed={failure['seed']} policy={failure['policy']} "
+            f"[{failure['mode']}]: "
+            f"{failure['error'] or failure['violation_counts'] or 'mismatch'} "
+            f"({where})"
+        )
+    return 0 if summary["ok"] else 1
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
@@ -526,6 +619,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="attribute wall-clock time to sim-engine phases",
     )
+    trace.add_argument(
+        "--check", action="store_true",
+        help=(
+            "validate paper invariants (Eqs. 4/7/8, token bounds, SDO "
+            "conservation) on every recorded event; exit 1 on violation. "
+            "A --trace-filter limits which events are checked."
+        ),
+    )
     trace.set_defaults(handler=cmd_trace)
 
     figure = subparsers.add_parser(
@@ -592,13 +693,54 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--duration", type=float, default=6.0)
     calibrate.set_defaults(handler=cmd_calibrate)
 
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="seeded scenario fuzzing with invariant oracles armed",
+        description=(
+            "Expand each seed into a random topology/workload/fault "
+            "scenario, run it under every policy with the paper-invariant "
+            "oracles armed (plus a scripted cross-substrate differential "
+            "drive), log violations as JSONL, and shrink failures to "
+            "minimal reproducers."
+        ),
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25, metavar="N",
+        help="number of scenario seeds to fuzz (default 25)",
+    )
+    fuzz.add_argument(
+        "--seed-start", dest="seed_start", type=int, default=0,
+        help="first seed of the range (default 0)",
+    )
+    fuzz.add_argument(
+        "--policies", default=None,
+        help="comma-separated policy names (default udp,lockstep,aces)",
+    )
+    fuzz.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write one JSON line per fuzz case to this file",
+    )
+    fuzz.add_argument(
+        "--no-differential", action="store_true",
+        help="skip the scripted sim-vs-threaded differential pass",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing them",
+    )
+    fuzz.set_defaults(handler=cmd_fuzz)
+
     return parser
 
 
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

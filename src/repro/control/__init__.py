@@ -25,7 +25,12 @@ re-implementing the controller.
 
 from repro.control.adapter import BufferLike, PELike, SystemAdapter
 from repro.control.node import ControlRecord, NodeController
-from repro.control.plane import ControlPlane, NodeGroup, resolve_initial_targets
+from repro.control.plane import (
+    ControlPlane,
+    NodeGroup,
+    PlaneInspection,
+    resolve_initial_targets,
+)
 
 __all__ = [
     "BufferLike",
@@ -34,6 +39,7 @@ __all__ = [
     "NodeController",
     "NodeGroup",
     "PELike",
+    "PlaneInspection",
     "SystemAdapter",
     "resolve_initial_targets",
 ]

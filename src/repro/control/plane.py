@@ -44,6 +44,44 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
 AdmissionFn = _t.Optional[_t.Callable[[PELike, object], bool]]
 
 
+@dataclass(frozen=True)
+class PlaneInspection:
+    """Narrow read-only view of a control plane for invariant oracles.
+
+    :mod:`repro.check` validates paper invariants *online* against trace
+    events; doing so needs a handful of live references that are
+    otherwise scattered across plane internals.  This is the one
+    sanctioned inspection surface — oracles must not reach into other
+    plane state, so the checked surface stays an explicit contract.
+
+    All mappings are built once at :meth:`ControlPlane.inspection` time
+    but reference *live* objects: scheduler capacities reflect injected
+    node slowdowns, ``paused`` is the plane's own mutable list, and
+    ``controllers`` are the real flow controllers.
+    """
+
+    #: pe_id -> PE runtime (for rate-model state the Eq. 8 check needs).
+    pes: _t.Mapping[str, PELike]
+    #: pe_id -> node_id of the node the PE is placed on.
+    node_of: _t.Mapping[str, str]
+    #: node_id -> live scheduler (``.capacity`` tracks fault injection).
+    schedulers: _t.Mapping[str, _t.Any]
+    #: node_id -> nominal CPU capacity (what Tier-1 budgets against).
+    nominal_capacity: _t.Mapping[str, float]
+    #: node_id -> number of resident PEs (one cpu_grant event each).
+    group_sizes: _t.Mapping[str, int]
+    #: node_id -> node index (``paused`` is indexed by this).
+    node_index: _t.Mapping[str, int]
+    #: pe_id -> flow controller (feedback policies only).
+    controllers: _t.Mapping[str, FlowController]
+    #: node_id -> node controller (``last_blocked`` gate decisions).
+    node_controllers: _t.Mapping[str, _t.Any]
+    #: The plane's live per-node pause flags (not a copy).
+    paused: _t.Sequence[bool]
+    #: The plane itself, for targets/policy metadata reads.
+    plane: "ControlPlane"
+
+
 @dataclass
 class NodeGroup:
     """The PEs resident on one node, as the control plane sees them."""
@@ -287,6 +325,44 @@ class ControlPlane:
         return result
 
     # -- observability -------------------------------------------------------
+
+    def inspection(self) -> PlaneInspection:
+        """The sanctioned read-only view for online invariant oracles.
+
+        See :class:`PlaneInspection`; everything an oracle may read from
+        the plane goes through here so the coupling stays explicit.
+        """
+        pes: _t.Dict[str, PELike] = {}
+        node_of: _t.Dict[str, str] = {}
+        for group in self.groups:
+            for pe in group.pes:
+                pes[pe.pe_id] = pe
+                node_of[pe.pe_id] = group.node_id
+        return PlaneInspection(
+            pes=pes,
+            node_of=node_of,
+            schedulers={
+                group.node_id: scheduler
+                for group, scheduler in zip(self.groups, self.schedulers)
+            },
+            nominal_capacity={
+                group.node_id: group.cpu_capacity for group in self.groups
+            },
+            group_sizes={
+                group.node_id: len(group.pes) for group in self.groups
+            },
+            node_index={
+                group.node_id: index
+                for index, group in enumerate(self.groups)
+            },
+            controllers=dict(self.controllers),
+            node_controllers={
+                controller.node_id: controller
+                for controller in self.node_controllers
+            },
+            paused=self.paused,
+            plane=self,
+        )
 
     def register_gauges(
         self,

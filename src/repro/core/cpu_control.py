@@ -196,6 +196,12 @@ class AcesCpuScheduler:
         demands: _t.Dict[str, float] = {}
         capped_work: _t.Dict[str, float] = {}
         weights: _t.Dict[str, float] = {}
+        # The Eq. 8 bound each PE was capped under, kept only while
+        # recording so invariant oracles can re-derive g^{-1}(r_o,j)
+        # independently; the disarmed hot path never builds it.
+        caps_trace: _t.Optional[_t.Dict[str, _t.Optional[float]]] = (
+            {} if self._recording else None
+        )
         for pe, bucket in self._pairs:
             # Inlined bucket.fill(dt): this is the per-tick fast path.
             level = bucket.level + bucket.rate * dt
@@ -205,6 +211,8 @@ class AcesCpuScheduler:
 
             pe_id = pe.pe_id
             cap_rate = caps_get(pe_id, _INF)
+            if caps_trace is not None:
+                caps_trace[pe_id] = None if cap_rate == _INF else cap_rate
             if cap_rate == _INF:
                 cpu_cap = capacity
             else:
@@ -240,7 +248,7 @@ class AcesCpuScheduler:
                     grants[pe_id] += grant
 
         fractions = {pe_id: grant / dt for pe_id, grant in grants.items()}
-        if self._recording:
+        if caps_trace is not None:
             recorder = self.recorder
             for pe in self.pes:
                 bucket = self.buckets[pe.pe_id]
@@ -258,6 +266,7 @@ class AcesCpuScheduler:
                     node=self.node_id,
                     cpu=fractions[pe.pe_id],
                     dt=dt,
+                    cap_rate=caps_trace[pe.pe_id],
                 )
         return fractions
 

@@ -29,7 +29,17 @@ class BufferTelemetry:
 
     offered: int = 0
     accepted: int = 0
+    #: Total SDOs lost at this buffer: overflow rejections *plus* items
+    #: discarded by :meth:`InputBuffer.flush` (e.g. a PE crash).  Kept as
+    #: the all-losses counter every drop metric reports.
     dropped: int = 0
+    #: The flush-loss component of :attr:`dropped`.  Flushed items were
+    #: *accepted* first, so without this counter the conservation
+    #: identity ``offered == accepted + dropped`` double-counts them
+    #: after a flush + re-enqueue; the corrected identities are
+    #: ``offered == accepted + (dropped - flushed)`` and
+    #: ``accepted == popped + flushed + occupancy``.
+    flushed: int = 0
     popped: int = 0
     high_water: int = 0
     #: Integral of occupancy over time, for time-averaged queue length.
@@ -170,7 +180,11 @@ class InputBuffer:
         self._integrate(now)
         lost = len(self._items)
         self._items.clear()
+        # Flush losses are *accepted* SDOs, unlike overflow drops which
+        # were never enqueued; track them separately so occupancy/drop
+        # accounting stays consistent after a flush + re-enqueue.
         self.telemetry.dropped += lost
+        self.telemetry.flushed += lost
         if lost and self._recording:
             self.recorder.emit(
                 "drop",

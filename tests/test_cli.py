@@ -76,3 +76,90 @@ class TestCommands:
         assert "aces" in out
         assert "udp" in out
         assert "weighted_throughput" in out
+
+
+class TestTraceCheck:
+    """The --check flag arms the invariant oracles on either substrate."""
+
+    def _trace_args(self, tmp_path, substrate, *extra):
+        return [
+            "trace", "--pes", "8", "--nodes", "2",
+            "--duration", "1", "--warmup", "0.5",
+            "--substrate", substrate,
+            "--trace", str(tmp_path / "out.jsonl"),
+            "--check", *extra,
+        ]
+
+    @pytest.mark.parametrize("substrate", ["sim", "threaded"])
+    def test_check_clean_run(self, tmp_path, substrate, capsys):
+        assert main(self._trace_args(tmp_path, substrate)) == 0
+        out = capsys.readouterr().out
+        assert "oracles: all invariants held" in out
+
+    def test_check_forwards_events_to_file(self, tmp_path, capsys):
+        assert main(self._trace_args(tmp_path, "sim")) == 0
+        assert (tmp_path / "out.jsonl").stat().st_size > 0
+
+
+class TestFailureModes:
+    """Bad arguments exit non-zero with a message, never a traceback."""
+
+    def test_fuzz_rejects_nonpositive_seeds(self, capsys):
+        assert main(["fuzz", "--seeds", "0"]) == 2
+        assert "--seeds must be positive" in capsys.readouterr().err
+
+    def test_fuzz_rejects_unknown_policy(self, capsys):
+        assert main(["fuzz", "--seeds", "1", "--policies", "teleport"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_rejects_bad_filter_expression(self, capsys):
+        assert main(["trace", "--trace-filter", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_filter_kind(self, capsys):
+        assert main(["trace", "--trace-filter", "kind=warp"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_rejects_unknown_scenario(self, capsys):
+        code = main(
+            ["chaos", "--smoke", "--scenarios", "meteor-strike"]
+        )
+        assert code == 2
+        assert "unknown scenarios" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("substrate", ["sim", "threaded"])
+    def test_trace_format_validation(self, substrate):
+        # argparse enforces the --format choices before any run starts,
+        # identically for both substrates.
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["trace", "--substrate", substrate, "--format", "xml"]
+            )
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("substrate", ["sim", "threaded"])
+    def test_trace_format_csv_accepted(self, substrate):
+        args = build_parser().parse_args(
+            ["trace", "--substrate", substrate, "--format", "csv"]
+        )
+        assert args.format == "csv"
+        assert args.substrate == substrate
+
+    def test_trace_rejects_unknown_substrate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--substrate", "quantum"])
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke(self, tmp_path, capsys):
+        output = tmp_path / "fuzz.jsonl"
+        code = main(
+            [
+                "fuzz", "--seeds", "1", "--policies", "udp",
+                "--output", str(output), "--no-shrink",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+        assert output.stat().st_size > 0

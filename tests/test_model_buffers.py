@@ -132,3 +132,73 @@ def test_property_occupancy_invariants(operations):
     telemetry = buffer.telemetry
     assert telemetry.accepted == telemetry.popped + buffer.occupancy
     assert telemetry.offered == telemetry.accepted + telemetry.dropped
+
+
+class TestFlushAccounting:
+    """Occupancy/drop accounting stays consistent across flush cycles.
+
+    A crash-flush discards *accepted* SDOs, which is a different loss
+    class than an overflow rejection (never accepted): the ``flushed``
+    counter carries the difference so both conservation identities hold
+    after any flush + re-enqueue sequence.
+    """
+
+    def test_flush_empties_and_counts(self):
+        buffer = InputBuffer(5)
+        for i in range(3):
+            buffer.offer(sdo(i), 0.0)
+        assert buffer.flush(1.0) == 3
+        assert buffer.occupancy == 0
+        assert buffer.telemetry.flushed == 3
+        # dropped stays the all-losses counter (drop metrics include
+        # crash losses), flushed carves out the accepted-loss component.
+        assert buffer.telemetry.dropped == 3
+
+    def test_identities_after_flush_and_reenqueue(self):
+        buffer = InputBuffer(2)
+        buffer.offer(sdo(0), 0.0)
+        buffer.offer(sdo(1), 0.0)
+        buffer.offer(sdo(2), 0.0)  # overflow drop
+        buffer.flush(1.0)
+        # Re-enqueue after the flush: the buffer must accept again and
+        # every counter identity must close.
+        assert buffer.offer(sdo(3), 2.0)
+        buffer.pop(3.0)
+        assert buffer.offer(sdo(4), 4.0)
+        telemetry = buffer.telemetry
+        assert telemetry.offered == 5
+        assert telemetry.dropped == 3  # 1 overflow + 2 flushed
+        assert telemetry.flushed == 2
+        assert telemetry.offered == telemetry.accepted + (
+            telemetry.dropped - telemetry.flushed
+        )
+        assert telemetry.accepted == (
+            telemetry.popped + telemetry.flushed + buffer.occupancy
+        )
+
+    def test_flush_empty_buffer_is_free(self):
+        buffer = InputBuffer(3)
+        assert buffer.flush(0.0) == 0
+        assert buffer.telemetry.flushed == 0
+        assert buffer.telemetry.dropped == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=200))
+    def test_property_identities_with_flushes(self, operations):
+        """Random offer/pop/flush sequences keep both identities closed."""
+        buffer = InputBuffer(4)
+        now = 0.0
+        for operation in operations:
+            now += 1.0
+            if operation == 0:
+                buffer.offer(sdo(), now)
+            elif operation == 1 and not buffer.is_empty:
+                buffer.pop(now)
+            elif operation == 2:
+                buffer.flush(now)
+        telemetry = buffer.telemetry
+        assert telemetry.offered == telemetry.accepted + (
+            telemetry.dropped - telemetry.flushed
+        )
+        assert telemetry.accepted == (
+            telemetry.popped + telemetry.flushed + buffer.occupancy
+        )

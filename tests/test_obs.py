@@ -470,6 +470,14 @@ class TestCliTrace:
         with open(gauges, newline="") as handle:
             assert list(csv.DictReader(handle))
 
-    def test_bad_filter_fails_fast(self, tmp_path):
-        with pytest.raises(ValueError, match="unknown trace filter key"):
-            self.run_cli(tmp_path, "--trace-filter", "stream=s-1")
+    def test_bad_filter_fails_fast(self, tmp_path, capsys):
+        # The CLI converts the TraceFilter ValueError into exit code 2
+        # with the parse error on stderr (no traceback for usage errors).
+        path = tmp_path / "out.jsonl"
+        argv = [
+            "trace", "--pes", "10", "--nodes", "2", "--seed", "0",
+            "--duration", "2", "--trace", str(path),
+            "--trace-filter", "stream=s-1",
+        ]
+        assert main(argv) == 2
+        assert "unknown trace filter key" in capsys.readouterr().err

@@ -160,3 +160,60 @@ def test_property_scheduler_never_oversubscribes(n_pes, seed, capacity):
     allocations = scheduler.allocate(0.01, caps)
     assert sum(allocations.values()) <= capacity + 1e-9
     assert all(cpu >= 0.0 for cpu in allocations.values())
+
+
+@slow_settings
+@given(
+    dt=st.floats(min_value=1e-3, max_value=0.5),
+    q=st.floats(min_value=0.05, max_value=50.0),
+    r=st.floats(min_value=1e-4, max_value=1.0),
+    buffer_lags=st.integers(min_value=0, max_value=3),
+    rate_lags=st.integers(min_value=1, max_value=3),
+)
+def test_property_lqr_poles_inside_unit_circle(dt, q, r, buffer_lags, rate_lags):
+    """Eq. 7 gain design is stabilizing for any valid (dt, q, r, lags):
+    every closed-loop pole lies strictly inside the unit circle."""
+    from repro.core.lqr import closed_loop_poles
+
+    gains = design_gains(
+        dt=dt, q=q, r=r,
+        buffer_lags=buffer_lags, rate_lags=rate_lags, delay_steps=1,
+    )
+    poles = closed_loop_poles(gains)
+    assert np.all(np.abs(poles) < 1.0)
+    assert is_stable(gains)
+
+
+@slow_settings
+@given(
+    slope=st.floats(min_value=0.5, max_value=500.0),
+    overhead_fraction=st.floats(min_value=0.0, max_value=0.9),
+    cpu_margin=st.floats(min_value=1e-3, max_value=1.0),
+    lambda_m=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_property_rate_model_round_trip(
+    slope, overhead_fraction, cpu_margin, lambda_m
+):
+    """h(c) = a*c - b round-trips through its inverse wherever the model
+    is not clamped (a*c > b), for the input and output rate forms."""
+    from repro.model.params import PEProfile
+
+    profile = PEProfile(
+        pe_id="prop",
+        lambda_m=lambda_m,
+        overhead=overhead_fraction * slope,  # b < a so some c is feasible
+        calibrated_rate_slope=slope,
+    )
+    # Pick c strictly inside the non-clamped region: a*c - b > 0.
+    floor = profile.overhead / slope
+    cpu = floor + cpu_margin * (1.0 - floor)
+    rate = profile.rate_at(cpu)
+    assert rate > 0.0
+    assert profile.cpu_for_rate(rate) == pytest.approx(cpu, rel=1e-9)
+    output_rate = profile.output_rate_at(cpu)
+    assert profile.cpu_for_output_rate(output_rate) == pytest.approx(
+        cpu, rel=1e-9
+    )
+    # Below the clamp the inverse maps non-positive rates to zero CPU.
+    assert profile.cpu_for_rate(0.0) == 0.0
+    assert profile.cpu_for_rate(-1.0) == 0.0
