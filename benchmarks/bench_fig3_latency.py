@@ -22,8 +22,14 @@ def test_fig3_latency(benchmark, base_experiment, record_table):
             "buffer_size",
             "aces_latency_ms",
             "aces_latency_std_ms",
+            "aces_latency_p50_ms",
+            "aces_latency_p95_ms",
+            "aces_latency_p99_ms",
             "lockstep_latency_ms",
             "lockstep_latency_std_ms",
+            "lockstep_latency_p50_ms",
+            "lockstep_latency_p95_ms",
+            "lockstep_latency_p99_ms",
         ],
         precision=1,
     )
@@ -33,3 +39,10 @@ def test_fig3_latency(benchmark, base_experiment, record_table):
     assert aces_latencies == sorted(aces_latencies)
     for row in rows:
         assert row["aces_latency_std_ms"] < 3.0 * row["lockstep_latency_std_ms"]
+    # Percentile curves are internally ordered at every operating point.
+    for row in rows:
+        for name in ("aces", "lockstep"):
+            p50 = row[f"{name}_latency_p50_ms"]
+            p95 = row[f"{name}_latency_p95_ms"]
+            p99 = row[f"{name}_latency_p99_ms"]
+            assert p50 <= p95 <= p99

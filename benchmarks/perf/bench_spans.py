@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Span overhead benchmark: armed vs disarmed latency-span tracking.
+
+Runs the same calibration-topology workload as ``bench_kernel.py`` three
+ways — spans disarmed with no recorder (the baseline fast path: one
+attribute load and one branch per hop), a plain memory recorder (trace
+cost alone), and the memory recorder with a
+:class:`repro.obs.SpanTracker` armed (per-SDO queue/service/transit
+accounting + streaming histograms + one span event per egress SDO) —
+and reports the relative overhead.
+
+The acceptance bar for the span subsystem: <= 15% overhead over plain
+recording when armed (``--max-overhead``; the process exits 1 on a
+breach, like ``check_regression.py``), and 0% when disarmed — the
+disarmed path is the same single branch the recorder guard costs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_spans.py
+    PYTHONPATH=src python benchmarks/perf/bench_spans.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import time
+
+import numpy as np
+
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import policy_by_name
+from repro.experiments.perf import scale_config
+from repro.graph.topology import generate_topology
+from repro.obs.recorder import MemoryRecorder
+from repro.obs.spans import SpanTracker
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+
+def measure_span_overhead(
+    scale: str = "calibration",
+    policy: str = "aces",
+    duration: float = 2.0,
+    warmup: float = 0.5,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    experiment = scale_config(scale)
+    topology = generate_topology(
+        experiment.spec, np.random.default_rng(seed)
+    )
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    system_config = SystemConfig(seed=seed + 1, warmup=warmup)
+
+    def run_once(with_recorder: bool, with_spans: bool) -> float:
+        recorder = MemoryRecorder() if with_recorder else None
+        spans = (
+            SpanTracker(recorder=recorder) if with_spans else None
+        )
+        system = SimulatedSystem(
+            topology,
+            policy_by_name(policy),
+            targets=targets,
+            config=system_config,
+            spans=spans,
+            **({"recorder": recorder} if recorder is not None else {}),
+        )
+        # Collector pauses land at arbitrary points and dominate the
+        # variant deltas; keep GC out of the timed region.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            system.run(duration)
+            wall = time.perf_counter() - start
+        finally:
+            gc.enable()
+        if spans is not None and spans.violations:
+            raise AssertionError(
+                f"{len(spans.violations)} span closure violation(s): "
+                f"{spans.violations[0]}"
+            )
+        return wall
+
+    variants = {
+        "disarmed": (False, False),
+        "recording": (True, False),
+        "spans_armed": (True, True),
+    }
+    # Interleave the variants round-robin so slow drifts in machine load
+    # hit all of them equally, and keep each variant's best time.
+    walls = {name: float("inf") for name in variants}
+    for _ in range(max(1, repeats)):
+        for name, (with_recorder, with_spans) in variants.items():
+            walls[name] = min(
+                walls[name], run_once(with_recorder, with_spans)
+            )
+    base = walls["disarmed"]
+    return {
+        "scale": scale,
+        "policy": policy,
+        "sim_seconds": duration + warmup,
+        "repeats": repeats,
+        "wall_seconds": {name: round(wall, 4) for name, wall in walls.items()},
+        "overhead_vs_disarmed": {
+            name: round((wall - base) / base, 4)
+            for name, wall in walls.items()
+            if name != "disarmed"
+        },
+        "span_overhead_vs_recording": round(
+            (walls["spans_armed"] - walls["recording"])
+            / walls["recording"],
+            4,
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=("smoke", "calibration", "full"),
+        default="calibration",
+    )
+    parser.add_argument("--policy", default="aces")
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--warmup", type=float, default=0.5)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-overhead", dest="max_overhead", type=float, default=0.15,
+        metavar="FRACTION",
+        help=(
+            "gate: fail (exit 1) when span_overhead_vs_recording exceeds "
+            "this fraction (default 0.15)"
+        ),
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the measurement to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure_span_overhead(
+        scale=args.scale,
+        policy=args.policy,
+        duration=args.duration,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    result["max_overhead"] = args.max_overhead
+    result["ok"] = result["span_overhead_vs_recording"] <= args.max_overhead
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not result["ok"]:
+        print(
+            f"FAIL: span overhead {result['span_overhead_vs_recording']:.1%} "
+            f"exceeds --max-overhead {args.max_overhead:.1%}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -167,4 +167,39 @@ def check_conservation(
                 f"admitted={stats.admitted} + rejected={stats.rejected}",
             )
 
+    # Per-egress histogram/moments identity: the streaming latency
+    # histogram sees exactly the SDOs the moment accumulator sees.
+    for pe_id, record in sorted(collector.records().items()):
+        if not (record.hist.count == record.count == record.latency.count):
+            violate(
+                "latency_histogram_conservation",
+                f"hist.count={record.hist.count}, record.count="
+                f"{record.count}, moments.count={record.latency.count} "
+                "disagree",
+                pe=pe_id,
+            )
+
+    # Armed span tracker: lift its closure violations into the shared
+    # violation type and close the span/egress ledger.
+    spans = getattr(system, "spans", None)
+    if spans is not None:
+        for entry in spans.violations:
+            violations.append(
+                InvariantViolation(
+                    invariant=str(entry["invariant"]),
+                    equation="span telescoping (queue+service+transit==e2e)",
+                    t=float(entry["t"]),  # type: ignore[arg-type]
+                    pe=_t.cast(_t.Optional[str], entry.get("pe")),
+                    node=None,
+                    detail=str(entry["detail"]),
+                )
+            )
+        delivered = collector.total_output()
+        if spans.egress_spans != delivered:
+            violate(
+                "span_egress_conservation",
+                f"egress spans={spans.egress_spans} != collector "
+                f"output={delivered} over the measured window",
+            )
+
     return violations

@@ -49,6 +49,13 @@ from repro.obs.recorder import (
     TraceFilter,
     TraceRecorder,
 )
+from repro.obs.spans import SpanTracker
+from repro.obs.surface import (
+    render_prometheus,
+    render_top,
+    snapshot_runtime,
+    snapshot_system,
+)
 from repro.systems.simulated import SimulatedSystem, SystemConfig, run_system
 
 
@@ -196,12 +203,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 link_bandwidth=args.link_bandwidth,
             ),
         )
+        pct = report.latency_percentiles
         rows.append(
             {
                 "policy": report.policy,
                 "weighted_throughput": report.weighted_throughput,
                 "latency_ms": report.latency.mean * 1000,
                 "latency_std_ms": report.latency.std * 1000,
+                "latency_p50_ms": pct.get("p50", 0.0) * 1000,
+                "latency_p95_ms": pct.get("p95", 0.0) * 1000,
+                "latency_p99_ms": pct.get("p99", 0.0) * 1000,
                 "drops": report.buffer_drops,
                 "rejections": report.source_rejections,
                 "cpu": report.cpu_utilization,
@@ -238,10 +249,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         recorder = oracle
     profiler = PhaseProfiler() if args.profile else None
     gauge_cadence = args.gauge_cadence if args.gauge_cadence > 0 else None
+    spans = SpanTracker(recorder=recorder) if args.spans else None
 
     if args.substrate == "threaded":
         return _trace_threaded(
-            args, topology, policy, recorder, file_recorder, oracle
+            args, topology, policy, recorder, file_recorder, oracle, spans
         )
 
     system = SimulatedSystem(
@@ -257,6 +269,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         recorder=recorder,
         profiler=profiler,
         gauge_cadence=gauge_cadence,
+        spans=spans,
     )
     if oracle is not None:
         oracle.attach_plane(system.plane)
@@ -283,6 +296,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
     if profiler is not None:
         print(profiler.one_line())
+    if spans is not None:
+        _print_span_rows(spans)
     if oracle is not None:
         oracle.finalize()
         violations = list(oracle.violations)
@@ -298,6 +313,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_span_rows(spans: "SpanTracker") -> None:
+    """Print the per-hop span decomposition (the --spans view)."""
+    rows = spans.hop_rows()
+    if rows:
+        print_table(rows, title="latency spans (per hop)", precision=3)
+    print(
+        f"spans: {spans.egress_spans} egress spans, "
+        f"{len(spans.violations)} closure violation(s)"
+    )
+    for violation in spans.violations[:5]:
+        print(f"  span_closure t={violation['t']:.3f} "
+              f"pe={violation['pe']}: {violation['detail']}")
+
+
 def _trace_threaded(
     args: argparse.Namespace,
     topology: Topology,
@@ -305,6 +334,7 @@ def _trace_threaded(
     recorder: TraceRecorder,
     file_recorder: TraceRecorder,
     oracle: _t.Optional["OracleRecorder"],
+    spans: _t.Optional["SpanTracker"] = None,
 ) -> int:
     """Trace the same control plane on the threaded runtime substrate."""
     from repro.runtime.spc import RuntimeConfig, SPCRuntime
@@ -318,6 +348,7 @@ def _trace_threaded(
             seed=args.seed + 1,
         ),
         recorder=recorder,
+        spans=spans,
     )
     if oracle is not None:
         oracle.attach_plane(runtime.plane)
@@ -328,13 +359,19 @@ def _trace_threaded(
         write_events_csv(file_recorder.events, args.trace)
     recorder.close()
 
+    pct = report.latency_percentiles
     print(
         f"{report.policy} [threaded]: "
         f"throughput={report.weighted_throughput:.2f} "
         f"output={report.total_output_sdos} "
         f"latency_mean={report.latency.mean:.4f} "
+        f"p50/p95/p99={pct.get('p50', 0.0) * 1000:.1f}/"
+        f"{pct.get('p95', 0.0) * 1000:.1f}/"
+        f"{pct.get('p99', 0.0) * 1000:.1f}ms "
         f"drops={report.buffer_drops}"
     )
+    if spans is not None:
+        _print_span_rows(spans)
     total = sum(recorder.counts.values())
     breakdown = " ".join(
         f"{kind}={count}" for kind, count in sorted(recorder.counts.items())
@@ -354,6 +391,85 @@ def _trace_threaded(
             )
         if oracle.violations:
             return 1
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live metrics surface: per-stream percentiles, PEs, span hops."""
+    topology = _topology_from_args(args)
+    policy = policy_by_name(args.policy)
+    spans = SpanTracker(locking=args.substrate == "threaded") \
+        if args.spans else None
+    watch = args.watch and not args.once
+
+    if args.substrate == "threaded":
+        from repro.runtime.spc import RuntimeConfig, SPCRuntime
+
+        runtime = SPCRuntime(
+            topology,
+            policy,
+            config=RuntimeConfig(
+                buffer_size=args.buffer,
+                warmup=args.warmup,
+                seed=args.seed + 1,
+            ),
+            spans=spans,
+        )
+        observer = None
+        if watch:
+            def observer(live: SPCRuntime) -> None:
+                print(render_top(snapshot_runtime(live)))
+
+        runtime.run(
+            args.duration, observer=observer, observe_interval=args.interval
+        )
+        snapshot = snapshot_runtime(runtime)
+    else:
+        system = SimulatedSystem(
+            topology,
+            policy,
+            config=SystemConfig(
+                buffer_size=args.buffer,
+                warmup=args.warmup,
+                seed=args.seed + 1,
+                reoptimize_interval=args.reoptimize,
+                link_bandwidth=args.link_bandwidth,
+            ),
+            spans=spans,
+        )
+        if watch:
+            # Virtual-time watch: step the engine one interval at a time
+            # and render between steps (same warmup/reset protocol as
+            # SimulatedSystem.run).
+            env = system.env
+            if system.config.warmup > 0:
+                env.run(until=system.config.warmup)
+            system.collector.reset(env.now)
+            if spans is not None:
+                spans.reset()
+            end = env.now + args.duration
+            while env.now < end:
+                env.run(until=min(env.now + args.interval, end))
+                print(render_top(snapshot_system(system)))
+        else:
+            system.run(args.duration)
+        snapshot = snapshot_system(system)
+
+    if not watch:
+        print(render_top(snapshot), end="")
+    if args.prometheus is not None:
+        text = render_prometheus(snapshot)
+        if args.prometheus == "-":
+            print(text, end="")
+        else:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"prometheus: {len(text.splitlines())} lines "
+                  f"-> {args.prometheus}")
+    if snapshot.span_violations:
+        print(f"error: {snapshot.span_violations} span closure violation(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -627,7 +743,58 @@ def build_parser() -> argparse.ArgumentParser:
             "A --trace-filter limits which events are checked."
         ),
     )
+    trace.add_argument(
+        "--spans", action="store_true",
+        help=(
+            "arm per-SDO latency spans: decompose end-to-end latency into "
+            "queue-wait/service/transit per hop, emit one span event per "
+            "egress SDO, and print the per-hop percentile table"
+        ),
+    )
     trace.set_defaults(handler=cmd_trace)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live metrics surface (percentiles, occupancy, span hops)",
+        description=(
+            "Run one policy and render the live metrics surface: "
+            "per-egress-stream p50/p95/p99 latency, per-PE occupancy and "
+            "r_max, drop counters, and (with --spans) the per-hop "
+            "queue/service/transit decomposition.  One-shot by default; "
+            "--watch re-renders every --interval model seconds."
+        ),
+    )
+    _add_topology_arguments(top)
+    _add_run_arguments(top)
+    top.add_argument(
+        "--policy", default="aces",
+        choices=("aces", "udp", "lockstep", "shedding"),
+    )
+    top.add_argument(
+        "--substrate", choices=("sim", "threaded"), default="sim",
+        help="execution substrate (default: discrete-event simulator)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single snapshot after the run (the default)",
+    )
+    top.add_argument(
+        "--watch", action="store_true",
+        help="re-render the surface every --interval model seconds",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="watch-mode refresh period in model seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--spans", action="store_true",
+        help="arm per-SDO latency spans and show the per-hop table",
+    )
+    top.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="also write Prometheus text exposition ('-' for stdout)",
+    )
+    top.set_defaults(handler=cmd_top)
 
     figure = subparsers.add_parser(
         "figure", help="regenerate a paper figure/claim"

@@ -59,6 +59,9 @@ def figure3_latency(
             summary = point.result.policies[name]
             row[f"{name}_latency_ms"] = summary.latency_mean.mean * 1000
             row[f"{name}_latency_std_ms"] = summary.latency_std.mean * 1000
+            row[f"{name}_latency_p50_ms"] = summary.latency_p50.mean * 1000
+            row[f"{name}_latency_p95_ms"] = summary.latency_p95.mean * 1000
+            row[f"{name}_latency_p99_ms"] = summary.latency_p99.mean * 1000
         rows.append(row)
     return rows
 

@@ -213,6 +213,9 @@ class FuzzCaseResult:
     mismatch: bool = False
     error: _t.Optional[str] = None
     events: int = 0
+    #: Per-egress-stream p95 end-to-end latency (seconds) over the
+    #: measured window, from the always-on streaming histograms.
+    latency_p95: _t.Dict[str, float] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -229,6 +232,7 @@ class FuzzCaseResult:
             "mismatch": self.mismatch,
             "error": self.error,
             "events": self.events,
+            "latency_p95": self.latency_p95,
             "scenario": self.scenario.as_dict(),
         }
 
@@ -269,6 +273,10 @@ def run_fuzz_case(
     result.violations = [violation.as_dict() for violation in violations]
     result.violation_counts = dict(recorder.violation_counts)
     result.events = sum(recorder.counts.values())
+    result.latency_p95 = {
+        pe_id: round(record.hist.percentile(0.95), 6)
+        for pe_id, record in sorted(system.collector.records().items())
+    }
     return result
 
 

@@ -52,6 +52,9 @@ class PolicySummary:
     weighted_throughput: SummaryStats
     latency_mean: SummaryStats
     latency_std: SummaryStats
+    latency_p50: SummaryStats
+    latency_p95: SummaryStats
+    latency_p99: SummaryStats
     buffer_drops: SummaryStats
     cpu_utilization: SummaryStats
     wasted_work: SummaryStats
@@ -239,6 +242,15 @@ def run_cell(
             ),
             latency_mean=summarize([r.latency.mean for r in reports]),
             latency_std=summarize([r.latency.std for r in reports]),
+            latency_p50=summarize(
+                [r.latency_percentiles.get("p50", 0.0) for r in reports]
+            ),
+            latency_p95=summarize(
+                [r.latency_percentiles.get("p95", 0.0) for r in reports]
+            ),
+            latency_p99=summarize(
+                [r.latency_percentiles.get("p99", 0.0) for r in reports]
+            ),
             buffer_drops=summarize(
                 [float(r.buffer_drops) for r in reports]
             ),

@@ -15,6 +15,13 @@ from dataclasses import dataclass, field
 from repro.core.utility import LogUtility, UtilityFunction
 from repro.metrics.stats import StreamingMoments, SummaryStats
 from repro.model.sdo import SDO
+from repro.obs.hist import LogHistogram
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
+#: Quantiles every latency report carries (seconds).
+LATENCY_QUANTILES = (0.50, 0.95, 0.99)
 
 
 @dataclass
@@ -25,10 +32,15 @@ class EgressRecord:
     weight: float
     count: int = 0
     latency: StreamingMoments = field(default_factory=StreamingMoments)
+    #: Streaming end-to-end latency histogram (always on; one log-bucket
+    #: update per egress SDO buys p50/p95/p99 for every run).
+    hist: LogHistogram = field(default_factory=LogHistogram)
 
     def record(self, sdo: SDO, now: float) -> None:
         self.count += 1
-        self.latency.add(sdo.age(now))
+        age = sdo.age(now)
+        self.latency.add(age)
+        self.hist.add(age)
 
 
 class EgressCollector:
@@ -37,20 +49,29 @@ class EgressCollector:
     def __init__(self) -> None:
         self._records: _t.Dict[str, EgressRecord] = {}
         self._window_start = 0.0
+        self._spans: _t.Optional["SpanTracker"] = None
 
     def register(self, pe_id: str, weight: float) -> None:
         if pe_id in self._records:
             raise ValueError(f"egress PE {pe_id!r} already registered")
         self._records[pe_id] = EgressRecord(pe_id=pe_id, weight=weight)
 
+    def attach_spans(self, tracker: "SpanTracker") -> None:
+        """Close each egress SDO's span (and check the closure identity)."""
+        self._spans = tracker
+
     def record(self, pe_id: str, sdo: SDO, now: float) -> None:
         self._records[pe_id].record(sdo, now)
+        spans = self._spans
+        if spans is not None:
+            spans.observe_egress(pe_id, sdo, now)
 
     def reset(self, now: float) -> None:
         """Discard warm-up samples; the measured window starts at ``now``."""
         for record in self._records.values():
             record.count = 0
             record.latency = StreamingMoments()
+            record.hist = LogHistogram()
         self._window_start = now
 
     # -- results -----------------------------------------------------------
@@ -100,6 +121,24 @@ class EgressCollector:
             pooled.merge(record.latency)
         return pooled.summary()
 
+    def latency_histogram(self) -> LogHistogram:
+        """Pooled end-to-end latency histogram over all egress streams."""
+        pooled = LogHistogram()
+        for record in self._records.values():
+            pooled.merge(record.hist)
+        return pooled
+
+    def latency_percentiles(self) -> _t.Dict[str, float]:
+        """Pooled p50/p95/p99 end-to-end latency (seconds)."""
+        return self.latency_histogram().percentiles(LATENCY_QUANTILES)
+
+    def stream_percentiles(self) -> _t.Dict[str, _t.Dict[str, float]]:
+        """Per-egress-stream p50/p95/p99 (seconds), sorted by stream id."""
+        return {
+            pe_id: self._records[pe_id].hist.percentiles(LATENCY_QUANTILES)
+            for pe_id in sorted(self._records)
+        }
+
 
 def _merge_moments(into: StreamingMoments, other: StreamingMoments) -> None:
     """Deprecated shim: use :meth:`StreamingMoments.merge` instead."""
@@ -139,6 +178,10 @@ class MetricsReport:
     #: (the Tier-1 objective, from ``core/utility.py``), reported alongside
     #: the linear weighted throughput.
     weighted_utility: float = 0.0
+    #: Pooled end-to-end latency quantiles in seconds
+    #: (``{"p50": ..., "p95": ..., "p99": ...}``; empty when the run
+    #: predates histogram collection).
+    latency_percentiles: _t.Dict[str, float] = field(default_factory=dict)
 
     @property
     def input_loss_rate(self) -> float:
@@ -147,11 +190,15 @@ class MetricsReport:
         return self.source_rejections / self.source_generated
 
     def one_line(self) -> str:
+        pct = self.latency_percentiles
         return (
             f"{self.policy:9s} wthr={self.weighted_throughput:8.2f} "
             f"wutil={self.weighted_utility:7.2f} "
             f"lat={self.latency.mean * 1000:7.1f}ms "
             f"(std {self.latency.std * 1000:6.1f}) "
+            f"p50/p95/p99={pct.get('p50', 0.0) * 1000:.1f}/"
+            f"{pct.get('p95', 0.0) * 1000:.1f}/"
+            f"{pct.get('p99', 0.0) * 1000:.1f}ms "
             f"out={self.total_output_sdos:7d} drops={self.buffer_drops:6d} "
             f"rej={self.source_rejections:6d}"
         )

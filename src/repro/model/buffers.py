@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 from repro.model.sdo import SDO
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
 
 @dataclass
 class BufferTelemetry:
@@ -77,6 +80,9 @@ class InputBuffer:
     #: Cached ``recorder.enabled`` so the offer/sample fast paths pay a
     #: single attribute load (set by :meth:`attach_recorder`).
     _recording: bool = False
+    #: Armed span tracker; None (the default) keeps the offer fast path
+    #: at one attribute load + branch (see :meth:`attach_spans`).
+    spans: _t.Optional["SpanTracker"] = None
 
     def __init__(self, capacity: int, name: str = "buffer"):
         if capacity <= 0:
@@ -94,6 +100,16 @@ class InputBuffer:
         self.recorder = recorder
         self.pe_id = pe_id if pe_id is not None else self.name
         self._recording = recorder.enabled
+
+    def attach_spans(
+        self, tracker: "SpanTracker", pe_id: _t.Optional[str] = None
+    ) -> None:
+        """Arm per-SDO span tracking on the accept path."""
+        self.spans = tracker
+        if pe_id is not None:
+            self.pe_id = pe_id
+        elif self.pe_id is None:
+            self.pe_id = self.name
 
     # -- state -----------------------------------------------------------
 
@@ -145,6 +161,9 @@ class InputBuffer:
         telemetry.accepted += 1
         if len(items) > telemetry.high_water:
             telemetry.high_water = len(items)
+        spans = self.spans
+        if spans is not None:
+            spans.observe_arrival(self.pe_id, sdo, now)
         return True
 
     def pop(self, now: float) -> SDO:

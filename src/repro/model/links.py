@@ -20,6 +20,9 @@ from dataclasses import dataclass
 
 from repro.model.sdo import SDO
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
 
 @dataclass
 class LinkStats:
@@ -38,6 +41,10 @@ class Link:
     transfer requested while the link is busy queues behind the current
     ones — :meth:`transfer_completion` returns when the SDO will arrive.
     """
+
+    #: Armed span tracker; records each transfer's full delay (queue
+    #: behind the serializer + serialization + propagation).
+    spans: _t.Optional["SpanTracker"] = None
 
     def __init__(
         self,
@@ -74,7 +81,11 @@ class Link:
         self.stats.transferred += 1
         self.stats.bytes_moved += sdo.size
         self.stats.busy_time += serialization
-        return self._busy_until + self.latency
+        arrival = self._busy_until + self.latency
+        spans = self.spans
+        if spans is not None:
+            spans.observe_link(self.name, arrival - now)
+        return arrival
 
     def utilization(self, now: float) -> float:
         """Fraction of elapsed time the link spent serializing."""

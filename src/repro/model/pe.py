@@ -25,6 +25,9 @@ from repro.model.params import PEProfile
 from repro.model.sdo import SDO
 from repro.model.statemachine import TwoStateMachine
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
 #: emit(pe, sdo, completion_time) -> None.  The policy decides where the SDO
 #: goes (downstream buffers, egress collector) and how overflow is handled.
 EmitFn = _t.Callable[["PERuntime", SDO, float], None]
@@ -67,6 +70,11 @@ class PERuntime:
         self.is_egress = is_egress
         self.counters = PECounters()
 
+        #: Armed span tracker (None keeps the execute loop disarmed).
+        self.spans: _t.Optional["SpanTracker"] = None
+        #: Interpolated wall time the current SDO was dequeued at.
+        self._span_started = 0.0
+
         #: Remaining CPU-seconds of the SDO currently being worked on.
         self._work_remaining = 0.0
         #: The SDO currently being worked on (already popped from buffer).
@@ -97,6 +105,11 @@ class PERuntime:
     def ingest(self, sdo: SDO, now: float) -> bool:
         """Offer an SDO to this PE's input buffer; False when dropped."""
         return self.buffer.offer(sdo, now)
+
+    def attach_spans(self, tracker: "SpanTracker") -> None:
+        """Arm span tracking on this PE and its input buffer."""
+        self.spans = tracker
+        self.buffer.attach_spans(tracker, pe_id=self.pe_id)
 
     # -- execution ---------------------------------------------------------
 
@@ -156,6 +169,7 @@ class PERuntime:
 
         used = 0.0
         blocked = False
+        spans = self.spans
         while used < budget:
             if self._current is None:
                 if gate is not None and not gate(self):
@@ -170,6 +184,9 @@ class PERuntime:
                 wall = now + (used / cpu if cpu > 0 else 0.0)
                 self._current = self.buffer.pop(now)
                 self._work_remaining = self.machine.service_time_at(wall)
+                if spans is not None:
+                    self._span_started = wall
+                    spans.observe_queue(self.pe_id, self._current, wall)
 
             step = min(self._work_remaining, budget - used)
             used += step
@@ -192,8 +209,27 @@ class PERuntime:
 
     def _complete(self, sdo: SDO, completion: float, emit: EmitFn) -> None:
         self.counters.consumed += 1
+        spans = self.spans
+        parent_span = None
+        if spans is not None:
+            # The service segment runs dequeue -> completion, so partial
+            # work carried across intervals (waiting for the next CPU
+            # grant) counts as service time, not queue-wait; the span sum
+            # still telescopes exactly to the end-to-end latency.
+            spans.observe_service(
+                self.pe_id, sdo, completion - self._span_started
+            )
+            parent_span = sdo.span
         for _ in range(self.sample_m()):
             derived = sdo.derive(stream_id=self.pe_id)
+            if parent_span is not None:
+                derived.span = [
+                    parent_span[0],
+                    parent_span[1],
+                    parent_span[2],
+                    0.0,
+                    completion,
+                ]
             self.counters.emitted += 1
             emit(self, derived, completion)
 

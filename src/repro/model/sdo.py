@@ -38,10 +38,18 @@ class SDO:
         Number of PE processing steps applied to this SDO's lineage.
     payload:
         Optional application payload (unused by the control algorithms).
+    span:
+        Latency-span accumulator, ``None`` unless a
+        :class:`~repro.obs.spans.SpanTracker` is armed; then a 5-slot
+        list indexed by the ``SPAN_*`` constants (queue, service,
+        transit, enqueued-at, emitted-at).  A bare list keeps the armed
+        per-hop cost to index arithmetic and the disarmed cost to one
+        default slot.
     """
 
     __slots__ = (
-        "stream_id", "origin_time", "size", "hops", "payload", "sdo_id"
+        "stream_id", "origin_time", "size", "hops", "payload", "sdo_id",
+        "span",
     )
 
     def __init__(
@@ -52,6 +60,7 @@ class SDO:
         hops: int = 0,
         payload: object = None,
         sdo_id: _t.Optional[int] = None,
+        span: _t.Optional[_t.List[float]] = None,
     ):
         self.stream_id = stream_id
         self.origin_time = origin_time
@@ -59,6 +68,7 @@ class SDO:
         self.hops = hops
         self.payload = payload
         self.sdo_id = next(_SDO_IDS) if sdo_id is None else sdo_id
+        self.span = span
 
     def __repr__(self) -> str:
         return (
@@ -95,6 +105,24 @@ class SDO:
             origin_time=min(parent.origin_time for parent in parents),
             size=max(parent.size for parent in parents),
             hops=max(parent.hops for parent in parents) + 1,
+        )
+
+    def fanout_copy(self) -> "SDO":
+        """Per-consumer copy for multi-consumer fan-out under span tracking.
+
+        Both substrates deliver one emitted SDO object to *every*
+        downstream consumer; with spans armed each consumer path mutates
+        the span record, so consumers beyond the first get a copy with
+        an independent span list.  Disarmed call sites never call this.
+        """
+        span = self.span
+        return SDO(
+            stream_id=self.stream_id,
+            origin_time=self.origin_time,
+            size=self.size,
+            hops=self.hops,
+            payload=self.payload,
+            span=None if span is None else list(span),
         )
 
     def age(self, now: float) -> float:

@@ -24,7 +24,16 @@ from repro.obs.export import (
     write_gauges_csv,
 )
 from repro.obs.gauges import Gauge, GaugeRegistry
+from repro.obs.hist import LogHistogram
 from repro.obs.profiler import PhaseProfiler
+from repro.obs.spans import SpanTracker
+from repro.obs.surface import (
+    MetricsSnapshot,
+    render_prometheus,
+    render_top,
+    snapshot_runtime,
+    snapshot_system,
+)
 from repro.obs.recorder import (
     ENVELOPE_KEYS,
     EVENT_KINDS,
@@ -43,13 +52,20 @@ __all__ = [
     "Gauge",
     "GaugeRegistry",
     "JsonlRecorder",
+    "LogHistogram",
     "MemoryRecorder",
+    "MetricsSnapshot",
     "NULL_RECORDER",
     "NullRecorder",
     "PhaseProfiler",
+    "SpanTracker",
     "TraceFilter",
     "TraceRecorder",
     "read_events_jsonl",
+    "render_prometheus",
+    "render_top",
+    "snapshot_runtime",
+    "snapshot_system",
     "validate_event",
     "write_events_csv",
     "write_events_jsonl",

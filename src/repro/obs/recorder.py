@@ -40,6 +40,7 @@ EVENT_KINDS = frozenset(
         "feedback_stale",  # a feedback value exceeded its staleness TTL
         "worker_restart",  # a supervisor restarted a dead runtime worker
         "fault",  # a fault-injection apply/revert transition
+        "span",  # one egress SDO's queue/service/transit decomposition
     }
 )
 

@@ -35,6 +35,7 @@ from repro.sim.rng import RandomStreams, exponential
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.control.node import ControlRecord
+    from repro.obs.spans import SpanTracker
 
 
 @dataclass
@@ -84,6 +85,9 @@ class RuntimeReport:
     worker_restarts: int = 0
     #: Workers that exhausted their restart budget and stayed dead.
     workers_abandoned: int = 0
+    #: Pooled end-to-end latency quantiles in seconds
+    #: (``{"p50": ..., "p95": ..., "p99": ...}``).
+    latency_percentiles: _t.Dict[str, float] = field(default_factory=dict)
 
 
 class ThreadAdapter:
@@ -155,6 +159,7 @@ class SPCRuntime:
         targets: _t.Optional[AllocationTargets] = None,
         config: _t.Optional[RuntimeConfig] = None,
         recorder: _t.Optional[TraceRecorder] = None,
+        spans: _t.Optional["SpanTracker"] = None,
     ):
         self.topology = topology
         self.policy = policy
@@ -162,6 +167,11 @@ class SPCRuntime:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         if self.recorder.enabled:
             self.recorder.bind_clock(self.now)
+        #: Armed latency-span tracker; worker threads share it, so it
+        #: must carry a lock regardless of how it was constructed.
+        self.spans = spans
+        if spans is not None:
+            spans.ensure_locked()
         if targets is None:
             targets = solve_global_allocation(
                 topology.graph, topology.placement, topology.source_rates
@@ -198,6 +208,17 @@ class SPCRuntime:
     def _bus(self, value: _t.Any) -> None:
         self.plane.bus = value
 
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def collector(self) -> EgressCollector:
+        """The live egress collector; read under :attr:`collector_lock`."""
+        return self._collector
+
+    @property
+    def collector_lock(self) -> threading.Lock:
+        return self._collector_lock
+
     # -- construction --------------------------------------------------------
 
     def _build(self) -> None:
@@ -221,12 +242,15 @@ class SPCRuntime:
                 # in place instead of being pre-empted by the controller.
                 pe.min_flow_gate = True
                 pe.blocking_emission = True
+            pe.spans = self.spans
             self.pes[pe_id] = pe
         for src, dst in graph.edges():
             self.pes[src].link_downstream(self.pes[dst])
 
         for pe_id in egress:
             self._collector.register(pe_id, graph.profile(pe_id).weight)
+        if self.spans is not None:
+            self._collector.attach_spans(self.spans)
 
         def make_sink(pe_id: str) -> _t.Callable[[SDO], None]:
             def sink(sdo: SDO) -> None:
@@ -359,22 +383,39 @@ class SPCRuntime:
         config = self.config
         rng = self.streams.stream(f"src:{pe_id}")
         pe = self.pes[pe_id]
+        spans_armed = self.spans is not None
         while not self._stop.is_set():
             if config.source_kind == "poisson":
                 gap = exponential(rng, 1.0 / rate)
             else:
                 gap = 1.0 / rate
             time.sleep(gap * config.dilation)
+            origin = self.now()
             sdo = SDO(
                 stream_id=f"src:{pe_id}",
-                origin_time=self.now(),
+                origin_time=origin,
             )
+            if spans_armed:
+                # Enqueued and emitted at birth: the span telescopes from
+                # origin_time so the closure identity holds end to end.
+                sdo.span = [0.0, 0.0, 0.0, origin, origin]
             pe.channel.offer(sdo)
 
     # -- run ----------------------------------------------------------------
 
-    def run(self, duration: float) -> RuntimeReport:
-        """Run for ``duration`` model-seconds (plus warm-up) and report."""
+    def run(
+        self,
+        duration: float,
+        observer: _t.Optional[_t.Callable[["SPCRuntime"], None]] = None,
+        observe_interval: float = 1.0,
+    ) -> RuntimeReport:
+        """Run for ``duration`` model-seconds (plus warm-up) and report.
+
+        When ``observer`` is given it is invoked every ``observe_interval``
+        model-seconds during the measured window with the live runtime
+        (the ``repro top --watch`` hook); exceptions it raises propagate
+        after the runtime is stopped cleanly.
+        """
         if duration <= 0:
             raise ValueError("duration must be positive")
         config = self.config
@@ -391,13 +432,32 @@ class SPCRuntime:
         time.sleep(config.warmup * config.dilation)
         with self._collector_lock:
             self._collector.reset(self.now())
+        if self.spans is not None:
+            self.spans.reset()
         drops_at_start = sum(
             pe.channel.stats.dropped for pe in self.pes.values()
         )
         cpu_at_start = sum(pe.cpu_used for pe in self.pes.values())
         started = self.now()
 
-        time.sleep(duration * config.dilation)
+        if observer is None:
+            time.sleep(duration * config.dilation)
+        else:
+            deadline = started + duration
+            step_wall = max(0.01, observe_interval * config.dilation)
+            try:
+                while True:
+                    remaining_wall = (deadline - self.now()) * config.dilation
+                    if remaining_wall <= 0:
+                        break
+                    time.sleep(min(step_wall, remaining_wall))
+                    if self.now() < deadline:
+                        observer(self)
+            except BaseException:
+                self._stop.set()
+                for pe in self.pes.values():
+                    pe.stop()
+                raise
         ended = self.now()
 
         self._stop.set()
@@ -408,6 +468,7 @@ class SPCRuntime:
             throughput = self._collector.weighted_throughput(ended)
             latency = self._collector.latency_summary()
             total = self._collector.total_output()
+            percentiles = self._collector.latency_percentiles()
             per_egress = {
                 pe_id: record.count
                 for pe_id, record in self._collector.records().items()
@@ -430,6 +491,7 @@ class SPCRuntime:
             per_egress_counts=per_egress,
             worker_restarts=self.worker_restarts,
             workers_abandoned=self.workers_abandoned,
+            latency_percentiles=percentiles,
         )
 
 
@@ -440,6 +502,7 @@ def run_runtime(
     targets: _t.Optional[AllocationTargets] = None,
     config: _t.Optional[RuntimeConfig] = None,
     recorder: _t.Optional[TraceRecorder] = None,
+    spans: _t.Optional["SpanTracker"] = None,
 ) -> RuntimeReport:
     """One-call entry point mirroring :func:`repro.systems.run_system`."""
     policies: _t.Dict[str, Policy] = {
@@ -453,5 +516,6 @@ def run_runtime(
         targets=targets,
         config=config,
         recorder=recorder,
+        spans=spans,
     )
     return runtime.run(duration)

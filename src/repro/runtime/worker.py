@@ -28,6 +28,9 @@ from repro.model.sdo import SDO
 from repro.model.statemachine import TwoStateMachine
 from repro.runtime.transport import Channel
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
 #: Floor on the fractional allocation while emulating work, so a starved
 #: worker cannot sleep unboundedly long on one SDO.
 _MIN_SHARE = 0.02
@@ -85,6 +88,8 @@ class RuntimePE:
         self.consumed = 0
         self.emitted = 0
         self.cpu_used = 0.0  # emulated CPU-seconds
+        #: Armed latency-span tracker (set by SPCRuntime; None = disarmed).
+        self.spans: _t.Optional["SpanTracker"] = None
         self._egress_sink: _t.Optional[_t.Callable[[SDO], None]] = None
         self._clock: _t.Optional[_t.Callable[[], float]] = None
 
@@ -203,29 +208,57 @@ class RuntimePE:
             if sdo is None:
                 continue
 
-            share = max(self.allocation, _MIN_SHARE)
             assert self._clock is not None
+            started = self._clock()
+            spans = self.spans
+            if spans is not None:
+                spans.observe_queue(self.pe_id, sdo, started)
+            share = max(self.allocation, _MIN_SHARE)
             with self._machine_lock:
-                cost = self.machine.service_time_at(self._clock())
+                cost = self.machine.service_time_at(started)
             time.sleep(cost / share * self.dilation)
             self.cpu_used += cost
             self.consumed += 1
-            self._emit(sdo)
+            self._emit(sdo, started)
 
-    def _emit(self, sdo: SDO) -> None:
+    def _emit(self, sdo: SDO, started: float) -> None:
+        spans = self.spans
+        parent_span = None
+        now = 0.0
+        if spans is not None:
+            assert self._clock is not None
+            now = self._clock()
+            spans.observe_service(self.pe_id, sdo, now - started)
+            parent_span = sdo.span
         count = max(1, int(round(self.profile.lambda_m)))
         for _ in range(count):
             derived = sdo.derive(stream_id=self.pe_id)
+            if parent_span is not None:
+                derived.span = [
+                    parent_span[0], parent_span[1], parent_span[2], now, now,
+                ]
             self.emitted += 1
             if self.is_egress or not self.downstream:
                 if self._egress_sink is not None:
                     self._egress_sink(derived)
                 continue
+            if parent_span is None:
+                for consumer in self.downstream:
+                    if self.blocking_emission:
+                        consumer.channel.put(derived, timeout=1.0)
+                    else:
+                        consumer.channel.offer(derived)
+                continue
+            # Spans armed: fan-out beyond the first consumer gets an
+            # independent copy (downstream workers mutate the span).
+            first = True
             for consumer in self.downstream:
+                payload = derived if first else derived.fanout_copy()
+                first = False
                 if self.blocking_emission:
-                    consumer.channel.put(derived, timeout=1.0)
+                    consumer.channel.put(payload, timeout=1.0)
                 else:
-                    consumer.channel.offer(derived)
+                    consumer.channel.offer(payload)
 
     def __repr__(self) -> str:
         return f"RuntimePE({self.pe_id}, q={self.channel.occupancy})"

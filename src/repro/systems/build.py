@@ -29,6 +29,9 @@ from repro.obs.recorder import TraceRecorder
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
 #: admit(runtime, sdo, now) -> accepted?  Provided by the data plane.
 AdmitFn = _t.Callable[[PERuntime, SDO, float], bool]
 
@@ -106,6 +109,7 @@ def build_runtimes(
     config: SystemConfig,
     streams: RandomStreams,
     recorder: TraceRecorder,
+    spans: _t.Optional["SpanTracker"] = None,
 ) -> _t.Tuple[_t.Dict[str, PERuntime], EgressCollector]:
     """Instantiate every PE runtime, wire the DAG edges, and register
     the egress collector."""
@@ -123,6 +127,8 @@ def build_runtimes(
         )
         if recorder.enabled:
             runtime.buffer.attach_recorder(recorder, pe_id)
+        if spans is not None:
+            runtime.attach_spans(spans)
         runtimes[pe_id] = runtime
     for src, dst in graph.edges():
         runtimes[src].link_downstream(runtimes[dst])
@@ -130,6 +136,8 @@ def build_runtimes(
     collector = EgressCollector()
     for pe_id in egress:
         collector.register(pe_id, graph.profile(pe_id).weight)
+    if spans is not None:
+        collector.attach_spans(spans)
     return runtimes, collector
 
 
@@ -217,11 +225,13 @@ def build_gauges(
     recorder: TraceRecorder,
     runtimes: _t.Mapping[str, PERuntime],
     plane: _t.Any,
+    collector: _t.Optional[EgressCollector] = None,
 ) -> _t.Optional[GaugeRegistry]:
     """Register the standard per-PE gauges when sampling is requested.
 
     Gauges: input-buffer ``occupancy`` for every PE (a substrate
-    observable, registered here), plus the control plane's own gauges
+    observable, registered here), per-egress ``latency_p95`` from the
+    streaming latency histograms, plus the control plane's own gauges
     (``token_level`` for PEs under a token-bucket scheduler, the last
     advertised ``r_max`` for PEs with a flow controller).
     """
@@ -234,6 +244,15 @@ def build_gauges(
             lambda buffer=runtime.buffer: float(buffer.occupancy),
             pe=pe_id,
         )
+    if collector is not None:
+        # Bind the record object, not the collector lookup: records
+        # persist across warm-up resets (reset mutates their fields).
+        for pe_id, record in sorted(collector.records().items()):
+            gauges.register(
+                "latency_p95",
+                lambda record=record: record.hist.percentile(0.95),
+                pe=pe_id,
+            )
     plane.register_gauges(gauges, pe_order=runtimes)
     gauges.start()
     return gauges

@@ -25,6 +25,7 @@ from repro.sim.engine import Environment
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.control.node import ControlRecord
     from repro.obs.profiler import PhaseProfiler
+    from repro.obs.spans import SpanTracker
 
 
 class SimDataPlane:
@@ -44,6 +45,7 @@ class SimDataPlane:
         admission_filters: _t.Mapping[str, _t.Optional[_t.Callable]],
         recorder: TraceRecorder,
         profiler: _t.Optional["PhaseProfiler"] = None,
+        spans: _t.Optional["SpanTracker"] = None,
     ):
         self.env = env
         self.links = links
@@ -51,6 +53,7 @@ class SimDataPlane:
         self.admission_filters = admission_filters
         self.recorder = recorder
         self.profiler = profiler
+        self.spans = spans
 
         self.emit_attempts = 0
         self.emit_drops = 0
@@ -78,13 +81,28 @@ class SimDataPlane:
             return
         links_get = self.links.get
         pe_id = pe.pe_id
+        if self.spans is None:
+            for consumer in pe.downstream:
+                link = links_get((pe_id, consumer.pe_id))
+                if link is None:
+                    arrival = completion
+                else:
+                    arrival = link.transfer_completion(sdo, completion)
+                self._enqueue_delivery(arrival, consumer, pe, sdo)
+            return
+        # Spans armed: every consumer path mutates the delivered SDO's
+        # span record, so fan-out beyond the first consumer gets an
+        # independent copy (same lineage, own span accumulators).
+        first = True
         for consumer in pe.downstream:
             link = links_get((pe_id, consumer.pe_id))
             if link is None:
                 arrival = completion
             else:
                 arrival = link.transfer_completion(sdo, completion)
-            self._enqueue_delivery(arrival, consumer, pe, sdo)
+            payload = sdo if first else sdo.fanout_copy()
+            first = False
+            self._enqueue_delivery(arrival, consumer, pe, payload)
 
     def _enqueue_delivery(
         self,

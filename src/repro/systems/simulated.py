@@ -45,6 +45,9 @@ from repro.systems.build import (
 )
 from repro.systems.dataplane import SimAdapter, SimDataPlane
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanTracker
+
 __all__ = ["SimulatedSystem", "SystemConfig", "run_system"]
 
 
@@ -74,6 +77,7 @@ class SimulatedSystem:
         recorder: _t.Optional[TraceRecorder] = None,
         profiler: _t.Optional[PhaseProfiler] = None,
         gauge_cadence: _t.Optional[float] = None,
+        spans: _t.Optional["SpanTracker"] = None,
     ):
         self.topology = topology
         self.policy = policy
@@ -88,6 +92,8 @@ class SimulatedSystem:
             self.recorder.bind_clock(lambda: self.env.now)
         self.profiler = profiler
         self.env.profiler = profiler
+        #: Armed latency-span tracker (None keeps every hop disarmed).
+        self.spans = spans
 
         #: Degradation-guarded Tier-1 solver: retries, validates, and
         #: falls back to last-known-good targets when a re-solve fails
@@ -96,10 +102,13 @@ class SimulatedSystem:
         targets = resolve_initial_targets(self.tier1, topology, targets)
 
         self.runtimes, self.collector = build_runtimes(
-            topology, self.config, self.streams, self.recorder
+            topology, self.config, self.streams, self.recorder, spans=spans
         )
         self.nodes = build_nodes(topology, self.runtimes)
         self.links = build_links(topology, self.config)
+        if spans is not None:
+            for link in self.links.values():
+                link.spans = spans
 
         config = self.config
         delay = (
@@ -131,6 +140,7 @@ class SimulatedSystem:
             self.plane.admission_filters,
             self.recorder,
             self.profiler,
+            spans=spans,
         )
         self.adapter.bind(self.dataplane)
 
@@ -139,7 +149,8 @@ class SimulatedSystem:
             self.dataplane.admit,
         )
         self.gauges = build_gauges(
-            self.env, gauge_cadence, self.recorder, self.runtimes, self.plane
+            self.env, gauge_cadence, self.recorder, self.runtimes, self.plane,
+            collector=self.collector,
         )
         self._start_node_loops()
 
@@ -292,6 +303,8 @@ class SimulatedSystem:
         if config.warmup > 0:
             self.env.run(until=config.warmup)
         self.collector.reset(self.env.now)
+        if self.spans is not None:
+            self.spans.reset()
         start = self._snapshot(self.env.now)
 
         self.env.run(until=self.env.now + duration)
@@ -343,6 +356,7 @@ class SimulatedSystem:
             weighted_utility=self.collector.weighted_utility(
                 self.env.now, LogUtility()
             ),
+            latency_percentiles=self.collector.latency_percentiles(),
         )
 
 
@@ -355,6 +369,7 @@ def run_system(
     recorder: _t.Optional[TraceRecorder] = None,
     profiler: _t.Optional[PhaseProfiler] = None,
     gauge_cadence: _t.Optional[float] = None,
+    spans: _t.Optional["SpanTracker"] = None,
 ) -> MetricsReport:
     """Build and run one simulated system; the one-call experiment API."""
     system = SimulatedSystem(
@@ -365,5 +380,6 @@ def run_system(
         recorder=recorder,
         profiler=profiler,
         gauge_cadence=gauge_cadence,
+        spans=spans,
     )
     return system.run(duration)

@@ -10,6 +10,9 @@ between runs.
 import json
 
 from benchmarks.conftest import experiment_scale
+from repro.experiments.config import smoke_experiment
+from repro.experiments.figures import figure3_latency
+from repro.experiments.reporting import format_table
 from repro.experiments.resilience import run_chaos_matrix, write_resilience_bench
 from repro.graph.topology import TopologySpec
 
@@ -42,6 +45,31 @@ def test_resilience_bench_bytes_identical(tmp_path):
     # Sanity: the file actually carries measurements.
     payload = json.loads(first)
     assert payload["cells"][0]["policy"] == "udp"
+
+
+def test_fig3_percentile_table_bytes_identical():
+    """The Fig. 3 latency table — now carrying p50/p95/p99 columns from
+    the streaming histograms — renders byte-identically across runs."""
+    config = smoke_experiment(
+        name="fig3-determinism",
+        spec=small_spec(),
+        duration=1.5,
+        replications=2,
+    )
+    tables = []
+    for _ in range(2):
+        rows = figure3_latency(config=config, buffer_sizes=(5, 10))
+        tables.append(format_table(rows, precision=3).encode())
+    assert tables[0] == tables[1]
+    # Sanity: the percentile columns are present and ordered.
+    rows = figure3_latency(config=config, buffer_sizes=(5,))
+    row = rows[0]
+    for name in ("aces", "lockstep"):
+        assert (
+            row[f"{name}_latency_p50_ms"]
+            <= row[f"{name}_latency_p95_ms"]
+            <= row[f"{name}_latency_p99_ms"]
+        )
 
 
 def test_experiment_scale_is_stable():

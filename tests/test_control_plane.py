@@ -249,6 +249,7 @@ class TestDeprecatedShims:
             "recorder",
             "profiler",
             "gauge_cadence",
+            "spans",
         ]
 
     def test_run_runtime_signature_stable(self):
@@ -260,6 +261,7 @@ class TestDeprecatedShims:
             "targets",
             "config",
             "recorder",
+            "spans",
         ]
 
 
