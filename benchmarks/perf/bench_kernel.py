@@ -36,6 +36,15 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=float, default=0.5)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--control-impl", dest="control_impl",
+        choices=("scalar", "vector"), default="scalar",
+        help="Tier-2 step implementation to measure (default scalar)",
+    )
+    parser.add_argument(
+        "--buckets", dest="control_phase_buckets", type=int, default=None,
+        help="shared control phase buckets (default: per-node loops)",
+    )
     parser.add_argument("--output", default=str(BENCH_PATH))
     parser.add_argument(
         "--rebaseline", action="store_true",
@@ -50,6 +59,8 @@ def main(argv=None) -> int:
         warmup=args.warmup,
         repeats=args.repeats,
         seed=args.seed,
+        control_impl=args.control_impl,
+        control_phase_buckets=args.control_phase_buckets,
     )
     data = update_bench_json(
         kernel=kernel, path=args.output, rebaseline=args.rebaseline

@@ -591,6 +591,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         output=args.output,
         log=print,
+        control_impl=args.control_impl,
     )
     destination = f" -> {args.output}" if args.output else ""
     print(
@@ -894,6 +895,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without minimizing them",
+    )
+    fuzz.add_argument(
+        "--control-impl", dest="control_impl",
+        choices=("scalar", "vector"), default="scalar",
+        help="Tier-2 step implementation to fuzz (default scalar)",
     )
     fuzz.set_defaults(handler=cmd_fuzz)
 

@@ -21,6 +21,13 @@ Two substrates currently drive it: the discrete-event simulator
 runtime (:class:`repro.runtime.spc.ThreadAdapter`).  A new substrate —
 sharded, multi-process, remote — implements one small adapter instead of
 re-implementing the controller.
+
+For extreme scale, :mod:`repro.control.vector` provides an array-backed
+implementation of the same step (``control_impl="vector"``): a
+:class:`~repro.control.vector.PEIndexRegistry` maps PEs to dense
+indices and a :class:`~repro.control.vector.VectorEngine` computes whole
+nodes — or whole phase buckets — per tick as numpy kernels, bit-equal to
+the scalar controllers.
 """
 
 from repro.control.adapter import BufferLike, PELike, SystemAdapter
@@ -31,6 +38,17 @@ from repro.control.plane import (
     PlaneInspection,
     resolve_initial_targets,
 )
+from repro.control.vector import (
+    PEIndexRegistry,
+    VectorEngine,
+    VectorFeedbackBus,
+    VectorFlowView,
+    VectorNodeController,
+    VectorStrictScheduler,
+    VectorTokenScheduler,
+    fallback_reason,
+    numpy_enabled,
+)
 
 __all__ = [
     "BufferLike",
@@ -38,8 +56,17 @@ __all__ = [
     "ControlRecord",
     "NodeController",
     "NodeGroup",
+    "PEIndexRegistry",
     "PELike",
     "PlaneInspection",
     "SystemAdapter",
+    "VectorEngine",
+    "VectorFeedbackBus",
+    "VectorFlowView",
+    "VectorNodeController",
+    "VectorStrictScheduler",
+    "VectorTokenScheduler",
+    "fallback_reason",
+    "numpy_enabled",
     "resolve_initial_targets",
 ]

@@ -101,6 +101,11 @@ class SystemAdapter(_t.Protocol):
         between substrates (the simulator folds the read into its
         occupancy-integral telemetry; the threaded runtime reads the
         live channel depth).
+
+        Adapters may additionally expose ``snapshot_list(node_index,
+        records, now) -> Sequence[float]`` returning the same values in
+        record order; the vector engine probes for it with ``getattr``
+        and uses it to skip the dict round-trip on wide nodes.
         """
         ...
 

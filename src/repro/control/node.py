@@ -12,13 +12,15 @@ from __future__ import annotations
 import typing as _t
 
 from repro.control.adapter import GateFn, PELike, SystemAdapter
-from repro.core.flow_control import FlowController
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.control.plane import ControlPlane
 
 #: Scheduler protocol: .allocate(...) -> {pe_id: cpu}, .settle(pe_id, used, dt)
 Scheduler = _t.Any
+#: Flow-controller protocol: FlowController or the vector engine's
+#: per-PE view (same .update-consuming surface, see repro.control.vector).
+FlowControllerLike = _t.Any
 
 
 class ControlRecord:
@@ -37,14 +39,19 @@ class ControlRecord:
         self,
         pe: PELike,
         gate: _t.Optional[GateFn],
-        controller: _t.Optional[FlowController],
+        controller: _t.Optional["FlowControllerLike"],
         cpu_target: float,
     ):
         self.pe = pe
         self.pe_id = pe.pe_id
         self.gate = gate
         self.controller = controller
-        self.downstream_ids = tuple(d.pe_id for d in pe.downstream)
+        # Deduplicated (order-preserving): a fan-out graph can wire the
+        # same consumer twice, and Eq. 8 reads are max/min — reading a
+        # duplicate changes nothing but costs a bus lookup per tick.
+        self.downstream_ids = tuple(
+            dict.fromkeys(d.pe_id for d in pe.downstream)
+        )
         self.cpu_target = cpu_target
 
 
@@ -110,9 +117,10 @@ class NodeController:
                 if self.aggregate_max
                 else bus.min_downstream_rate
             )
-            caps: _t.Dict[str, float] = {}
-            for record in records:
-                caps[record.pe_id] = read_bound(record.downstream_ids, now)
+            caps: _t.Dict[str, float] = {
+                record.pe_id: read_bound(record.downstream_ids, now)
+                for record in records
+            }
             if self.is_aces:
                 allocations = scheduler.allocate(dt, caps)
             else:

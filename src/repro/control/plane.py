@@ -25,6 +25,14 @@ from dataclasses import dataclass, field
 
 from repro.control.adapter import GateFn, PELike, SystemAdapter
 from repro.control.node import ControlRecord, NodeController
+from repro.control.vector import (
+    PEIndexRegistry,
+    VectorEngine,
+    VectorFeedbackBus,
+    VectorFlowView,
+    VectorNodeController,
+    fallback_reason,
+)
 from repro.core.cpu_control import AcesCpuScheduler
 from repro.core.feedback import FeedbackBus
 from repro.core.flow_control import FlowController
@@ -72,8 +80,9 @@ class PlaneInspection:
     group_sizes: _t.Mapping[str, int]
     #: node_id -> node index (``paused`` is indexed by this).
     node_index: _t.Mapping[str, int]
-    #: pe_id -> flow controller (feedback policies only).
-    controllers: _t.Mapping[str, FlowController]
+    #: pe_id -> flow controller (feedback policies only); a
+    #: FlowController, or a VectorFlowView under control_impl=vector.
+    controllers: _t.Mapping[str, _t.Any]
     #: node_id -> node controller (``last_blocked`` gate decisions).
     node_controllers: _t.Mapping[str, _t.Any]
     #: The plane's live per-node pause flags (not a copy).
@@ -161,7 +170,13 @@ class ControlPlane:
         recorder: _t.Optional[TraceRecorder] = None,
         tier1: _t.Optional[ResilientTier1] = None,
         profiler: _t.Optional[_t.Any] = None,
+        control_impl: str = "scalar",
     ):
+        if control_impl not in ("scalar", "vector"):
+            raise ValueError(
+                f"control_impl must be 'scalar' or 'vector', "
+                f"got {control_impl!r}"
+            )
         self.policy = policy
         self.adapter = adapter
         self.groups = list(groups)
@@ -170,13 +185,7 @@ class ControlPlane:
         self.b0 = b0
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.tier1 = tier1
-
-        self.bus: _t.Any = FeedbackBus(
-            delay=feedback_delay,
-            staleness_ttl=feedback_staleness_ttl,
-            stale_bound=feedback_stale_bound,
-            recorder=self.recorder,
-        )
+        self.profiler = profiler
 
         #: Behavioural constants, resolved from the policy exactly once.
         self.uses_feedback = policy.uses_feedback
@@ -186,32 +195,88 @@ class ControlPlane:
             else True
         )
 
-        self.schedulers: _t.List[_t.Any] = [
+        # The policy's schedulers are always built normally; in vector
+        # mode they become parameter donors (bucket depths/levels,
+        # strict targets, capacities) for the engine's state arrays and
+        # are then replaced by the engine's per-node views.
+        donors: _t.List[_t.Any] = [
             policy.make_scheduler(
                 group.pes, targets.cpu, group.cpu_capacity, dt
             )
             for group in self.groups
         ]
+        gains = (
+            policy.controller_gains(dt) if self.uses_feedback else None
+        )
+        if self.uses_feedback:
+            # feedback policies always provide controller gains.
+            assert gains is not None
+
+        #: Why a requested vector path fell back to scalar (None when
+        #: vector is active or scalar was requested).
+        self.vector_fallback_reason: _t.Optional[str] = None
+        self._engine: _t.Optional[VectorEngine] = None
+        if control_impl == "vector":
+            self.vector_fallback_reason = fallback_reason(
+                donors, self.uses_feedback
+            )
+            if self.vector_fallback_reason is None:
+                registry = PEIndexRegistry(self.groups)
+                self._engine = VectorEngine(self, registry, donors, gains)
+        self.control_impl = "vector" if self._engine is not None else "scalar"
+
+        if self._engine is not None and feedback_staleness_ttl is None:
+            vbus = VectorFeedbackBus(
+                self._engine.registry,
+                delay=feedback_delay,
+                recorder=self.recorder,
+            )
+            self._engine.bus = vbus
+            self.bus: _t.Any = vbus
+        else:
+            # Staleness guard configured (or scalar mode): the scalar
+            # bus keeps its per-read decay semantics; a vector engine
+            # treats it as a foreign bus (per-PE reads/publishes).
+            self.bus = FeedbackBus(
+                delay=feedback_delay,
+                staleness_ttl=feedback_staleness_ttl,
+                stale_bound=feedback_stale_bound,
+                recorder=self.recorder,
+            )
+
+        self.schedulers: _t.List[_t.Any] = (
+            self._engine.scheduler_views
+            if self._engine is not None
+            else donors
+        )
         if self.recorder.enabled:
             for group, scheduler in zip(self.groups, self.schedulers):
                 attach = getattr(scheduler, "attach_tracing", None)
                 if attach is not None:
                     attach(self.recorder, group.node_id)
 
-        self.controllers: _t.Dict[str, FlowController] = {}
+        self.controllers: _t.Dict[str, _t.Any] = {}
         if self.uses_feedback:
-            gains = policy.controller_gains(dt)
-            # feedback policies always provide controller gains.
             assert gains is not None
-            for group in self.groups:
-                for pe in group.pes:
-                    self.controllers[pe.pe_id] = FlowController(
-                        gains,
-                        target_occupancy=b0,
-                        buffer_capacity=pe.buffer.capacity,
-                        pe_id=pe.pe_id,
-                        recorder=self.recorder,
-                    )
+            if self._engine is not None:
+                registry = self._engine.registry
+                for group in self.groups:
+                    for pe in group.pes:
+                        self.controllers[pe.pe_id] = VectorFlowView(
+                            self._engine,
+                            registry.index[pe.pe_id],
+                            pe.pe_id,
+                        )
+            else:
+                for group in self.groups:
+                    for pe in group.pes:
+                        self.controllers[pe.pe_id] = FlowController(
+                            gains,
+                            target_occupancy=b0,
+                            buffer_capacity=pe.buffer.capacity,
+                            pe_id=pe.pe_id,
+                            recorder=self.recorder,
+                        )
 
         self.gates: _t.Dict[str, _t.Optional[GateFn]] = {}
         self.admission_filters: _t.Dict[str, AdmissionFn] = {}
@@ -222,8 +287,13 @@ class ControlPlane:
                     policy.make_admission_filter(pe)
                 )
 
-        self.node_controllers: _t.List[NodeController] = [
-            NodeController(
+        controller_cls: _t.Any = (
+            VectorNodeController
+            if self._engine is not None
+            else NodeController
+        )
+        self.node_controllers: _t.List[_t.Any] = [
+            controller_cls(
                 node_index=index,
                 node_id=group.node_id,
                 scheduler=scheduler,
@@ -241,8 +311,17 @@ class ControlPlane:
                 dt=dt,
                 uses_feedback=self.uses_feedback,
                 aggregate_max=self.aggregate_max,
-                is_aces=isinstance(scheduler, AcesCpuScheduler),
+                is_aces=(
+                    self._engine.is_aces
+                    if self._engine is not None
+                    else isinstance(scheduler, AcesCpuScheduler)
+                ),
                 profiler=profiler,
+                **(
+                    {"engine": self._engine}
+                    if self._engine is not None
+                    else {}
+                ),
             )
             for index, (group, scheduler) in enumerate(
                 zip(self.groups, self.schedulers)
@@ -285,6 +364,64 @@ class ControlPlane:
     def resume_node(self, node_index: int) -> None:
         """Resume a suspended node's control loop."""
         self.paused[node_index] = False
+
+    def tick_nodes(
+        self, node_indices: _t.Sequence[int], now: float
+    ) -> None:
+        """Tick a bucket of nodes at one instant: decide all, then apply.
+
+        This is *explicitly different* semantics from per-node loops at
+        staggered offsets: every node in the bucket decides from the
+        same pre-tick state before any grants are applied.  Both
+        implementations honour the same decide-all-then-apply-all
+        contract, so scalar and vector bucketed runs stay bit-equal;
+        the vector engine additionally fuses the decisions into one
+        array pass, which is where the extreme-scale speedup comes
+        from.  Paused nodes are skipped (controller-outage semantics).
+        """
+        paused = self.paused
+        live = [index for index in node_indices if not paused[index]]
+        if not live:
+            return
+        controllers = self.node_controllers
+        adapter = self.adapter
+        profiler = self.profiler
+        if self._engine is not None:
+            engine = self._engine
+            if profiler is not None:
+                profiler.push("controller_tick")
+            try:
+                grants_list = engine.control_group(
+                    engine.group_for(tuple(live)), now
+                )
+            finally:
+                if profiler is not None:
+                    profiler.pop()
+            for index, grants in zip(live, grants_list):
+                controller = controllers[index]
+                controller.ticks += 1
+                adapter.apply_grants(
+                    index, controller.records, grants, now,
+                    controller.dt, controller.scheduler.settle,
+                )
+            return
+        decided = []
+        for index in live:
+            controller = controllers[index]
+            if profiler is not None:
+                profiler.push("controller_tick")
+            try:
+                grants = controller.control(now)
+            finally:
+                if profiler is not None:
+                    profiler.pop()
+            controller.ticks += 1
+            decided.append((controller, grants))
+        for controller, grants in decided:
+            adapter.apply_grants(
+                controller.node_index, controller.records, grants, now,
+                controller.dt, controller.scheduler.settle,
+            )
 
     # -- Tier-1 interaction --------------------------------------------------
 
@@ -375,7 +512,9 @@ class ControlPlane:
         order; by default controllers register in node-placement order.
         """
         for scheduler in self.schedulers:
-            if isinstance(scheduler, AcesCpuScheduler):
+            # Token-capable schedulers (AcesCpuScheduler or the vector
+            # engine's token view) expose token_level; strict ones don't.
+            if getattr(scheduler, "token_level", None) is not None:
                 for pe in scheduler.pes:
                     gauges.register(
                         "token_level",

@@ -1,0 +1,1234 @@
+"""Array-backed Tier-2 control tick (the vectorized engine).
+
+The scalar :class:`~repro.control.node.NodeController` runs the paper's
+per-node control step — Eq. 8 feedback aggregation, Section V-D CPU
+allocation, Eq. 7 LQR flow update — as per-PE Python loops.  At paper
+scale (80 nodes / 200 PEs) that loop is ~58% of wall time; multiplied
+x10-x100 it dominates everything.  This module re-expresses the *same*
+step as contiguous-array operations:
+
+* :class:`PEIndexRegistry` assigns every PE a dense integer index at
+  wiring time (node-major placement order) and holds the deduplicated
+  downstream adjacency as a CSR index structure.
+* :class:`VectorEngine` owns the flat per-PE state arrays — token
+  levels/rates/depths, Eq. 7 deviation and surplus histories, Tier-1
+  CPU targets, buffer capacities, rate-model coefficients — and computes
+  an entire tick for a group of nodes (one node, or a whole phase
+  bucket) with numpy kernels.
+* :class:`VectorNodeController` / :class:`VectorTokenScheduler` /
+  :class:`VectorStrictScheduler` / :class:`VectorFlowView` are thin
+  facades over the engine exposing the exact object surfaces the rest
+  of the system (plane, adapters, oracles, gauges, fault injection)
+  already consumes.
+
+Bit-exactness contract
+----------------------
+Every kernel reproduces the scalar implementation's floating-point
+operations *in the same order*: order-sensitive reductions (the
+water-fill weight totals, the work-conserving leftover sums) run as
+column loops over node-major 2D arrays in the scalar iteration order,
+while element-wise math relies on IEEE-754 f64 ops being identical in
+numpy and CPython.  The differential tests in
+``tests/test_control_vector.py`` hold scalar and vector decision
+sequences bit-equal across policies and substrates.
+
+Fallback
+--------
+``fallback_reason`` reports why the vector path cannot be used (numpy
+missing, ``REPRO_FORCE_SCALAR`` set, unknown scheduler types...); the
+plane then silently runs the scalar implementation, so ``control_impl=
+"vector"`` is always safe to request.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+
+try:  # pragma: no cover - exercised via REPRO_FORCE_SCALAR in CI
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.control.node import ControlRecord
+from repro.core.cpu_control import (
+    AcesCpuScheduler,
+    StrictProportionalScheduler,
+)
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.adapter import GateFn, SystemAdapter
+    from repro.control.plane import ControlPlane, NodeGroup
+    from repro.core.lqr import LQRGains
+
+_INF = float("inf")
+
+__all__ = [
+    "PEIndexRegistry",
+    "VectorEngine",
+    "VectorFeedbackBus",
+    "VectorFlowView",
+    "VectorNodeController",
+    "VectorStrictScheduler",
+    "VectorTokenScheduler",
+    "fallback_reason",
+    "numpy_enabled",
+    "vector_proportional_fill",
+]
+
+
+def numpy_enabled() -> bool:
+    """Whether the vector path's numpy dependency is importable."""
+    return np is not None
+
+
+def fallback_reason(
+    schedulers: _t.Sequence[_t.Any], uses_feedback: bool
+) -> _t.Optional[str]:
+    """Why ``control_impl="vector"`` must fall back to scalar, or None.
+
+    The vector engine mirrors exactly the two stock schedulers; custom
+    policy scheduler types (or a mix) get the scalar path so their
+    behaviour is preserved rather than silently approximated.
+    """
+    if np is None:
+        return "numpy is not importable (install the [fast] extra)"
+    if os.environ.get("REPRO_FORCE_SCALAR"):
+        return "REPRO_FORCE_SCALAR is set"
+    kinds = {type(scheduler) for scheduler in schedulers}
+    unknown = kinds - {AcesCpuScheduler, StrictProportionalScheduler}
+    if unknown:
+        names = ", ".join(sorted(k.__name__ for k in unknown))
+        return f"unsupported scheduler type(s): {names}"
+    if len(kinds) > 1:
+        return "mixed scheduler types across nodes"
+    if AcesCpuScheduler in kinds and not uses_feedback:
+        return "token scheduler without feedback is not vectorizable"
+    return None
+
+
+class PEIndexRegistry:
+    """Dense integer indices for every PE, assigned at wiring time.
+
+    Indexing is node-major in placement order: node 0's PEs get the
+    first indices, node 1's the next, and so on — so one node (or any
+    run of consecutive nodes) is a contiguous slice of every flat
+    state array.  The downstream adjacency is held as a CSR structure
+    (``down_indptr``/``down_indices``) over the same index space, with
+    duplicate edges removed (safe: Eq. 8 takes a max/min).
+    """
+
+    def __init__(self, groups: _t.Sequence["NodeGroup"]):
+        if np is None:  # pragma: no cover - registry only built w/ numpy
+            raise RuntimeError("PEIndexRegistry requires numpy")
+        self.ids: _t.List[str] = []
+        self.index: _t.Dict[str, int] = {}
+        self.node_slices: _t.List[slice] = []
+        for group in groups:
+            start = len(self.ids)
+            for pe in group.pes:
+                self.index[pe.pe_id] = len(self.ids)
+                self.ids.append(pe.pe_id)
+            self.node_slices.append(slice(start, len(self.ids)))
+        self.size = len(self.ids)
+
+        indptr = [0]
+        indices: _t.List[int] = []
+        for group in groups:
+            for pe in group.pes:
+                for did in dict.fromkeys(d.pe_id for d in pe.downstream):
+                    indices.append(self.index[did])
+                indptr.append(len(indices))
+        self.down_indptr = np.asarray(indptr, dtype=np.int64)
+        self.down_indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class VectorFeedbackBus:
+    """Array-backed drop-in for :class:`~repro.core.feedback.FeedbackBus`.
+
+    The fast path is :meth:`publish_block` / :meth:`settle_all`: whole
+    r_max vectors move as one batch per tick instead of one dict write
+    per PE.  The scalar ``publish``/``latest``/``max_downstream_rate``
+    API is kept bit-compatible so fault-injection wrappers
+    (``LossyFeedbackBus``) and diagnostics keep working unchanged.
+
+    Only built when no ``staleness_ttl`` is configured — the staleness
+    guard's per-read decay semantics stay on the scalar bus.
+    """
+
+    def __init__(
+        self,
+        registry: PEIndexRegistry,
+        delay: float = 0.0,
+        recorder: _t.Optional[TraceRecorder] = None,
+    ):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._registry = registry
+        self.delay = delay
+        self.staleness_ttl: _t.Optional[float] = None
+        self.stale_bound = 0.0
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        size = registry.size
+        self._current_arr = np.zeros(size, dtype=np.float64)
+        self._published = np.zeros(size, dtype=bool)
+        self._freshened = np.zeros(size, dtype=np.float64)
+        #: Whole-vector in-flight publications: (visible_at, sel, values),
+        #: appended in publish order.  Fixed bus delay + nondecreasing
+        #: publish times keep this FIFO visible_at-ordered.
+        self._batches: _t.List[
+            _t.Tuple[float, _t.Union[slice, _t.Any], _t.Any]
+        ] = []
+        #: Per-PE jittered publications (scalar API, fault injection),
+        #: visible_at-ordered like the scalar bus's pending lists.
+        self._pending: _t.Dict[str, _t.List[_t.Tuple[float, float]]] = {}
+        self.publishes = 0
+        self.stale_reads = 0
+
+    # -- fast path --------------------------------------------------------
+
+    def publish_block(
+        self,
+        sel: _t.Union[slice, _t.Any],
+        values: _t.Any,
+        now: float,
+        count: int,
+    ) -> None:
+        """Publish one r_max per selected PE (the engine's batch path).
+
+        ``values`` ownership passes to the bus; callers must hand in a
+        fresh array each tick.
+        """
+        self.publishes += count
+        if self.delay == 0.0:
+            self._current_arr[sel] = values
+            self._published[sel] = True
+            self._freshened[sel] = now
+            return
+        self._batches.append((now + self.delay, sel, values))
+
+    def settle_all(self, now: float) -> None:
+        """Fold every publication (batch and per-PE) visible by ``now``."""
+        batches = self._batches
+        ripe = 0
+        for visible_at, _, _ in batches:
+            if visible_at > now:
+                break
+            ripe += 1
+        if ripe:
+            for visible_at, sel, values in batches[:ripe]:
+                self._current_arr[sel] = values
+                self._published[sel] = True
+                self._freshened[sel] = visible_at
+            del batches[:ripe]
+        if self._pending:
+            index = self._registry.index
+            done = []
+            for pe_id, pending in self._pending.items():
+                n_ripe = 0
+                for visible_at, _ in pending:
+                    if visible_at > now:
+                        break
+                    n_ripe += 1
+                if not n_ripe:
+                    continue
+                visible_at, value = pending[n_ripe - 1]
+                i = index[pe_id]
+                # A later-visible batch already superseded this message;
+                # ties go to the per-PE message (published later).
+                if visible_at >= self._freshened[i]:
+                    self._current_arr[i] = value
+                    self._published[i] = True
+                    self._freshened[i] = visible_at
+                del pending[:n_ripe]
+                if not pending:
+                    done.append(pe_id)
+            for pe_id in done:
+                del self._pending[pe_id]
+
+    # -- scalar-compatible API --------------------------------------------
+
+    def publish(
+        self, pe_id: str, r_max: float, now: float, extra_delay: float = 0.0
+    ) -> None:
+        """Scalar-bus-compatible single publication (jitter-capable)."""
+        if r_max < 0:
+            raise ValueError(f"{pe_id}: r_max must be >= 0, got {r_max}")
+        if extra_delay < 0:
+            raise ValueError(
+                f"{pe_id}: extra_delay must be >= 0, got {extra_delay}"
+            )
+        self.publishes += 1
+        i = self._registry.index[pe_id]
+        if self.delay == 0.0 and extra_delay == 0.0:
+            self._current_arr[i] = r_max
+            self._published[i] = True
+            self._freshened[i] = now
+            return
+        pending = self._pending.get(pe_id)
+        if pending is None:
+            pending = self._pending[pe_id] = []
+        visible_at = now + self.delay + extra_delay
+        if pending and pending[-1][0] > visible_at:
+            from bisect import insort
+
+            insort(pending, (visible_at, r_max))
+        else:
+            pending.append((visible_at, r_max))
+
+    def latest(self, pe_id: str, now: float) -> _t.Optional[float]:
+        """Most recent visible r_max for ``pe_id`` (None if never heard)."""
+        self.settle_all(now)
+        i = self._registry.index[pe_id]
+        if not self._published[i]:
+            return None
+        return float(self._current_arr[i])
+
+    def max_downstream_rate(
+        self, downstream_ids: _t.Sequence[str], now: float
+    ) -> float:
+        """Eq. 8 max-flow read (see :class:`FeedbackBus`)."""
+        bound = -_INF
+        for pe_id in downstream_ids:
+            value = self.latest(pe_id, now)
+            if value is None:
+                return _INF
+            if value > bound:
+                bound = value
+        return bound if downstream_ids else _INF
+
+    def min_downstream_rate(
+        self, downstream_ids: _t.Sequence[str], now: float
+    ) -> float:
+        """Min-flow ablation read (see :class:`FeedbackBus`)."""
+        bound = _INF
+        for pe_id in downstream_ids:
+            value = self.latest(pe_id, now)
+            if value is None:
+                continue
+            if value < bound:
+                bound = value
+        return bound
+
+
+def _fill_rounds(
+    demands: _t.Any, weights: _t.Any, budget: _t.Any, mask: _t.Any
+) -> _t.Any:
+    """Water-fill ``budget`` per row, proportional to weights, capped by
+    demands — many independent nodes at once.
+
+    Rows are nodes, columns are that node's PEs *in sorted-id order*
+    (the scalar ``_proportional_fill`` iteration order).  Per-row
+    accumulations run as column loops so the float-addition sequence
+    matches the scalar loop exactly; dead lanes contribute ``+0.0``,
+    an exact identity for the non-negative partial sums involved.
+    """
+    grants = np.zeros_like(demands)
+    floors = np.maximum(weights, 1e-12)
+    alive = mask & (demands > 1e-12)
+    remaining = np.asarray(budget, dtype=np.float64).copy()
+    on = (remaining > 1e-12) & alive.any(axis=1)
+    cols = demands.shape[1]
+    rows = demands.shape[0]
+    while on.any():
+        total = np.zeros(rows)
+        for j in range(cols):
+            total = total + np.where(alive[:, j] & on, floors[:, j], 0.0)
+        scale = np.where(
+            on, remaining / np.where(total > 0.0, total, 1.0), 0.0
+        )
+        saturated = np.zeros(rows, dtype=np.int64)
+        distributed = np.zeros(rows)
+        for j in range(cols):
+            lane = alive[:, j] & on
+            share = scale * floors[:, j]
+            headroom = demands[:, j] - grants[:, j]
+            sat = lane & ~(share < headroom)
+            give = np.where(lane, np.where(sat, headroom, share), 0.0)
+            grants[:, j] += give
+            distributed += give
+            alive[:, j] &= ~sat
+            saturated += sat
+        remaining -= np.where(on, distributed, 0.0)
+        on = on & (saturated > 0) & (remaining > 1e-12) & alive.any(axis=1)
+    return grants
+
+
+def vector_proportional_fill(
+    demands: _t.Mapping[str, float],
+    weights: _t.Mapping[str, float],
+    budget: float,
+) -> _t.Dict[str, float]:
+    """Single-node dict-shaped wrapper over the vector water-fill.
+
+    Exists for the property tests: drives the same `_fill_rounds`
+    kernel the engine uses and must agree bit-exactly with the scalar
+    ``_proportional_fill``.
+    """
+    if np is None:
+        raise RuntimeError("vector_proportional_fill requires numpy")
+    keys = sorted(demands)
+    if not keys:
+        return {}
+    d2 = np.array([[float(demands[k]) for k in keys]], dtype=np.float64)
+    w2 = np.array([[float(weights[k]) for k in keys]], dtype=np.float64)
+    mask = np.ones((1, len(keys)), dtype=bool)
+    g2 = _fill_rounds(d2, w2, np.array([float(budget)]), mask)
+    return {key: float(g2[0, j]) for j, key in enumerate(keys)}
+
+
+class VectorFlowView:
+    """Per-PE facade over the engine's Eq. 7 state arrays.
+
+    Exposes exactly what the rest of the system reads from a
+    :class:`~repro.core.flow_control.FlowController`: ``last_r_max``,
+    ``updates``, ``gains``, ``b0``, ``capacity``, ``pe_id``, ``reset``.
+    """
+
+    __slots__ = ("_engine", "_index", "pe_id")
+
+    def __init__(self, engine: "VectorEngine", index: int, pe_id: str):
+        self._engine = engine
+        self._index = index
+        self.pe_id = pe_id
+
+    @property
+    def gains(self) -> "LQRGains":
+        gains = self._engine.gains
+        assert gains is not None
+        return gains
+
+    @property
+    def b0(self) -> float:
+        return self._engine.b0_value
+
+    @property
+    def capacity(self) -> float:
+        return float(self._engine.buf_cap[self._index])
+
+    @property
+    def last_r_max(self) -> float:
+        return float(self._engine.flow_last[self._index])
+
+    @property
+    def updates(self) -> int:
+        return int(self._engine.flow_updates[self._index])
+
+    def reset(self) -> None:
+        """Clear this PE's histories (mirrors FlowController.reset)."""
+        engine = self._engine
+        i = self._index
+        engine.dev_hist[:, i] = 0.0
+        engine.sur_hist[:, i] = 0.0
+        engine.flow_last[i] = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorFlowView(b0={self.b0}, "
+            f"last_r_max={self.last_r_max:.2f})"
+        )
+
+
+class VectorTokenScheduler:
+    """Per-node facade over the engine's token-bucket arrays.
+
+    Carries the mutable ``capacity`` fault-injection knob and the
+    tracing identity; allocation itself happens inside
+    :meth:`VectorEngine.control_group`.
+    """
+
+    recorder: TraceRecorder = NULL_RECORDER
+    node_id: str = ""
+    _recording: bool = False
+
+    def __init__(
+        self,
+        engine: "VectorEngine",
+        node_index: int,
+        pes: _t.Sequence[_t.Any],
+        capacity: float,
+    ):
+        self._engine = engine
+        self._node_index = node_index
+        self.pes = list(pes)
+        self.capacity = capacity
+        self.dt = engine.dt
+        self.work_conserving = engine.work_conserving
+
+    def attach_tracing(self, recorder: TraceRecorder, node_id: str) -> None:
+        """Bind the trace bus and this scheduler's node identity."""
+        self.recorder = recorder
+        self.node_id = node_id
+        self._recording = recorder.enabled
+
+    def settle(self, pe_id: str, cpu_seconds_used: float, dt: float) -> None:
+        """Charge tokens for work actually performed (CPU-seconds).
+
+        Bit-equal to ``bucket.spend(min(bucket.level, used))``.
+        """
+        engine = self._engine
+        i = engine.registry.index[pe_id]
+        level = float(engine.tok_level[i])
+        amount = level if level <= cpu_seconds_used else cpu_seconds_used
+        new_level = level - amount
+        engine.tok_level[i] = new_level if new_level > 0.0 else 0.0
+
+    def token_level(self, pe_id: str) -> float:
+        return float(self._engine.tok_level[self._engine.registry.index[pe_id]])
+
+    def update_targets(self, cpu_targets: _t.Mapping[str, float]) -> None:
+        """Adopt refreshed Tier-1 targets (fill rates + depths)."""
+        engine = self._engine
+        dt = engine.dt
+        intervals = engine.depth_intervals
+        for pe in self.pes:
+            i = engine.registry.index[pe.pe_id]
+            target = float(cpu_targets.get(pe.pe_id, 0.0))
+            engine.tok_rate[i] = target
+            depth = max(target * dt * intervals, 1e-9)
+            engine.tok_depth[i] = depth
+            if engine.tok_level[i] > depth:
+                engine.tok_level[i] = depth
+
+    def __repr__(self) -> str:
+        return f"VectorTokenScheduler(node={self.node_id!r}, pes={len(self.pes)})"
+
+
+class VectorStrictScheduler:
+    """Per-node facade over the engine's strict-target array.
+
+    Deliberately has no ``token_level`` attribute — gauge registration
+    keys on its presence, like the scalar pair of scheduler classes.
+    """
+
+    recorder: TraceRecorder = NULL_RECORDER
+    node_id: str = ""
+    _recording: bool = False
+
+    def __init__(
+        self,
+        engine: "VectorEngine",
+        node_index: int,
+        pes: _t.Sequence[_t.Any],
+        capacity: float,
+    ):
+        self._engine = engine
+        self._node_index = node_index
+        self.pes = list(pes)
+        self.capacity = capacity
+
+    @property
+    def targets(self) -> _t.Dict[str, float]:
+        engine = self._engine
+        return {
+            pe.pe_id: float(engine.strict_target[engine.registry.index[pe.pe_id]])
+            for pe in self.pes
+        }
+
+    def attach_tracing(self, recorder: TraceRecorder, node_id: str) -> None:
+        """Bind the trace bus and this scheduler's node identity."""
+        self.recorder = recorder
+        self.node_id = node_id
+        self._recording = recorder.enabled
+
+    def settle(self, pe_id: str, cpu_seconds_used: float, dt: float) -> None:
+        """No token accounting in the strict scheduler."""
+
+    def update_targets(self, cpu_targets: _t.Mapping[str, float]) -> None:
+        """Adopt refreshed Tier-1 targets."""
+        engine = self._engine
+        for pe in self.pes:
+            i = engine.registry.index[pe.pe_id]
+            engine.strict_target[i] = float(cpu_targets.get(pe.pe_id, 0.0))
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorStrictScheduler(node={self.node_id!r}, pes={len(self.pes)})"
+        )
+
+
+class _TickGroup:
+    """Cached index geometry for one set of live nodes ticked together.
+
+    Everything here is a function of the node-index tuple only, so one
+    group is built per distinct live set (normally one per phase bucket,
+    plus degraded variants while nodes are paused) and reused every tick.
+    """
+
+    def __init__(self, engine: "VectorEngine", indices: _t.Tuple[int, ...]):
+        registry = engine.registry
+        self.indices = indices
+        self.controllers = [engine.node_controllers[i] for i in indices]
+        self.views = [engine.scheduler_views[i] for i in indices]
+        self.records: _t.List[ControlRecord] = []
+        for controller in self.controllers:
+            self.records.extend(controller.records)
+
+        slices = [registry.node_slices[i] for i in indices]
+        contiguous = all(
+            slices[k].stop == slices[k + 1].start
+            for k in range(len(slices) - 1)
+        )
+        if contiguous and slices:
+            self.sel: _t.Union[slice, _t.Any] = slice(
+                slices[0].start, slices[-1].stop
+            )
+        else:
+            self.sel = np.concatenate(
+                [np.arange(s.start, s.stop, dtype=np.int64) for s in slices]
+            ) if slices else np.zeros(0, dtype=np.int64)
+
+        counts = np.array(
+            [len(c.records) for c in self.controllers], dtype=np.int64
+        )
+        self.counts = counts
+        self.rows = len(indices)
+        self.total = int(counts.sum())
+        self.cols = int(counts.max()) if self.rows and self.total else 1
+        starts = np.zeros(self.rows, dtype=np.int64)
+        if self.rows > 1:
+            starts[1:] = np.cumsum(counts)[:-1]
+        self.starts = starts
+        arange_cols = np.arange(self.cols, dtype=np.int64)
+        self.mask = arange_cols[None, :] < counts[:, None]
+        pos2d = starts[:, None] + arange_cols[None, :]
+        self.safe_pos = np.where(self.mask, pos2d, 0)
+
+        # Water-fill lane order: per node, sorted pe_id (the scalar
+        # _proportional_fill visiting order).
+        order: _t.List[int] = []
+        base = 0
+        for controller in self.controllers:
+            ids = [record.pe_id for record in controller.records]
+            order.extend(
+                base + k
+                for k in sorted(range(len(ids)), key=ids.__getitem__)
+            )
+            base += len(ids)
+        self.sorted_flat = np.array(order, dtype=np.int64)
+        # A group of PE-less nodes has no lanes to permute (and an empty
+        # sorted_flat cannot be indexed, even masked).
+        self.sorted_safe_pos = (
+            np.where(self.mask, self.sorted_flat[self.safe_pos], 0)
+            if self.total
+            else np.zeros_like(self.safe_pos)
+        )
+
+        # Group-local downstream CSR (over *global* PE indices).
+        indptr = [0]
+        down: _t.List[int] = []
+        for record in self.records:
+            for did in record.downstream_ids:
+                down.append(registry.index[did])
+            indptr.append(len(down))
+        self.down_indptr = np.array(indptr, dtype=np.int64)
+        self.down_indices = np.array(down, dtype=np.int64)
+        self.down_counts = np.diff(self.down_indptr)
+
+
+class VectorEngine:
+    """Owns the flat control-state arrays and the fused tick kernels.
+
+    One engine per :class:`~repro.control.plane.ControlPlane` in vector
+    mode.  State is seeded from the policy's *donor* schedulers (built
+    normally, then shelved), so bucket depths/levels and strict targets
+    match the scalar path bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        plane: "ControlPlane",
+        registry: PEIndexRegistry,
+        donors: _t.Sequence[_t.Any],
+        gains: _t.Optional["LQRGains"],
+    ):
+        if np is None:  # pragma: no cover - engine only built w/ numpy
+            raise RuntimeError("VectorEngine requires numpy")
+        self.plane = plane
+        self.adapter: "SystemAdapter" = plane.adapter
+        self.registry = registry
+        self.dt = plane.dt
+        self.uses_feedback = plane.uses_feedback
+        self.aggregate_max = plane.aggregate_max
+
+        flat_pes = [pe for group in plane.groups for pe in group.pes]
+        size = registry.size
+        self.lambda_m = np.array(
+            [pe.profile.lambda_m for pe in flat_pes], dtype=np.float64
+        )
+        self.t0_service = np.array(
+            [pe.profile.t0 for pe in flat_pes], dtype=np.float64
+        )
+        self.t1_service = np.array(
+            [pe.profile.t1 for pe in flat_pes], dtype=np.float64
+        )
+        self.buf_cap = np.array(
+            [float(pe.buffer.capacity) for pe in flat_pes], dtype=np.float64
+        )
+        # Per-SDO mean work, precomputed so backlog_work can be rebuilt
+        # from the raw ``_work_remaining`` attribute as array math
+        # (bit-equal: same 1/slope constant, same mul-then-add order).
+        self.mean_work = np.array(
+            [1.0 / pe.profile.rate_slope for pe in flat_pes],
+            dtype=np.float64,
+        )
+        # Simulator PEs carry partially-consumed work; the threaded
+        # runtime's RuntimePE defines backlog purely from occupancy.
+        self.track_work_remaining = bool(flat_pes) and hasattr(
+            flat_pes[0], "_work_remaining"
+        )
+        self.cpu_target = np.array(
+            [plane.targets.cpu.get(pe.pe_id, 0.0) for pe in flat_pes],
+            dtype=np.float64,
+        )
+
+        donor = donors[0] if donors else None
+        self.is_aces = type(donor) is AcesCpuScheduler
+        if self.is_aces:
+            self.work_conserving = bool(donor.work_conserving)
+            self.depth_intervals = float(donor._depth_intervals)
+            self.tok_rate = np.zeros(size, dtype=np.float64)
+            self.tok_depth = np.zeros(size, dtype=np.float64)
+            self.tok_level = np.zeros(size, dtype=np.float64)
+            for donor_sched in donors:
+                arrays = donor_sched.coefficient_arrays()
+                for pe_id, rate, depth, level in zip(
+                    arrays["pe_ids"], arrays["rates"],
+                    arrays["depths"], arrays["levels"],
+                ):
+                    i = registry.index[pe_id]
+                    self.tok_rate[i] = rate
+                    self.tok_depth[i] = depth
+                    self.tok_level[i] = level
+        else:
+            self.work_conserving = False
+            self.depth_intervals = 0.0
+            self.strict_target = np.zeros(size, dtype=np.float64)
+            for donor_sched in donors:
+                arrays = donor_sched.coefficient_arrays()
+                for pe_id, target in zip(
+                    arrays["pe_ids"], arrays["targets"]
+                ):
+                    self.strict_target[registry.index[pe_id]] = target
+
+        self.gains = gains
+        if self.uses_feedback:
+            assert gains is not None
+            self._lambdas = tuple(gains.lambdas)
+            self._mus = tuple(gains.mus)
+            self._flow_dt = float(gains.dt)
+            self.b0_value = float(plane.b0)
+            for pe in flat_pes:
+                cap = pe.buffer.capacity
+                if self.b0_value < 0 or self.b0_value > cap:
+                    raise ValueError(
+                        f"b0={self.b0_value} outside [0, {cap}]"
+                    )
+            history = len(self._lambdas)
+            surplus_len = max(len(self._mus), 1)
+            self.dev_hist = np.zeros((history, size), dtype=np.float64)
+            self.sur_hist = np.zeros((surplus_len, size), dtype=np.float64)
+        else:
+            self._lambdas = ()
+            self._mus = ()
+            self._flow_dt = float(plane.dt)
+            self.b0_value = float(plane.b0)
+            self.dev_hist = None
+            self.sur_hist = None
+        self.flow_last = np.zeros(size, dtype=np.float64)
+        self.flow_updates = np.zeros(size, dtype=np.int64)
+
+        #: The engine's own fast-path bus, installed by the plane when no
+        #: staleness TTL is configured; None means every bus is foreign
+        #: (per-PE scalar reads/publishes, vectorized math otherwise).
+        self.bus: _t.Optional[VectorFeedbackBus] = None
+
+        view_cls = (
+            VectorTokenScheduler if self.is_aces else VectorStrictScheduler
+        )
+        self.scheduler_views: _t.List[_t.Any] = [
+            view_cls(self, index, group.pes, donor_sched.capacity)
+            for index, (group, donor_sched) in enumerate(
+                zip(plane.groups, donors)
+            )
+        ]
+        self.node_controllers: _t.List[
+            _t.Optional["VectorNodeController"]
+        ] = [None] * len(plane.groups)
+        self._groups: _t.Dict[_t.Tuple[int, ...], _TickGroup] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def register_controller(
+        self, controller: "VectorNodeController"
+    ) -> None:
+        self.node_controllers[controller.node_index] = controller
+
+    def group_for(self, indices: _t.Tuple[int, ...]) -> _TickGroup:
+        group = self._groups.get(indices)
+        if group is None:
+            group = _TickGroup(self, indices)
+            self._groups[indices] = group
+        return group
+
+    def set_cpu_target(self, pe_id: str, value: float) -> None:
+        self.cpu_target[self.registry.index[pe_id]] = value
+
+    # -- the fused tick ----------------------------------------------------
+
+    def control_group(
+        self, group: _TickGroup, now: float
+    ) -> _t.List[_t.Dict[str, float]]:
+        """Run the Tier-2 decision step for every node in the group.
+
+        Returns one ``pe_id -> cpu fraction`` dict per node (what the
+        scalar :meth:`NodeController.control` returns); grant
+        application stays with the callers so decide-then-apply
+        ordering is identical in both implementations.
+        """
+        if group.total == 0:
+            return [{} for _ in group.controllers]
+        if self.uses_feedback:
+            fractions = self._control_feedback(group, now)
+        else:
+            fractions = self._control_gated(group, now)
+        out: _t.List[_t.Dict[str, float]] = []
+        base = 0
+        for controller in group.controllers:
+            records = controller.records
+            out.append(
+                {
+                    record.pe_id: float(fractions[base + k])
+                    for k, record in enumerate(records)
+                }
+            )
+            base += len(records)
+        return out
+
+    # -- feedback policies (ACES + ablations) ------------------------------
+
+    def _control_feedback(self, group: _TickGroup, now: float) -> _t.Any:
+        dt = self.dt
+        bus = self.plane.bus
+        fast = self.bus is not None and bus is self.bus
+        caps = self._caps(group, now, bus, fast)
+        # One state read serves both the g^{-1} bound and rho below:
+        # nothing executes between the two scalar reads, so the values
+        # are identical by construction.
+        st = self._service_time(group)
+        if self.is_aces:
+            fractions = self._allocate_tokens(group, caps, dt, st)
+        else:
+            fractions = self._allocate_strict_feedback(group, dt)
+        self._emit_grants(group, fractions, caps, dt)
+        occ_f, occ_raw = self._snapshot(group, now)
+        sel = group.sel
+        cpu_target = self.cpu_target[sel]
+        cpu_eff = np.where(fractions < cpu_target, cpu_target, fractions)
+        rho = cpu_eff / st
+        r = self._flow_update(group, occ_f, rho)
+        if self.plane.recorder.enabled:
+            recorder = self.plane.recorder
+            for k, record in enumerate(group.records):
+                recorder.emit(
+                    "r_max",
+                    pe=record.pe_id,
+                    r_max=float(r[k]),
+                    occupancy=occ_raw[k],
+                    rho=float(rho[k]),
+                )
+        if fast:
+            assert self.bus is not None
+            self.bus.publish_block(sel, r, now, group.total)
+        else:
+            # Foreign bus (lossy wrapper / staleness guard): publish
+            # per PE in node-then-record order so per-message side
+            # effects (jitter RNG draws, drop decisions) match scalar.
+            publish = bus.publish
+            for k, record in enumerate(group.records):
+                publish(record.pe_id, float(r[k]), now)
+        return fractions
+
+    def _caps(
+        self, group: _TickGroup, now: float, bus: _t.Any, fast: bool
+    ) -> _t.Any:
+        if not fast:
+            read_bound = (
+                bus.max_downstream_rate
+                if self.aggregate_max
+                else bus.min_downstream_rate
+            )
+            return np.array(
+                [
+                    read_bound(record.downstream_ids, now)
+                    for record in group.records
+                ],
+                dtype=np.float64,
+            )
+        assert self.bus is not None
+        self.bus.settle_all(now)
+        starts = group.down_indptr[:-1]
+        vals = self.bus._current_arr[group.down_indices]
+        pub = self.bus._published[group.down_indices]
+        if self.aggregate_max:
+            seg = np.maximum.reduceat(np.append(vals, -_INF), starts)
+            allpub = np.logical_and.reduceat(np.append(pub, True), starts)
+            return np.where(
+                (group.down_counts == 0) | ~allpub, _INF, seg
+            )
+        masked = np.where(pub, vals, _INF)
+        seg = np.minimum.reduceat(np.append(masked, _INF), starts)
+        return np.where(group.down_counts == 0, _INF, seg)
+
+    def _service_time(self, group: _TickGroup) -> _t.Any:
+        states = np.fromiter(
+            (record.pe.machine.state for record in group.records),
+            dtype=np.int64,
+            count=group.total,
+        )
+        sel = group.sel
+        return np.where(states == 1, self.t1_service[sel], self.t0_service[sel])
+
+    def _allocate_tokens(
+        self, group: _TickGroup, caps: _t.Any, dt: float, st: _t.Any
+    ) -> _t.Any:
+        sel = group.sel
+        level = self.tok_level[sel] + self.tok_rate[sel] * dt
+        depth = self.tok_depth[sel]
+        level = np.where(level > depth, depth, level)
+        self.tok_level[sel] = level
+
+        # g^{-1}(r): 0 at r<=0, (r/lambda_m)*T_S otherwise; +inf caps
+        # propagate to +inf and vanish under the capacity min below.
+        g_inv = np.where(
+            caps <= 0.0, 0.0, (caps / self.lambda_m[sel]) * st
+        )
+        cap_node = np.array(
+            [view.capacity for view in group.views], dtype=np.float64
+        )
+        cap_pe = np.repeat(cap_node, group.counts)
+        cpu_cap = np.minimum(cap_pe, g_inv)
+
+        backlog, occ = self._backlog_occ(group)
+        work_needed = np.minimum(backlog, cpu_cap * dt)
+        capped_work = np.where(work_needed > 0.0, work_needed, 0.0)
+        demands = np.minimum(work_needed, level)
+        demands = np.where(demands > 0.0, demands, 0.0)
+        weights = occ + np.where((backlog > 0.0) & (occ == 0.0), 1.0, 0.0)
+
+        budget = cap_node * dt
+        grants = self._fill_flat(group, demands, weights, budget)
+        if self.work_conserving:
+            spent = self._node_sums(group, grants)
+            leftover = budget - spent
+            extra_demands = capped_work - grants
+            extra_demands = np.where(
+                extra_demands > 0.0, extra_demands, 0.0
+            )
+            extra = self._fill_flat(
+                group,
+                extra_demands,
+                weights,
+                np.where(leftover > 1e-12, leftover, 0.0),
+            )
+            grants = grants + extra
+        return grants / dt
+
+    def _allocate_strict_feedback(
+        self, group: _TickGroup, dt: float
+    ) -> _t.Any:
+        sel = group.sel
+        backlog, _ = self._backlog_occ(group)
+        demands = np.where(backlog > 0.0, backlog, 0.0)
+        weights = self.strict_target[sel]
+        cap_node = np.array(
+            [view.capacity for view in group.views], dtype=np.float64
+        )
+        grants = self._fill_flat(group, demands, weights, cap_node * dt)
+        return grants / dt
+
+    # -- gated (non-feedback) policies -------------------------------------
+
+    def _control_gated(self, group: _TickGroup, now: float) -> _t.Any:
+        dt = self.dt
+        sel = group.sel
+        blocked_flags = np.zeros(group.total, dtype=bool)
+        base = 0
+        for controller in group.controllers:
+            blocked: _t.Set[str] = set()
+            for k, record in enumerate(controller.records):
+                pe = record.pe
+                if pe.blocked_last_interval:
+                    gate = record.gate
+                    if gate is None or gate(pe):
+                        pe.blocked_last_interval = False
+                    else:
+                        blocked.add(record.pe_id)
+                        blocked_flags[base + k] = True
+            controller.last_blocked = frozenset(blocked)
+            base += len(controller.records)
+        backlog, _ = self._backlog_occ(group)
+        runnable = ~blocked_flags & (backlog > 0.0)
+        demands = np.where(runnable, backlog, 0.0)
+        weights = self.strict_target[sel]
+        cap_node = np.array(
+            [view.capacity for view in group.views], dtype=np.float64
+        )
+        grants = self._fill_flat(group, demands, weights, cap_node * dt)
+        fractions = grants / dt
+        self._emit_grants(group, fractions, None, dt)
+        return fractions
+
+    # -- shared kernels ----------------------------------------------------
+
+    def _backlog_occ(self, group: _TickGroup) -> _t.Tuple[_t.Any, _t.Any]:
+        """``backlog_work`` and occupancy for the group, one pass each.
+
+        Rebuilds the ``backlog_work`` property (``_work_remaining +
+        occupancy / rate_slope``) from raw attribute reads plus the
+        precomputed ``mean_work`` array — same constant, same
+        mul-then-add order, so the result is bit-equal to the scalar
+        property while skipping its per-PE Python arithmetic.
+        """
+        occ = np.fromiter(
+            (record.pe.buffer.occupancy for record in group.records),
+            dtype=np.float64,
+            count=group.total,
+        )
+        scaled = occ * self.mean_work[group.sel]
+        if not self.track_work_remaining:
+            return scaled, occ
+        wr = np.fromiter(
+            (record.pe._work_remaining for record in group.records),
+            dtype=np.float64,
+            count=group.total,
+        )
+        return wr + scaled, occ
+
+    def _fill_flat(
+        self,
+        group: _TickGroup,
+        demands: _t.Any,
+        weights: _t.Any,
+        budget: _t.Any,
+    ) -> _t.Any:
+        d2 = np.where(group.mask, demands[group.sorted_safe_pos], 0.0)
+        w2 = np.where(group.mask, weights[group.sorted_safe_pos], 0.0)
+        g2 = _fill_rounds(d2, w2, budget, group.mask)
+        flat = np.zeros(group.total, dtype=np.float64)
+        flat[group.sorted_flat] = g2[group.mask]
+        return flat
+
+    def _node_sums(self, group: _TickGroup, flat: _t.Any) -> _t.Any:
+        """Per-node sums in placement order (the scalar ``sum()`` order)."""
+        vals2 = np.where(group.mask, flat[group.safe_pos], 0.0)
+        total = np.zeros(group.rows)
+        for j in range(group.cols):
+            total = total + vals2[:, j]
+        return total
+
+    def _snapshot(
+        self, group: _TickGroup, now: float
+    ) -> _t.Tuple[_t.Any, _t.List[_t.Any]]:
+        """Occupancies via the adapter, node by node.
+
+        Returns both the float64 array (for the Eq. 7 math) and the raw
+        per-PE values (ints on both substrates) so r_max trace events
+        carry exactly what the scalar path emits.
+        """
+        raw: _t.List[_t.Any] = []
+        adapter = self.adapter
+        snap_list = getattr(adapter, "snapshot_list", None)
+        if snap_list is not None:
+            for controller in group.controllers:
+                raw.extend(
+                    snap_list(
+                        controller.node_index, controller.records, now
+                    )
+                )
+        else:
+            for controller in group.controllers:
+                snap = adapter.snapshot(
+                    controller.node_index, controller.records, now
+                )
+                raw.extend(
+                    snap[record.pe_id] for record in controller.records
+                )
+        occ_f = np.array(raw, dtype=np.float64)
+        if np.any(occ_f < 0.0):
+            bad = occ_f.min()
+            raise ValueError(f"occupancy must be >= 0, got {bad}")
+        return occ_f, raw
+
+    def _flow_update(
+        self, group: _TickGroup, occ: _t.Any, rho: _t.Any
+    ) -> _t.Any:
+        """Eq. 7 for the whole group, bit-equal to FlowController.update."""
+        sel = group.sel
+        assert self.dev_hist is not None and self.sur_hist is not None
+        dev = np.array(self.dev_hist[:, sel])
+        for k in range(dev.shape[0] - 1, 0, -1):
+            dev[k] = dev[k - 1]
+        dev[0] = occ - self.b0_value
+        sur = np.array(self.sur_hist[:, sel])
+
+        r = rho.copy()
+        for k, lam in enumerate(self._lambdas):
+            r = r - lam * dev[k]
+        for lag, mu in enumerate(self._mus):
+            r = r - mu * sur[lag]
+        r = np.where(r < 0.0, 0.0, r)
+        free = self.buf_cap[sel] - occ
+        free = np.where(free < 0.0, 0.0, free)
+        ceiling = free / self._flow_dt + rho
+        r = np.where(r > ceiling, ceiling, r)
+
+        for lag in range(sur.shape[0] - 1, 0, -1):
+            sur[lag] = sur[lag - 1]
+        sur[0] = r - rho
+        self.dev_hist[:, sel] = dev
+        self.sur_hist[:, sel] = sur
+        self.flow_last[sel] = r
+        self.flow_updates[sel] += 1
+        return r
+
+    def _emit_grants(
+        self,
+        group: _TickGroup,
+        fractions: _t.Any,
+        caps: _t.Optional[_t.Any],
+        dt: float,
+    ) -> _t.Any:
+        """Trace events per node in the scalar emission order."""
+        base = 0
+        for view, controller in zip(group.views, group.controllers):
+            records = controller.records
+            if view._recording:
+                recorder = view.recorder
+                node_id = view.node_id
+                if self.is_aces and caps is not None:
+                    for k, record in enumerate(records):
+                        i = base + k
+                        gi = self.registry.index[record.pe_id]
+                        recorder.emit(
+                            "token_bucket",
+                            pe=record.pe_id,
+                            node=node_id,
+                            level=float(self.tok_level[gi]),
+                            rate=float(self.tok_rate[gi]),
+                            depth=float(self.tok_depth[gi]),
+                        )
+                        cap_rate = float(caps[i])
+                        recorder.emit(
+                            "cpu_grant",
+                            pe=record.pe_id,
+                            node=node_id,
+                            cpu=float(fractions[i]),
+                            dt=dt,
+                            cap_rate=(
+                                None if cap_rate == _INF else cap_rate
+                            ),
+                        )
+                else:
+                    for k, record in enumerate(records):
+                        recorder.emit(
+                            "cpu_grant",
+                            pe=record.pe_id,
+                            node=node_id,
+                            cpu=float(fractions[base + k]),
+                            dt=dt,
+                        )
+            base += len(records)
+
+
+class VectorNodeController:
+    """Drop-in for :class:`~repro.control.node.NodeController`.
+
+    Same construction surface, same ``control``/``tick``/``set_gate``/
+    ``refresh_cpu_targets`` behaviour — but the decision step delegates
+    to the shared :class:`VectorEngine`.  A solo tick runs the engine
+    on a single-node group; :meth:`ControlPlane.tick_nodes` fuses many
+    nodes into one engine call.
+    """
+
+    def __init__(
+        self,
+        node_index: int,
+        node_id: str,
+        scheduler: _t.Any,
+        records: _t.Sequence[ControlRecord],
+        plane: "ControlPlane",
+        adapter: "SystemAdapter",
+        dt: float,
+        uses_feedback: bool,
+        aggregate_max: bool,
+        is_aces: bool,
+        profiler: _t.Optional[_t.Any] = None,
+        engine: _t.Optional[VectorEngine] = None,
+    ):
+        assert engine is not None
+        self.node_index = node_index
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.records = list(records)
+        self.plane = plane
+        self.adapter = adapter
+        self.dt = dt
+        self.uses_feedback = uses_feedback
+        self.aggregate_max = aggregate_max
+        self.is_aces = is_aces
+        self.profiler = profiler
+        self.engine = engine
+        self.last_blocked: _t.FrozenSet[str] = frozenset()
+        self.ticks = 0
+        engine.register_controller(self)
+        self._solo = (node_index,)
+
+    def control(self, now: float) -> _t.Dict[str, float]:
+        """One node's decision step (engine group of one)."""
+        engine = self.engine
+        return engine.control_group(engine.group_for(self._solo), now)[0]
+
+    def tick(self, now: float) -> None:
+        """One full control interval: decide, then act on the substrate."""
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("controller_tick")
+        try:
+            grants = self.control(now)
+        finally:
+            if profiler is not None:
+                profiler.pop()
+        self.ticks += 1
+        self.adapter.apply_grants(
+            self.node_index, self.records, grants, now, self.dt,
+            self.scheduler.settle,
+        )
+
+    def set_gate(self, pe_id: str, gate: _t.Optional["GateFn"]) -> bool:
+        """Replace one resident PE's gate; True when the PE lives here."""
+        for record in self.records:
+            if record.pe_id == pe_id:
+                record.gate = gate
+                return True
+        return False
+
+    def refresh_cpu_targets(
+        self, cpu_targets: _t.Mapping[str, float]
+    ) -> None:
+        """Propagate refreshed Tier-1 targets into records + arrays."""
+        engine = self.engine
+        for record in self.records:
+            target = cpu_targets.get(record.pe_id, 0.0)
+            record.cpu_target = target
+            engine.set_cpu_target(record.pe_id, target)
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorNodeController({self.node_id}, pes={len(self.records)}, "
+            f"ticks={self.ticks})"
+        )

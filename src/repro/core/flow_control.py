@@ -131,6 +131,18 @@ class FlowController:
             )
         return r_max
 
+    def coefficient_arrays(
+        self,
+    ) -> _t.Dict[str, _t.Tuple[float, ...]]:
+        """Eq. 7 coefficients and histories as plain tuples (newest
+        first), for the array-backed control engine and diagnostics."""
+        return {
+            "lambdas": self._lambdas,
+            "mus": self._mus,
+            "deviations": tuple(self._deviations),
+            "surpluses": tuple(self._surpluses),
+        }
+
     def reset(self) -> None:
         """Clear histories (e.g. after a reconfiguration)."""
         for _ in range(len(self._deviations)):

@@ -79,7 +79,7 @@ class FuzzScenario:
         )
         return generate_topology(spec, np.random.default_rng(self.seed))
 
-    def build_config(self) -> SystemConfig:
+    def build_config(self, control_impl: str = "scalar") -> SystemConfig:
         # warmup=0 keeps the egress collector's window equal to the whole
         # run, which is what makes the conservation ledger exact.
         return SystemConfig(
@@ -89,6 +89,7 @@ class FuzzScenario:
             seed=self.seed + 1,
             source_kind=self.source_kind,
             reoptimize_interval=self.reoptimize_interval,
+            control_impl=control_impl,
         )
 
     def build_plan(self) -> FaultPlan:
@@ -208,6 +209,7 @@ class FuzzCaseResult:
     scenario: FuzzScenario
     policy: str
     mode: str  # "simulated" | "differential"
+    control_impl: str = "scalar"
     violations: _t.List[_t.Dict[str, object]] = field(default_factory=list)
     violation_counts: _t.Dict[str, int] = field(default_factory=dict)
     mismatch: bool = False
@@ -226,6 +228,7 @@ class FuzzCaseResult:
             "seed": self.scenario.seed,
             "policy": self.policy,
             "mode": self.mode,
+            "control_impl": self.control_impl,
             "failed": self.failed,
             "violations": self.violations,
             "violation_counts": self.violation_counts,
@@ -242,16 +245,19 @@ def run_fuzz_case(
     policy_name: str,
     topology: _t.Optional[Topology] = None,
     targets: _t.Optional[_t.Any] = None,
+    control_impl: str = "scalar",
 ) -> FuzzCaseResult:
     """Run one scenario under one policy with all oracles armed.
 
     The simulated run uses strict oracles (the simulator serializes
     control steps) and closes the conservation ledger afterwards; a run
     that raises still reports the violations observed up to the error.
+    ``control_impl="vector"`` fuzzes the array-backed Tier-2 engine
+    against exactly the same invariants.
     """
     policy = policy_by_name(policy_name)
     result = FuzzCaseResult(scenario=scenario, policy=policy_name,
-                            mode="simulated")
+                            mode="simulated", control_impl=control_impl)
     recorder = OracleRecorder(strict=True)
     if topology is None:
         topology = scenario.build_topology()
@@ -259,7 +265,7 @@ def run_fuzz_case(
         topology,
         policy,
         targets=targets,
-        config=scenario.build_config(),
+        config=scenario.build_config(control_impl=control_impl),
         recorder=recorder,
     )
     recorder.attach_plane(system.plane)
@@ -327,6 +333,7 @@ def run_differential_case(
     steps: int = 30,
     topology: _t.Optional[Topology] = None,
     targets: _t.Optional[_t.Any] = None,
+    control_impl: str = "scalar",
 ) -> FuzzCaseResult:
     """Drive both substrates' control planes with one scripted trace.
 
@@ -337,7 +344,7 @@ def run_differential_case(
     with the substrate prefixed to the invariant name.
     """
     result = FuzzCaseResult(scenario=scenario, policy=policy_name,
-                            mode="differential")
+                            mode="differential", control_impl=control_impl)
     if topology is None:
         topology = scenario.build_topology()
     if targets is None:
@@ -355,6 +362,7 @@ def run_differential_case(
             dt=scenario.dt,
             feedback_delay=0.0,
             seed=scenario.seed + 1,
+            control_impl=control_impl,
         ),
         recorder=sim_recorder,
     )
@@ -366,6 +374,7 @@ def run_differential_case(
             buffer_size=scenario.buffer_size,
             dt=scenario.dt,
             seed=scenario.seed + 1,
+            control_impl=control_impl,
         ),
         recorder=run_recorder,
     )
@@ -455,14 +464,16 @@ def shrink_scenario(
 
 
 def failure_predicate(
-    policy_name: str, mode: str
+    policy_name: str, mode: str, control_impl: str = "scalar"
 ) -> _t.Callable[[FuzzScenario], bool]:
     """The reproduces-the-failure test used when shrinking one case."""
     if mode == "differential":
         return lambda scenario: run_differential_case(
-            scenario, policy_name
+            scenario, policy_name, control_impl=control_impl
         ).failed
-    return lambda scenario: run_fuzz_case(scenario, policy_name).failed
+    return lambda scenario: run_fuzz_case(
+        scenario, policy_name, control_impl=control_impl
+    ).failed
 
 
 # -- campaigns --------------------------------------------------------------
@@ -475,6 +486,7 @@ def run_fuzz_campaign(
     shrink: bool = True,
     output: _t.Optional[str] = None,
     log: _t.Optional[_t.Callable[[str], None]] = None,
+    control_impl: str = "scalar",
 ) -> _t.Dict[str, object]:
     """Fuzz every (seed, policy) pair; return a campaign summary.
 
@@ -494,12 +506,16 @@ def run_fuzz_campaign(
             topology = scenario.build_topology()
             for policy_name in policies:
                 results = [
-                    run_fuzz_case(scenario, policy_name, topology=topology)
+                    run_fuzz_case(
+                        scenario, policy_name, topology=topology,
+                        control_impl=control_impl,
+                    )
                 ]
                 if differential:
                     results.append(
                         run_differential_case(
-                            scenario, policy_name, topology=topology
+                            scenario, policy_name, topology=topology,
+                            control_impl=control_impl,
                         )
                     )
                 for result in results:
@@ -514,7 +530,9 @@ def run_fuzz_campaign(
                         if shrink:
                             minimal = shrink_scenario(
                                 scenario,
-                                failure_predicate(policy_name, result.mode),
+                                failure_predicate(
+                                    policy_name, result.mode, control_impl
+                                ),
                             )
                             record["shrunk_scenario"] = minimal.as_dict()
                         failures.append(record)
@@ -527,6 +545,7 @@ def run_fuzz_campaign(
         "cases": cases,
         "seeds": len(seeds),
         "policies": list(policies),
+        "control_impl": control_impl,
         "failures": failures,
         "ok": not failures,
     }

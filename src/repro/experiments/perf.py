@@ -41,7 +41,7 @@ from repro.experiments.config import (
     smoke_experiment,
 )
 from repro.experiments.runner import CellResult, PolicySummary, run_cell
-from repro.graph.topology import generate_topology
+from repro.graph.topology import TopologySpec, generate_topology
 from repro.obs.profiler import PhaseProfiler
 from repro.systems.simulated import SimulatedSystem, SystemConfig
 
@@ -80,13 +80,17 @@ def measure_kernel(
     warmup: float = 0.5,
     repeats: int = 3,
     seed: int = 0,
+    control_impl: str = "scalar",
+    control_phase_buckets: _t.Optional[int] = None,
 ) -> _t.Dict[str, object]:
     """Events-per-second of the simulation kernel on one fixed workload.
 
     The topology and Tier-1 targets are built once (outside the timed
     region) so the measurement isolates the event kernel + control loops.
     Returns a JSON-ready dict; ``wall_seconds`` is the best of
-    ``repeats`` uninstrumented runs.
+    ``repeats`` uninstrumented runs.  ``control_impl`` selects the
+    Tier-2 step implementation being measured and is recorded alongside
+    the numbers so the trajectory file stays self-describing.
     """
     config_factory = SCALES.get(scale, calibration_experiment)
     experiment = config_factory()
@@ -96,7 +100,12 @@ def measure_kernel(
     targets = solve_global_allocation(
         topology.graph, topology.placement, topology.source_rates
     ).targets
-    system_config = SystemConfig(seed=seed + 1, warmup=warmup)
+    system_config = SystemConfig(
+        seed=seed + 1,
+        warmup=warmup,
+        control_impl=control_impl,
+        control_phase_buckets=control_phase_buckets,
+    )
     policy_obj = policy_by_name(policy)
 
     def build() -> SimulatedSystem:
@@ -135,12 +144,192 @@ def measure_kernel(
     return {
         "scale": scale,
         "policy": policy,
+        "control_impl": control_impl,
+        "control_phase_buckets": control_phase_buckets,
         "sim_seconds": duration + warmup,
         "events": events,
         "wall_seconds": round(wall, 4),
         "events_per_sec": round(events / wall, 1),
         "phase_fractions": phases,
         "repeats": repeats,
+    }
+
+
+# -- extreme-scale curve ----------------------------------------------------
+
+#: Default location of the scale-curve file (repo root).
+BENCH_SCALE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3] / "BENCH_scale.json"
+)
+
+
+def scaled_main_spec(multiplier: int) -> TopologySpec:
+    """The paper's 80-node / 200-PE main topology scaled ``multiplier``x.
+
+    Rate calibration is disabled: at x100 (8,000 nodes / 20,000 PEs) the
+    per-PE SLSQP calibration would dwarf the measurement itself, and the
+    curve compares control-tick cost, not workload realism.
+    """
+    from repro.graph.topology import paper_main_spec
+
+    return paper_main_spec(
+        num_nodes=80 * multiplier,
+        num_ingress=40 * multiplier,
+        num_egress=40 * multiplier,
+        num_intermediate=120 * multiplier,
+        calibrate_rates=False,
+    )
+
+
+def measure_scale_point(
+    multiplier: int,
+    control_impl: str,
+    policy: str = "aces",
+    dt: float = 0.02,
+    ticks: int = 20,
+    buckets: _t.Optional[int] = 8,
+    seed: int = 0,
+) -> _t.Dict[str, object]:
+    """One point of the events/sec-vs-size curve, with phase fractions.
+
+    Runs the scaled main topology for ``ticks`` control intervals under
+    a :class:`PhaseProfiler` and reports both whole-kernel throughput
+    and the controller-tick phase in isolation:
+    ``controller_pe_steps_per_sec`` is per-PE control steps divided by
+    exclusive controller wall time — the number the vectorized engine
+    exists to improve.  Both implementations run the same bucket count
+    so the comparison isolates the array kernels, not loop scheduling.
+    Tier-1 uses the fair-share split (the SLSQP solve is quadratic in
+    PEs and irrelevant to tick cost).
+    """
+    from repro.core.targets import fair_share_targets
+
+    spec = scaled_main_spec(multiplier)
+    topology = generate_topology(spec, np.random.default_rng(seed))
+    targets = fair_share_targets(topology.graph, topology.placement)
+    duration = ticks * dt
+    config = SystemConfig(
+        seed=seed + 1,
+        warmup=0.0,
+        dt=dt,
+        control_impl=control_impl,
+        control_phase_buckets=buckets,
+    )
+    profiler = PhaseProfiler()
+    system = SimulatedSystem(
+        topology,
+        policy_by_name(policy),
+        targets=targets,
+        config=config,
+        profiler=profiler,
+    )
+    start = time.perf_counter()
+    system.run(duration)
+    wall = time.perf_counter() - start
+
+    events = profiler.counts.get("event_dispatch", 0)
+    controller_seconds = profiler.totals.get("controller_tick", 0.0)
+    fractions = profiler.fractions()
+    num_pes = len(topology.placement)
+    pe_steps = sum(
+        controller.ticks * len(controller.records)
+        for controller in system.plane.node_controllers
+    )
+    return {
+        "multiplier": multiplier,
+        "num_nodes": topology.num_nodes,
+        "num_pes": num_pes,
+        "control_impl": system.plane.control_impl,
+        "control_phase_buckets": buckets,
+        "policy": policy,
+        "dt": dt,
+        "ticks": ticks,
+        "sim_seconds": duration,
+        "events": events,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "controller_seconds": round(controller_seconds, 4),
+        "controller_fraction": round(
+            fractions.get("controller_tick", 0.0), 4
+        ),
+        "controller_pe_steps": pe_steps,
+        "controller_pe_steps_per_sec": round(
+            pe_steps / controller_seconds, 1
+        )
+        if controller_seconds > 0
+        else 0.0,
+        "phase_fractions": {
+            name: round(fraction, 4)
+            for name, fraction in sorted(fractions.items())
+        },
+    }
+
+
+def measure_scale_curve(
+    multipliers: _t.Sequence[int] = (1, 10, 30),
+    impls: _t.Sequence[str] = ("scalar", "vector"),
+    policy: str = "aces",
+    dt: float = 0.02,
+    ticks: int = 20,
+    buckets: _t.Optional[int] = 8,
+    seed: int = 0,
+    log: _t.Optional[_t.Callable[[str], None]] = None,
+) -> _t.Dict[str, object]:
+    """The full scalar-vs-vector curve across topology multipliers.
+
+    Returns a JSON-ready dict with one measurement per (multiplier,
+    impl) and, for each multiplier present under both implementations,
+    the controller-tick speedup of vector over scalar.
+    """
+    emit = log if log is not None else (lambda _message: None)
+    points: _t.List[_t.Dict[str, object]] = []
+    for multiplier in multipliers:
+        for impl in impls:
+            emit(f"measuring x{multiplier} {impl} ...")
+            point = measure_scale_point(
+                multiplier,
+                impl,
+                policy=policy,
+                dt=dt,
+                ticks=ticks,
+                buckets=buckets,
+                seed=seed,
+            )
+            emit(
+                f"  x{multiplier} {point['control_impl']}: "
+                f"{point['events_per_sec']} ev/s, controller "
+                f"{point['controller_fraction']:.1%} of wall, "
+                f"{point['controller_pe_steps_per_sec']} PE-steps/s"
+            )
+            points.append(point)
+
+    speedups: _t.Dict[str, float] = {}
+    by_key = {
+        (p["multiplier"], p["control_impl"]): p for p in points
+    }
+    for multiplier in multipliers:
+        scalar = by_key.get((multiplier, "scalar"))
+        vector = by_key.get((multiplier, "vector"))
+        if scalar and vector:
+            scalar_rate = _t.cast(
+                float, scalar["controller_pe_steps_per_sec"]
+            )
+            vector_rate = _t.cast(
+                float, vector["controller_pe_steps_per_sec"]
+            )
+            if scalar_rate > 0:
+                speedups[str(multiplier)] = round(
+                    vector_rate / scalar_rate, 3
+                )
+    return {
+        "schema": BENCH_SCHEMA,
+        "environment": _environment_block(),
+        "policy": policy,
+        "dt": dt,
+        "ticks": ticks,
+        "buckets": buckets,
+        "points": points,
+        "controller_speedup_vector_vs_scalar": speedups,
     }
 
 

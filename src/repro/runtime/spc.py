@@ -67,6 +67,10 @@ class RuntimeConfig:
     #: forever), mirroring ``SystemConfig.feedback_staleness_ttl``.
     feedback_staleness_ttl: _t.Optional[float] = None
     feedback_stale_bound: float = 0.0
+    #: Tier-2 step implementation ("scalar" | "vector"), mirroring
+    #: ``SystemConfig.control_impl``; vector falls back to scalar when
+    #: numpy is unavailable.
+    control_impl: str = "scalar"
 
 
 @dataclass
@@ -117,6 +121,15 @@ class ThreadAdapter:
         return {
             record.pe_id: record.pe.buffer.occupancy for record in records
         }
+
+    def snapshot_list(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        now: float,
+    ) -> _t.List[int]:
+        """:meth:`snapshot` in record order, without the dict round-trip."""
+        return [record.pe.buffer.occupancy for record in records]
 
     def apply_grants(
         self,
@@ -290,6 +303,7 @@ class SPCRuntime:
             feedback_staleness_ttl=config.feedback_staleness_ttl,
             feedback_stale_bound=config.feedback_stale_bound,
             recorder=self.recorder,
+            control_impl=config.control_impl,
         )
         for controller in self.plane.node_controllers:
             self._threads.append(

@@ -74,6 +74,21 @@ class SystemConfig:
     #: targets are pushed into the running schedulers (the paper's
     #: periodic global optimization "to support changing workload").
     reoptimize_interval: _t.Optional[float] = None
+    #: Tier-2 step implementation: "scalar" (per-PE Python loops) or
+    #: "vector" (the array-backed engine in repro.control.vector, with
+    #: automatic scalar fallback when numpy is unavailable or the
+    #: policy uses unsupported scheduler types).
+    control_impl: str = "scalar"
+    #: When set, node control loops are grouped into this many shared
+    #: phase buckets instead of one loop per node: every node in a
+    #: bucket ticks at the same instant (decide-all-then-apply-all via
+    #: ControlPlane.tick_nodes).  This is an explicit semantic choice —
+    #: identical between scalar and vector implementations — that lets
+    #: the vector engine fuse whole buckets into single array passes.
+    #: Feedback policies additionally require a nonzero feedback delay
+    #: (same-instant publication plus per-node offsets would otherwise
+    #: differ).  None (default) keeps per-node staggered loops.
+    control_phase_buckets: _t.Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -102,6 +117,16 @@ class SystemConfig:
             raise ValueError("link_bandwidth must be positive")
         if self.link_latency < 0:
             raise ValueError("link_latency must be >= 0")
+        if self.control_impl not in ("scalar", "vector"):
+            raise ValueError(
+                f"control_impl must be 'scalar' or 'vector', "
+                f"got {self.control_impl!r}"
+            )
+        if (
+            self.control_phase_buckets is not None
+            and self.control_phase_buckets < 1
+        ):
+            raise ValueError("control_phase_buckets must be >= 1")
 
 
 def build_runtimes(

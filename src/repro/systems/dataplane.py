@@ -205,6 +205,16 @@ class SimAdapter:
             record.pe_id: record.pe.buffer.sample(now) for record in records
         }
 
+    def snapshot_list(
+        self,
+        node_index: int,
+        records: _t.Sequence["ControlRecord"],
+        now: float,
+    ) -> _t.List[int]:
+        """:meth:`snapshot` in record order, skipping the dict round-trip
+        (the vector engine's occupancy read)."""
+        return [record.pe.buffer.sample(now) for record in records]
+
     def apply_grants(
         self,
         node_index: int,

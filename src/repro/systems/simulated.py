@@ -132,7 +132,20 @@ class SimulatedSystem:
             recorder=self.recorder,
             tier1=self.tier1,
             profiler=self.profiler,
+            control_impl=config.control_impl,
         )
+        if (
+            config.control_phase_buckets is not None
+            and self.plane.uses_feedback
+            and delay == 0.0
+        ):
+            raise ValueError(
+                "control_phase_buckets requires a nonzero feedback "
+                "delay under feedback policies: nodes ticking at the "
+                "same instant would otherwise see each other's "
+                "same-tick publications, which per-node staggered "
+                "loops never do"
+            )
         self.dataplane = SimDataPlane(
             self.env,
             self.links,
@@ -226,9 +239,36 @@ class SimulatedSystem:
 
     def _start_node_loops(self) -> None:
         num_nodes = len(self.nodes)
+        buckets = self.config.control_phase_buckets
+        if buckets is not None and num_nodes > 0:
+            count = min(buckets, num_nodes)
+            for bucket in range(count):
+                start = (bucket * num_nodes) // count
+                stop = ((bucket + 1) * num_nodes) // count
+                if start == stop:
+                    continue
+                self.env.process(
+                    self._bucket_loop(bucket, count, list(range(start, stop)))
+                )
+            return
         for index, controller in enumerate(self.plane.node_controllers):
             offset = (index + 1) / (num_nodes + 1) * self.config.dt
             self.env.process(self._node_loop(controller, offset, index))
+
+    def _bucket_loop(
+        self, bucket: int, count: int, node_indices: _t.List[int]
+    ) -> _t.Generator:
+        # Phase buckets: contiguous node runs share one tick instant
+        # (decide-all-then-apply-all inside the plane), with the same
+        # staggered-offset idea as per-node loops but between buckets.
+        env = self.env
+        dt = self.config.dt
+        tick_nodes = self.plane.tick_nodes
+        offset = (bucket + 1) / (count + 1) * dt
+        yield env.timeout(offset)
+        while True:
+            tick_nodes(node_indices, env.now)
+            yield env.timeout(dt)
 
     def _node_loop(
         self,

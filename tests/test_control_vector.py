@@ -1,0 +1,545 @@
+"""Scalar-vs-vector control-tick parity: the tentpole guarantee.
+
+``control_impl="vector"`` must be a pure performance knob: every policy,
+substrate, bucket layout, and fault scenario produces bit-identical
+decisions (r_max floats, CPU grants, gate/blocked sets) and byte-identical
+traces compared to the scalar per-PE loops.  These tests pin that
+contract, the scalar-fallback conditions, and the array kernels
+themselves (water-fill, feedback bus, index registry).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.conservation import check_conservation
+from repro.check.oracles import OracleRecorder
+from repro.control.vector import (
+    PEIndexRegistry,
+    VectorFeedbackBus,
+    fallback_reason,
+    numpy_enabled,
+    vector_proportional_fill,
+)
+from repro.core.cpu_control import (
+    AcesCpuScheduler,
+    StrictProportionalScheduler,
+    _proportional_fill,
+)
+from repro.core.feedback import FeedbackBus
+from repro.core.global_opt import solve_global_allocation
+from repro.core.policies import AcesPolicy, LockStepPolicy, UdpPolicy
+from repro.graph.topology import TopologySpec, generate_topology
+from repro.model.sdo import SDO
+from repro.obs.recorder import MemoryRecorder
+from repro.runtime.spc import RuntimeConfig, SPCRuntime
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+DT = 0.02
+BUFFER = 20
+STEPS = 40
+
+POLICY_VARIANTS = {
+    "aces": lambda: AcesPolicy(),
+    "aces-min": lambda: AcesPolicy(aggregation="min"),
+    "aces-prop": lambda: AcesPolicy(controller="proportional"),
+    "aces-strict": lambda: AcesPolicy(scheduler="strict"),
+    "udp": lambda: UdpPolicy(),
+    "lockstep": lambda: LockStepPolicy(),
+}
+
+
+def parity_topology(seed=3):
+    spec = TopologySpec(
+        num_nodes=3,
+        num_ingress=2,
+        num_egress=2,
+        num_intermediate=5,
+        calibrate_rates=False,
+    )
+    return generate_topology(spec, np.random.default_rng(seed))
+
+
+def script_occupancies(pes_by_id, step, now):
+    for pe_index, pe_id in enumerate(sorted(pes_by_id)):
+        pe = pes_by_id[pe_id]
+        for _ in range((pe_index * 3 + step * 7) % 5):
+            sdo = SDO(stream_id=f"script:{pe_id}", origin_time=now)
+            if hasattr(pe, "channel"):  # threaded substrate
+                pe.channel.offer(sdo)
+            else:
+                pe.ingest(sdo, now)
+
+
+def drive(plane, pes_by_id):
+    """Scripted decision trace: (node, grants, r_max, blocked) per tick."""
+    decisions = []
+    for step in range(STEPS):
+        now = (step + 1) * DT
+        script_occupancies(pes_by_id, step, now)
+        for controller in plane.node_controllers:
+            grants = controller.control(now)
+            r_max = {
+                record.pe_id: record.controller.last_r_max
+                for record in controller.records
+                if record.controller is not None
+            }
+            decisions.append(
+                (
+                    controller.node_id,
+                    dict(grants),
+                    r_max,
+                    controller.last_blocked,
+                )
+            )
+    return decisions
+
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_enabled(), reason="vector path requires numpy"
+)
+
+
+# -- scripted-drive parity ----------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize("variant", sorted(POLICY_VARIANTS))
+def test_scripted_drive_parity_simulated(variant):
+    topology = parity_topology()
+    factory = POLICY_VARIANTS[variant]
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    decisions = {}
+    for impl in ("scalar", "vector"):
+        system = SimulatedSystem(
+            topology,
+            factory(),
+            targets=targets,
+            config=SystemConfig(
+                buffer_size=BUFFER,
+                dt=DT,
+                feedback_delay=0.0,
+                seed=5,
+                control_impl=impl,
+            ),
+        )
+        if impl == "vector" and not os.environ.get("REPRO_FORCE_SCALAR"):
+            assert system.plane.control_impl == "vector", (
+                system.plane.vector_fallback_reason
+            )
+        decisions[impl] = drive(system.plane, system.runtimes)
+    assert len(decisions["scalar"]) == len(decisions["vector"]) > 0
+    assert decisions["scalar"] == decisions["vector"]
+
+
+@needs_numpy
+@pytest.mark.parametrize("variant", ["aces", "aces-strict", "udp", "lockstep"])
+def test_scripted_drive_parity_threaded(variant):
+    topology = parity_topology()
+    factory = POLICY_VARIANTS[variant]
+    decisions = {}
+    for impl in ("scalar", "vector"):
+        runtime = SPCRuntime(
+            topology,
+            factory(),
+            config=RuntimeConfig(
+                buffer_size=BUFFER, dt=DT, seed=5, control_impl=impl
+            ),
+        )
+        decisions[impl] = drive(runtime.plane, runtime.pes)
+    assert decisions["scalar"] == decisions["vector"]
+
+
+# -- full-run parity -----------------------------------------------------
+
+
+def report_key(report):
+    return (
+        report.weighted_throughput,
+        report.total_output_sdos,
+        report.buffer_drops,
+    )
+
+
+def run_pair(policy_factory, *, duration=1.0, recorders=None, **overrides):
+    """Run the same system scalar and vector; return both reports."""
+    topology = parity_topology()
+    reports = {}
+    for impl in ("scalar", "vector"):
+        params = dict(dt=0.01, warmup=0.1, seed=3, control_impl=impl)
+        params.update(overrides)
+        recorder = recorders[impl] if recorders is not None else None
+        system = SimulatedSystem(
+            topology,
+            policy_factory(),
+            config=SystemConfig(**params),
+            recorder=recorder,
+        )
+        reports[impl] = system.run(duration)
+    return reports
+
+
+@needs_numpy
+@pytest.mark.parametrize("variant", ["aces", "udp", "lockstep"])
+def test_full_run_report_parity(variant):
+    reports = run_pair(POLICY_VARIANTS[variant])
+    assert report_key(reports["scalar"]) == report_key(reports["vector"])
+
+
+@needs_numpy
+@pytest.mark.parametrize("variant", ["aces", "aces-min", "udp"])
+def test_full_run_parity_bucketed(variant):
+    reports = run_pair(POLICY_VARIANTS[variant], control_phase_buckets=4)
+    assert report_key(reports["scalar"]) == report_key(reports["vector"])
+
+
+@needs_numpy
+def test_trace_byte_equality():
+    recorders = {"scalar": MemoryRecorder(), "vector": MemoryRecorder()}
+    run_pair(POLICY_VARIANTS["aces"], recorders=recorders)
+    scalar = [
+        json.dumps(e, sort_keys=True, default=str)
+        for e in recorders["scalar"].events
+    ]
+    vector = [
+        json.dumps(e, sort_keys=True, default=str)
+        for e in recorders["vector"].events
+    ]
+    assert len(scalar) > 0
+    assert scalar == vector
+
+
+# -- bucketed semantics --------------------------------------------------
+
+
+def test_bucket_guard_rejects_feedback_with_zero_delay():
+    topology = parity_topology()
+    with pytest.raises(ValueError, match="feedback"):
+        SimulatedSystem(
+            topology,
+            AcesPolicy(),
+            config=SystemConfig(
+                dt=0.01,
+                feedback_delay=0.0,
+                control_phase_buckets=2,
+                seed=3,
+            ),
+        )
+
+
+def test_buckets_allowed_without_feedback():
+    topology = parity_topology()
+    system = SimulatedSystem(
+        topology,
+        UdpPolicy(),
+        config=SystemConfig(
+            dt=0.01,
+            warmup=0.1,
+            feedback_delay=0.0,
+            control_phase_buckets=2,
+            seed=3,
+        ),
+    )
+    report = system.run(0.5)
+    assert report.total_output_sdos >= 0
+
+
+# -- fallback ------------------------------------------------------------
+
+
+def test_force_scalar_env_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_SCALAR", "1")
+    system = SimulatedSystem(
+        parity_topology(),
+        AcesPolicy(),
+        config=SystemConfig(dt=0.01, warmup=0.1, seed=3, control_impl="vector"),
+    )
+    assert system.plane.control_impl == "scalar"
+    assert "REPRO_FORCE_SCALAR" in system.plane.vector_fallback_reason
+
+
+def test_fallback_reason_unknown_scheduler(monkeypatch):
+    monkeypatch.delenv("REPRO_FORCE_SCALAR", raising=False)
+
+    class WeirdScheduler:
+        pass
+
+    reason = fallback_reason([WeirdScheduler()], uses_feedback=True)
+    if numpy_enabled():
+        assert reason is not None and "WeirdScheduler" in reason
+    else:
+        assert reason is not None and "numpy" in reason
+
+
+@needs_numpy
+def test_fallback_reason_mixed_and_gated_tokens(monkeypatch):
+    monkeypatch.delenv("REPRO_FORCE_SCALAR", raising=False)
+    aces = object.__new__(AcesCpuScheduler)
+    strict = object.__new__(StrictProportionalScheduler)
+    assert fallback_reason([aces, strict], uses_feedback=True) is not None
+    assert fallback_reason([aces], uses_feedback=False) is not None
+    assert fallback_reason([aces], uses_feedback=True) is None
+    assert fallback_reason([strict], uses_feedback=False) is None
+
+
+def test_config_rejects_unknown_impl():
+    with pytest.raises(ValueError, match="control_impl"):
+        SystemConfig(control_impl="turbo")
+
+
+# -- oracles and conservation under vector -------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "variant,buckets",
+    [("aces", None), ("aces", 3), ("aces-strict", None), ("lockstep", None)],
+)
+def test_vector_runs_clean_under_strict_oracles(variant, buckets):
+    topology = parity_topology()
+    oracle = OracleRecorder(strict=True)
+    system = SimulatedSystem(
+        topology,
+        POLICY_VARIANTS[variant](),
+        config=SystemConfig(
+            dt=0.01,
+            warmup=0.1,
+            seed=3,
+            control_impl="vector",
+            control_phase_buckets=buckets,
+        ),
+        recorder=oracle,
+    )
+    oracle.attach_plane(system.plane)
+    system.run(0.8)
+    assert oracle.violations == []
+    assert check_conservation(system) == []
+
+
+# -- array kernels -------------------------------------------------------
+
+
+@needs_numpy
+@settings(
+    max_examples=100, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    budget=st.floats(min_value=0.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_water_fill_parity(n, budget, seed):
+    """vector_proportional_fill drives the same kernel the engine uses
+    and must agree element-wise (bit-exact) with _proportional_fill."""
+    rng = np.random.default_rng(seed)
+    keys = [f"pe-{i}" for i in range(n)]
+    demands = {k: float(d) for k, d in zip(keys, rng.uniform(0, 20, n))}
+    # Mix zero demands/weights in to hit the inactive-lane branches.
+    for k in keys:
+        if rng.random() < 0.3:
+            demands[k] = 0.0
+    weights = {k: float(w) for k, w in zip(keys, rng.uniform(0, 5, n))}
+    scalar = _proportional_fill(demands, weights, budget)
+    vector = vector_proportional_fill(demands, weights, budget)
+    assert set(scalar) == set(vector)
+    for k in scalar:
+        assert scalar[k] == vector[k], (k, scalar[k], vector[k])
+
+
+@needs_numpy
+def test_vector_feedback_bus_matches_scalar_bus():
+    """Delayed and jittered publishes settle to identical reads."""
+
+    class _PE:
+        def __init__(self, pe_id):
+            self.pe_id = pe_id
+            self.downstream = []
+
+    class _Group:
+        def __init__(self, pes):
+            self.pes = pes
+
+    pes = [_PE(f"pe-{i}") for i in range(4)]
+    registry = PEIndexRegistry([_Group(pes)])
+    vec = VectorFeedbackBus(registry, delay=0.05)
+    ref = FeedbackBus(delay=0.05)
+
+    publications = [
+        (0.0, "pe-0", 5.0, 0.0),
+        (0.0, "pe-1", 3.0, 0.02),  # jittered: lands later
+        (0.1, "pe-0", 7.0, 0.0),
+        (0.1, "pe-2", 1.0, 0.0),
+        (0.15, "pe-1", 9.0, 0.0),
+    ]
+    probes = [0.04, 0.06, 0.11, 0.16, 0.25]
+    for bus in (vec, ref):
+        for when, pe_id, value, extra in publications:
+            bus.publish(pe_id, value, when, extra_delay=extra)
+    for now in probes:
+        for pe_id in ("pe-0", "pe-1", "pe-2", "pe-3"):
+            assert vec.latest(pe_id, now) == ref.latest(pe_id, now), (
+                now,
+                pe_id,
+            )
+        ids = ("pe-0", "pe-1", "pe-3")
+        assert vec.max_downstream_rate(ids, now) == ref.max_downstream_rate(
+            ids, now
+        )
+        assert vec.min_downstream_rate(ids, now) == ref.min_downstream_rate(
+            ids, now
+        )
+    assert vec.publishes == ref.publishes
+
+
+@needs_numpy
+def test_index_registry_dedupes_downstream_edges():
+    class _PE:
+        def __init__(self, pe_id):
+            self.pe_id = pe_id
+            self.downstream = []
+
+    class _Group:
+        def __init__(self, pes):
+            self.pes = pes
+
+    a, b, c = _PE("a"), _PE("b"), _PE("c")
+    a.downstream = [b, c, b]  # duplicate edge a->b
+    groups = [_Group([a, b]), _Group([c])]
+    registry = PEIndexRegistry(groups)
+    assert registry.ids == ["a", "b", "c"]
+    assert len(registry) == 3
+    # Node-major slices.
+    assert registry.node_slices == [slice(0, 2), slice(2, 3)]
+    # CSR row for 'a' holds each downstream once, insertion-ordered.
+    start, stop = registry.down_indptr[0], registry.down_indptr[1]
+    assert list(registry.down_indices[start:stop]) == [
+        registry.index["b"],
+        registry.index["c"],
+    ]
+
+
+# -- satellite: scalar-tick record dedupe --------------------------------
+
+
+def test_control_record_downstream_ids_deduped():
+    """ControlRecord.downstream_ids holds each downstream PE once, in
+    first-seen order, even when the graph wires duplicate edges."""
+    from repro.control.node import ControlRecord
+
+    class _PE:
+        def __init__(self, pe_id, downstream=()):
+            self.pe_id = pe_id
+            self.downstream = list(downstream)
+
+    b, c = _PE("b"), _PE("c")
+    record = ControlRecord(
+        _PE("a", [b, c, b, c, b]), gate=None, controller=None, cpu_target=0.1
+    )
+    assert record.downstream_ids == ("b", "c")
+
+    rebuilt = SimulatedSystem(
+        parity_topology(),
+        AcesPolicy(),
+        config=SystemConfig(dt=0.01, warmup=0.1, seed=3),
+    )
+    for ctrl in rebuilt.plane.node_controllers:
+        for rec in ctrl.records:
+            assert len(rec.downstream_ids) == len(set(rec.downstream_ids))
+            expected = tuple(
+                dict.fromkeys(
+                    d.pe_id for d in rebuilt.runtimes[rec.pe_id].downstream
+                )
+            )
+            assert rec.downstream_ids == expected
+
+
+@needs_numpy
+def test_chaos_fault_injection_parity():
+    """LossyFeedbackBus swap + node slowdown stay bit-exact: the engine
+    detects the foreign bus per tick and mirrors scalar read order."""
+    from repro.systems.faults import FaultPlan
+
+    topology = parity_topology()
+    reports = {}
+    for impl in ("scalar", "vector"):
+        plan = (
+            FaultPlan()
+            .feedback_loss(probability=0.5, start=0.2, duration=0.3)
+            .node_slowdown(node_index=1, factor=0.5, start=0.3, duration=0.3)
+            .feedback_delay(
+                multiplier=3.0, start=0.7, duration=0.2, jitter=0.005
+            )
+        )
+        system = SimulatedSystem(
+            topology,
+            AcesPolicy(),
+            config=SystemConfig(
+                dt=0.01, warmup=0.1, seed=3, control_impl=impl
+            ),
+        )
+        plan.attach(system)
+        reports[impl] = system.run(1.2)
+    assert report_key(reports["scalar"]) == report_key(reports["vector"])
+
+
+@needs_numpy
+def test_suspend_resume_parity():
+    topology = parity_topology()
+    reports = {}
+    for impl in ("scalar", "vector"):
+        system = SimulatedSystem(
+            topology,
+            AcesPolicy(),
+            config=SystemConfig(
+                dt=0.01, warmup=0.1, seed=3, control_impl=impl
+            ),
+        )
+
+        def pauser(system=system):
+            yield system.env.timeout(0.3)
+            system.plane.suspend_node(2)
+            yield system.env.timeout(0.3)
+            system.plane.resume_node(2)
+
+        system.env.process(pauser())
+        reports[impl] = system.run(1.0)
+    assert report_key(reports["scalar"]) == report_key(reports["vector"])
+
+
+@needs_numpy
+def test_empty_node_group_runs():
+    """A placement can leave a node with zero PEs; the vector tick must
+    treat its (empty) group as a no-op, exactly like the scalar loop.
+    Regression: fuzz seed 3 hit an IndexError building the group."""
+    spec = TopologySpec(
+        num_nodes=4,
+        num_ingress=1,
+        num_egress=1,
+        num_intermediate=1,
+        calibrate_rates=False,
+    )
+    topology = generate_topology(spec, np.random.default_rng(3))
+    reports = {}
+    for impl in ("scalar", "vector"):
+        system = SimulatedSystem(
+            topology,
+            AcesPolicy(),
+            config=SystemConfig(
+                dt=0.01, warmup=0.1, seed=3, control_impl=impl
+            ),
+        )
+        reports[impl] = system.run(0.6)
+    assert report_key(reports["scalar"]) == report_key(reports["vector"])
+
+
+@needs_numpy
+def test_reoptimize_parity():
+    reports = run_pair(POLICY_VARIANTS["aces"], reoptimize_interval=0.3)
+    assert report_key(reports["scalar"]) == report_key(reports["vector"])
