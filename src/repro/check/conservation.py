@@ -16,9 +16,11 @@ per PE
     ``popped == consumed + in_progress`` and ``cpu_used <= cpu_granted``.
 
 globally
-    ``sum(offered) == sum(generated) + emit_attempts - shed_drops``
-    (the only entry points are workload sources and upstream emissions,
-    and a shed SDO never reaches a buffer);
+    ``sum(offered) == sum(generated) + emit_attempts - shed_drops -
+    admission_shed - admission_rejected``
+    (the only entry points are workload sources and upstream emissions;
+    a shed SDO never reaches a buffer, and SDOs the admission front end
+    turns away never reach the data plane at all);
     ``sum(emitted * fan_out) over non-egress PEs ==
     emit_attempts + in-flight non-egress deliveries``; and
     ``sum(emitted) over egress PEs ==
@@ -127,16 +129,66 @@ def check_conservation(
                 pending_internal += 1
 
     total_generated = sum(source.stats.generated for source in system.sources)
+    admission = getattr(system.plane, "admission", None)
+    admission_shed = admission.total_shed if admission is not None else 0
+    admission_rejected = (
+        admission.total_rejected if admission is not None else 0
+    )
     expected_offered = (
-        total_generated + dataplane.emit_attempts - dataplane.shed_drops
+        total_generated
+        + dataplane.emit_attempts
+        - dataplane.shed_drops
+        - admission_shed
+        - admission_rejected
     )
     if total_offered != expected_offered:
         violate(
             "global_offer_conservation",
             f"sum(offered)={total_offered} != generated={total_generated}"
             f" + emit_attempts={dataplane.emit_attempts}"
-            f" - shed_drops={dataplane.shed_drops}",
+            f" - shed_drops={dataplane.shed_drops}"
+            f" - admission_shed={admission_shed}"
+            f" - admission_rejected={admission_rejected}",
         )
+
+    if admission is not None:
+        # Admission decision ledger: every generated SDO got exactly one
+        # verdict, per stream and in total, and the per-stream breakdown
+        # sums exactly to the totals.
+        decisions = 0
+        for pe_id, stream in sorted(admission.streams.items()):
+            decisions += stream.decisions
+            source_generated = next(
+                (
+                    s.stats.generated
+                    for s in system.sources
+                    if s.stream_id == f"src:{pe_id}"
+                ),
+                None,
+            )
+            if (
+                source_generated is not None
+                and stream.decisions != source_generated
+            ):
+                violate(
+                    "admission_decision_conservation",
+                    f"decisions={stream.decisions} (admitted="
+                    f"{stream.admitted} + shed={stream.shed} + rejected="
+                    f"{stream.rejected}) != generated={source_generated}",
+                    pe=pe_id,
+                )
+        expected_totals = (
+            admission.total_admitted + admission_shed + admission_rejected
+        )
+        if decisions != expected_totals or decisions != total_generated:
+            violate(
+                "admission_breakdown_conservation",
+                f"sum(per-stream decisions)={decisions} != "
+                f"admitted={admission.total_admitted}"
+                f" + shed={admission_shed}"
+                f" + rejected={admission_rejected}"
+                f" (= {expected_totals}), generated={total_generated}",
+            )
 
     if fanout_emissions != dataplane.emit_attempts + pending_internal:
         violate(

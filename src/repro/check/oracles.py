@@ -22,6 +22,17 @@ emitting trace events:
   control events at all.
 * **Tier-1 targets** — the allocation targets in effect always satisfy
   the per-node capacity constraint ``sum_j c̄_j <= capacity``.
+* **Admission ladder** (when the plane carries an admission front end) —
+  every ``admission_level`` event respects the ladder contract: automatic
+  transitions are monotonic downgrades (recovery moves exactly one rank
+  up), no two ladder transitions fall within one ``min_dwell`` window,
+  transitions are consistent with the hysteresis band they claim
+  (adaptive moves only at/above the target level's enter threshold,
+  recoveries only at/below the left level's exit threshold), the kill
+  switch always resolves to ``KILL``, and ``KILL`` is never entered
+  adaptively.  ``shed``/``reject`` events are only legal at the levels
+  that shed/reject.  The enter/exit bands themselves are validated once
+  at attach time.
 
 :class:`OracleRecorder` is a :class:`~repro.obs.recorder.TraceRecorder`:
 arm it by passing it as the ``recorder`` of a simulated system, threaded
@@ -46,9 +57,11 @@ import typing as _t
 from collections import Counter, deque
 from dataclasses import dataclass
 
+from repro.control.admission import ADAPTIVE_LEVELS, AdmissionLevel
 from repro.obs.recorder import TraceFilter, TraceRecorder
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.admission import AdmissionController
     from repro.control.plane import ControlPlane, PlaneInspection
 
 _INF = float("inf")
@@ -158,6 +171,13 @@ class OracleRecorder(TraceRecorder):
         #: mutated in place per event.
         self._grant_groups: _t.Dict[str, _t.List[float]] = {}
         self._paused: _t.Sequence[bool] = ()
+        #: The plane's admission front end, when armed.
+        self._admission: _t.Optional["AdmissionController"] = None
+        #: Rank of the last effective level seen in events.
+        self._adm_last_rank = 0
+        #: Time of the last *ladder* transition (adaptive/recovery,
+        #: shadowed or not); operator actions don't reset the dwell.
+        self._adm_last_ladder_t: _t.Optional[float] = None
         if plane is not None:
             self.attach_plane(plane)
 
@@ -205,6 +225,29 @@ class OracleRecorder(TraceRecorder):
             )
             for pe_id, node_id in inspection.node_of.items()
         }
+
+        self._admission = getattr(inspection, "admission", None)
+        self._adm_last_rank = 0
+        self._adm_last_ladder_t = None
+        if self._admission is not None:
+            # Static hysteresis-band validation: a malformed band (enter
+            # at or below exit, or non-increasing enters) lets pressure
+            # hovering at one value trigger repeated transitions, which
+            # is precisely what hysteresis exists to exclude.
+            config = self._admission.config
+            for index, level in enumerate(ADAPTIVE_LEVELS):
+                if config.enter[index] <= config.exit[index]:
+                    self.record_violation(
+                        "admission_band_consistency", "ladder hysteresis",
+                        f"{level.name}: enter={config.enter[index]} is not "
+                        f"strictly above exit={config.exit[index]}",
+                    )
+                if index and config.enter[index] <= config.enter[index - 1]:
+                    self.record_violation(
+                        "admission_band_consistency", "ladder hysteresis",
+                        f"enter thresholds not strictly increasing: "
+                        f"{config.enter}",
+                    )
 
     def bind_clock(self, clock: _t.Callable[[], float]) -> None:
         super().bind_clock(clock)
@@ -455,6 +498,152 @@ class OracleRecorder(TraceRecorder):
             # Eq. 4 on the targets in effect whenever Tier 1 (re-)solves.
             if self._inspection is not None:
                 self.check_targets(t=event["t"])
+
+        elif kind == "admission_level":
+            t = event["t"]
+            cause = event["cause"]
+            try:
+                rank = int(AdmissionLevel[event["level"]])
+                prev_rank = int(AdmissionLevel[event["prev"]])
+            except KeyError:
+                self.record_violation(
+                    "admission_level_known", "ladder levels",
+                    f"unknown level in {event['prev']!r} -> "
+                    f"{event['level']!r}",
+                    t=t,
+                )
+                rank = prev_rank = -1
+            is_ladder_move = cause in ("adaptive", "recovery")
+            if rank >= 0:
+                if cause == "adaptive":
+                    # Monotonic-downgrade-only, and never into KILL.
+                    if rank <= prev_rank:
+                        self.record_violation(
+                            "admission_monotonic_downgrade",
+                            "ladder monotonicity",
+                            f"adaptive move {event['prev']} -> "
+                            f"{event['level']} does not increase rank",
+                            t=t,
+                        )
+                    if rank >= int(AdmissionLevel.KILL):
+                        self.record_violation(
+                            "admission_kill_adaptive", "ladder priority",
+                            "KILL entered by an adaptive transition",
+                            t=t,
+                        )
+                elif cause == "recovery":
+                    if prev_rank - rank != 1:
+                        self.record_violation(
+                            "admission_recovery_single_step",
+                            "ladder monotonicity",
+                            f"recovery {event['prev']} -> {event['level']} "
+                            f"is not exactly one rank down",
+                            t=t,
+                        )
+                if cause == "kill" and rank != int(AdmissionLevel.KILL):
+                    self.record_violation(
+                        "admission_priority", "ladder priority",
+                        f"kill switch resolved to {event['level']}, "
+                        f"not KILL",
+                        t=t,
+                    )
+                admission = self._admission
+                if (
+                    self.strict
+                    and admission is not None
+                    and not event.get("shadowed", False)
+                ):
+                    # Priority resolver consistency against the live
+                    # controller (events are checked synchronously at
+                    # emit time under serialized execution).
+                    if admission.kill_switch and rank != int(
+                        AdmissionLevel.KILL
+                    ):
+                        self.record_violation(
+                            "admission_priority", "ladder priority",
+                            f"effective level {event['level']} while the "
+                            f"kill switch is engaged",
+                            t=t,
+                        )
+                    elif (
+                        not admission.kill_switch
+                        and admission.manual_level is not None
+                        and rank != int(admission.manual_level)
+                    ):
+                        self.record_violation(
+                            "admission_priority", "ladder priority",
+                            f"effective level {event['level']} while "
+                            f"manual override pins "
+                            f"{admission.manual_level.name}",
+                            t=t,
+                        )
+            if is_ladder_move:
+                admission = self._admission
+                if admission is not None:
+                    config = admission.config
+                    last = self._adm_last_ladder_t
+                    if last is not None:
+                        gap = t - last
+                        slack = tolerance * max(1.0, config.min_dwell)
+                        if gap < config.min_dwell - slack:
+                            self.record_violation(
+                                "admission_dwell", "ladder dwell time",
+                                f"ladder transitions {gap:.6f}s apart "
+                                f"(min_dwell={config.min_dwell})",
+                                t=t,
+                            )
+                    self._adm_last_ladder_t = t
+                    # Hysteresis consistency: the claimed pressure must
+                    # actually cross the band the transition cites.
+                    pressure = event["pressure"]
+                    slack = tolerance
+                    if cause == "adaptive" and 0 < rank <= int(
+                        AdmissionLevel.REJECT
+                    ):
+                        threshold = config.enter_threshold(
+                            AdmissionLevel(rank)
+                        )
+                        if pressure < threshold - slack:
+                            self.record_violation(
+                                "admission_hysteresis", "ladder hysteresis",
+                                f"adaptive move to {event['level']} at "
+                                f"pressure {pressure} below enter "
+                                f"threshold {threshold}",
+                                t=t,
+                            )
+                    elif cause == "recovery" and 0 < prev_rank <= int(
+                        AdmissionLevel.REJECT
+                    ):
+                        threshold = config.exit_threshold(
+                            AdmissionLevel(prev_rank)
+                        )
+                        if pressure > threshold + slack:
+                            self.record_violation(
+                                "admission_hysteresis", "ladder hysteresis",
+                                f"recovery from {event['prev']} at "
+                                f"pressure {pressure} above exit "
+                                f"threshold {threshold}",
+                                t=t,
+                            )
+            if rank >= 0 and not event.get("shadowed", False):
+                self._adm_last_rank = rank
+
+        elif kind == "shed":
+            # Shedding is only legal at the shedding levels.
+            if event["level"] not in ("SHED_LOW", "SHED_HIGH"):
+                self.record_violation(
+                    "admission_shed_level", "ladder levels",
+                    f"shed at level {event['level']}",
+                    t=event["t"], pe=event["pe"],
+                )
+
+        elif kind == "reject":
+            if event["level"] not in ("REJECT", "KILL"):
+                self.record_violation(
+                    "admission_reject_level", "ladder levels",
+                    f"reject at level {event['level']}",
+                    t=event["t"], pe=event["pe"],
+                )
 
         sink = self.sink
         if sink is not None:

@@ -11,6 +11,7 @@ Commands
 ``figure``    regenerate one of the paper's figures/claims
 ``calibrate`` run the simulator-vs-threaded-runtime comparison
 ``chaos``     run the resilience fault matrix (MTTR, utility retention)
+``admit``     run the admission burst matrix (plain vs ACES + admission)
 ``fuzz``      seeded scenario fuzzing with invariant oracles armed
 
 Examples::
@@ -22,6 +23,7 @@ Examples::
     python -m repro trace --check --duration 5
     python -m repro figure fig5
     python -m repro chaos --smoke --output BENCH_resilience.json
+    python -m repro admit --smoke --output BENCH_admission.json
     python -m repro fuzz --seeds 100 --output fuzz.jsonl
 """
 
@@ -536,6 +538,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         warmup=warmup,
         seed=args.seed,
         jobs=args.jobs or 1,
+        admission=args.admission,
     )
     write_resilience_bench(results, args.output)
 
@@ -543,11 +546,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         {
             "scenario": cell["scenario"],
             "policy": cell["policy"],
+            "admission": "on" if cell["admission"] else "off",
             "retention": cell["utility_retention"],
             "mttr": cell["mttr"],
             "drops": cell["drops"],
             "stale": cell["events"]["feedback_stale"],
             "fallback": cell["events"]["tier1_fallback"],
+            "ladder": len(cell["ladder_timeline"]),
             "error": cell["error"] or "-",
         }
         for cell in results["cells"]
@@ -569,6 +574,73 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"unrecovered={len(unrecovered)} -> {args.output}"
     )
     return 1 if errors else 0
+
+
+def cmd_admit(args: argparse.Namespace) -> int:
+    from repro.experiments.admission import (
+        run_admission_matrix,
+        write_admission_bench,
+    )
+
+    if args.smoke:
+        workloads = ["squarewave"]
+        lambdas: _t.List[float] = [10.0]
+        duration, warmup = 10.0, 2.0
+    else:
+        workloads = [name.strip() for name in args.workloads.split(",")]
+        lambdas = [float(value) for value in args.lambdas.split(",")]
+        duration, warmup = args.duration, args.warmup
+
+    results = run_admission_matrix(
+        workloads=workloads,
+        lambdas=lambdas,
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+        slo_p95=args.slo,
+    )
+    write_admission_bench(results, args.output)
+
+    rows = [
+        {
+            "workload": cell["workload"],
+            "lambda_s": cell["lambda_s"],
+            "mode": cell["mode"],
+            "worst_p95_ms": cell["worst_stream_p95"] * 1000.0,
+            "slo_met": cell["slo_met"],
+            "wutil": cell["weighted_utility"],
+            "retention": (
+                cell["utility_retention"]
+                if cell["utility_retention"] is not None
+                else "-"
+            ),
+            "shed": cell["admission_shed"],
+            "rejected": cell["admission_rejected"],
+            "trans": cell["ladder_transitions"],
+            "osc": cell["ladder_oscillations"],
+            "violations": len(cell["violations"]),
+            "error": cell["error"] or "-",
+        }
+        for cell in results["cells"]
+    ]
+    print_table(
+        rows,
+        title=(
+            f"admission burst matrix (SLO p95 <= "
+            f"{results['slo_p95'] * 1000:.0f}ms)"
+        ),
+        precision=3,
+    )
+    summary = results["summary"]
+    print(
+        f"cells={len(results['cells'])} "
+        f"plain_slo_violations={summary['plain_slo_violations']} "
+        f"held={summary['admission_cells_held']} "
+        f"oscillations={summary['total_oscillations']} "
+        f"violations={summary['total_violations']} "
+        f"errors={summary['errors']} -> {args.output}"
+    )
+    return 0 if summary["clean"] else 1
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -851,7 +923,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="reduced CI matrix: small topology, short run, ACES only",
     )
+    chaos.add_argument(
+        "--admission", action="store_true",
+        help=(
+            "double the matrix: run every cell plain AND with the "
+            "SLO-aware admission front end armed (admission cells carry "
+            "the degradation-ladder timeline)"
+        ),
+    )
     chaos.set_defaults(handler=cmd_chaos)
+
+    admit = subparsers.add_parser(
+        "admit",
+        help="admission burst matrix (plain ACES vs ACES + admission)",
+        description=(
+            "Run burst workloads (square-wave and flash-crowd sources) at "
+            "several Fig. 5 burstiness scales, plain and with the "
+            "SLO-aware admission front end armed, with strict invariant "
+            "oracles watching every cell, and write the matrix to a JSON "
+            "benchmark file.  Exits nonzero on any SLO defense failure, "
+            "ladder oscillation, or invariant violation."
+        ),
+    )
+    admit.add_argument(
+        "--workloads", default="squarewave,flashcrowd",
+        help="comma-separated burst workload kinds",
+    )
+    admit.add_argument(
+        "--lambdas", default="5,10,25",
+        help="comma-separated lambda_s burstiness scales",
+    )
+    admit.add_argument(
+        "--duration", type=float, default=15.0, help="measured seconds"
+    )
+    admit.add_argument(
+        "--warmup", type=float, default=2.0, help="warm-up seconds"
+    )
+    admit.add_argument(
+        "--slo", type=float, default=2.5, metavar="SECONDS",
+        help="end-to-end p95 SLO the front end defends (default 2.5)",
+    )
+    admit.add_argument("--seed", type=int, default=0, help="matrix seed")
+    admit.add_argument(
+        "--output", default="BENCH_admission.json", metavar="PATH",
+        help="benchmark JSON output file",
+    )
+    admit.add_argument(
+        "--smoke", action="store_true",
+        help="reduced CI matrix: one workload, one lambda_s, short run",
+    )
+    admit.set_defaults(handler=cmd_admit)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="simulator vs threaded runtime"

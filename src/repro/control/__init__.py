@@ -31,6 +31,13 @@ the scalar controllers.
 """
 
 from repro.control.adapter import BufferLike, PELike, SystemAdapter
+from repro.control.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionLevel,
+    DegradationLadder,
+    LadderTransition,
+)
 from repro.control.node import ControlRecord, NodeController
 from repro.control.plane import (
     ControlPlane,
@@ -51,9 +58,14 @@ from repro.control.vector import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionLevel",
     "BufferLike",
     "ControlPlane",
     "ControlRecord",
+    "DegradationLadder",
+    "LadderTransition",
     "NodeController",
     "NodeGroup",
     "PEIndexRegistry",

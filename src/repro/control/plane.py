@@ -24,6 +24,7 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.control.adapter import GateFn, PELike, SystemAdapter
+from repro.control.admission import AdmissionController
 from repro.control.node import ControlRecord, NodeController
 from repro.control.vector import (
     PEIndexRegistry,
@@ -89,6 +90,8 @@ class PlaneInspection:
     paused: _t.Sequence[bool]
     #: The plane itself, for targets/policy metadata reads.
     plane: "ControlPlane"
+    #: The admission front end, when armed (None otherwise).
+    admission: _t.Optional[AdmissionController] = None
 
 
 @dataclass
@@ -171,6 +174,7 @@ class ControlPlane:
         tier1: _t.Optional[ResilientTier1] = None,
         profiler: _t.Optional[_t.Any] = None,
         control_impl: str = "scalar",
+        admission: _t.Optional[AdmissionController] = None,
     ):
         if control_impl not in ("scalar", "vector"):
             raise ValueError(
@@ -186,6 +190,12 @@ class ControlPlane:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.tier1 = tier1
         self.profiler = profiler
+        #: Optional SLO-aware admission front end; ticked by the
+        #: substrate through :meth:`tick_admission` alongside the node
+        #: loops, armed identically in sim and threaded runs.
+        self.admission = admission
+        if admission is not None:
+            admission.recorder = self.recorder
 
         #: Behavioural constants, resolved from the policy exactly once.
         self.uses_feedback = policy.uses_feedback
@@ -423,6 +433,15 @@ class ControlPlane:
                 controller.dt, controller.scheduler.settle,
             )
 
+    def tick_admission(self, now: float) -> None:
+        """Advance the admission front end one control interval.
+
+        A no-op on planes built without admission, so substrate loops
+        can call it unconditionally.
+        """
+        if self.admission is not None:
+            self.admission.tick(now)
+
     # -- Tier-1 interaction --------------------------------------------------
 
     def adopt_targets(self, targets: AllocationTargets) -> None:
@@ -499,6 +518,7 @@ class ControlPlane:
             },
             paused=self.paused,
             plane=self,
+            admission=self.admission,
         )
 
     def register_gauges(
@@ -521,6 +541,12 @@ class ControlPlane:
                         lambda s=scheduler, p=pe.pe_id: s.token_level(p),
                         pe=pe.pe_id,
                     )
+        admission = self.admission
+        if admission is not None:
+            gauges.register(
+                "admission_level",
+                lambda a=admission: float(int(a.effective_level)),
+            )
         controllers = self.controllers
         ids = controllers.keys() if pe_order is None else pe_order
         for pe_id in ids:

@@ -12,9 +12,15 @@
   calibration experiment (Section VI-C);
 * :mod:`repro.experiments.resilience` — the chaos/fault matrix measuring
   utility retention, MTTR, and drops under injected faults;
+* :mod:`repro.experiments.admission` — the burst matrix comparing plain
+  ACES against ACES with the SLO-aware admission front end;
 * :mod:`repro.experiments.reporting` — plain-text rendering of results.
 """
 
+from repro.experiments.admission import (
+    run_admission_matrix,
+    write_admission_bench,
+)
 from repro.experiments.calibration import run_calibration
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.resilience import (
@@ -39,9 +45,11 @@ __all__ = [
     "figure4_tradeoff",
     "figure5_burstiness",
     "robustness",
+    "run_admission_matrix",
     "run_calibration",
     "run_cell",
     "run_chaos_matrix",
     "sweep",
+    "write_admission_bench",
     "write_resilience_bench",
 ]

@@ -1,0 +1,319 @@
+"""Admission benchmark: burst matrix, plain ACES vs ACES + admission.
+
+Every cell of the matrix runs the ACES policy on the paper-calibration
+topology under one burst workload (``squarewave`` or ``flashcrowd``
+sources, see :mod:`repro.model.workload`) at one burstiness scale
+``lambda_s`` (the Fig. 5 knob), either *plain* or with the
+:class:`~repro.control.admission.AdmissionController` front end armed,
+and measures:
+
+* **worst-stream p95** — the end-to-end p95 latency of the worst egress
+  stream over the measured window (the SLO the admission front end
+  defends);
+* **utility retention** — the admission cell's weighted utility relative
+  to its plain twin (what graceful degradation costs);
+* **shed / rejected** — SDOs turned away at the admission front end;
+* **transitions / oscillations** — degradation-ladder activity (the
+  hysteresis + dwell design makes oscillations structurally zero);
+* **violations** — online oracle findings plus the closed conservation
+  ledger (must be empty in every cell).
+
+The matrix is written to ``BENCH_admission.json`` by ``repro admit``
+(see :func:`write_admission_bench`); ``--smoke`` runs a reduced matrix
+sized for CI.  The headline acceptance check is
+:func:`summarize_matrix`: in every cell where plain ACES violates the
+SLO, ACES + admission must hold it.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.check import OracleRecorder, check_conservation
+from repro.control.admission import AdmissionConfig
+from repro.core.policies import policy_by_name
+from repro.graph.topology import TopologySpec, generate_topology, paper_calibration_spec
+from repro.systems.simulated import SimulatedSystem, SystemConfig
+
+#: Burst workloads of the matrix (both defined in repro.model.workload).
+DEFAULT_WORKLOADS: _t.Tuple[str, ...] = ("squarewave", "flashcrowd")
+
+#: Fig. 5 burstiness scales the matrix sweeps.
+DEFAULT_LAMBDAS: _t.Tuple[float, ...] = (5.0, 10.0, 25.0)
+
+#: End-to-end p95 SLO the admission front end defends (seconds).  The
+#: paper-calibration topology has a multi-second latency floor under
+#: congestion, so the SLO sits well above the light-load floor and well
+#: below what plain ACES reaches under bursts (8-14 s).
+DEFAULT_SLO_P95 = 2.5
+
+
+def bench_admission_config(slo_p95: float = DEFAULT_SLO_P95) -> AdmissionConfig:
+    """The tuned admission config the benchmark arms.
+
+    Pre-emptive hysteresis bands (enter thresholds *below* the SLO
+    boundary) engage the ladder before the SLO is breached; the tight
+    queue fraction makes the instantaneous ingress-occupancy signal
+    catch bursts the windowed-p95 signal only sees a window later.
+    """
+    return AdmissionConfig(
+        slo_p95=slo_p95,
+        queue_slo_fraction=0.1,
+        pressure_window=0.25,
+        min_dwell=0.5,
+        enter=(0.25, 0.4, 0.6),
+        exit=(0.15, 0.3, 0.45),
+        shed_low_fraction=0.5,
+        shed_high_fraction=0.85,
+    )
+
+
+@dataclass
+class AdmissionCellResult:
+    """Outcome of one (workload, lambda_s, mode) cell."""
+
+    workload: str
+    lambda_s: float
+    mode: str  # "plain" | "admission"
+    slo_p95: float
+    worst_stream_p95: float
+    slo_met: bool
+    stream_p95: _t.Dict[str, float]
+    stream_p99: _t.Dict[str, float]
+    weighted_throughput: float
+    weighted_utility: float
+    total_output: int
+    buffer_drops: int
+    source_rejections: int
+    drops_by_kind: _t.Dict[str, int]
+    admission_shed: int
+    admission_rejected: int
+    ladder_transitions: int
+    ladder_oscillations: int
+    final_level: _t.Optional[str]
+    violations: _t.List[_t.Dict[str, object]]
+    #: Filled at the matrix level for admission cells: weighted utility
+    #: relative to the plain twin cell.
+    utility_retention: _t.Optional[float] = None
+    error: _t.Optional[str] = None
+
+
+def run_admission_cell(
+    spec: TopologySpec,
+    workload: str,
+    lambda_s: float,
+    mode: str,
+    duration: float = 15.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+    slo_p95: float = DEFAULT_SLO_P95,
+) -> AdmissionCellResult:
+    """Run one burst cell with strict oracles armed and the ledger closed.
+
+    ``mode`` is ``"plain"`` (no front end) or ``"admission"`` (the tuned
+    :func:`bench_admission_config` armed).  The topology is regenerated
+    per cell from ``spec`` with ``lambda_s`` overridden, so cells are
+    independent and fully seeded.
+    """
+    if mode not in ("plain", "admission"):
+        raise ValueError(f"mode must be 'plain' or 'admission', got {mode!r}")
+    spec.lambda_s = lambda_s
+    topology = generate_topology(spec, np.random.default_rng(seed))
+    admission = bench_admission_config(slo_p95) if mode == "admission" else None
+    recorder = OracleRecorder(strict=True)
+    system = SimulatedSystem(
+        topology,
+        policy_by_name("aces"),
+        config=SystemConfig(
+            seed=seed + 1,
+            warmup=warmup,
+            source_kind=workload,
+            admission=admission,
+        ),
+        recorder=recorder,
+    )
+    recorder.attach_plane(system.plane)
+
+    error: _t.Optional[str] = None
+    try:
+        report = system.run(duration)
+    except Exception as exc:  # noqa: BLE001 — a cell must never kill the matrix
+        error = f"{type(exc).__name__}: {exc}"
+        report = None
+
+    violations = list(recorder.finalize())
+    violations.extend(check_conservation(system))
+
+    percentiles = system.collector.stream_percentiles()
+    worst = max(
+        (row["p95"] for row in percentiles.values()), default=0.0
+    )
+    controller = system.admission
+    return AdmissionCellResult(
+        workload=workload,
+        lambda_s=lambda_s,
+        mode=mode,
+        slo_p95=slo_p95,
+        worst_stream_p95=worst,
+        slo_met=worst <= slo_p95,
+        stream_p95={
+            pe_id: round(row["p95"], 6)
+            for pe_id, row in sorted(percentiles.items())
+        },
+        stream_p99={
+            pe_id: round(row["p99"], 6)
+            for pe_id, row in sorted(percentiles.items())
+        },
+        weighted_throughput=(
+            report.weighted_throughput if report is not None else 0.0
+        ),
+        weighted_utility=(
+            report.weighted_utility if report is not None else 0.0
+        ),
+        total_output=report.total_output_sdos if report is not None else 0,
+        buffer_drops=report.buffer_drops if report is not None else 0,
+        source_rejections=(
+            report.source_rejections if report is not None else 0
+        ),
+        drops_by_kind=dict(report.drops_by_kind) if report is not None else {},
+        admission_shed=controller.total_shed if controller else 0,
+        admission_rejected=controller.total_rejected if controller else 0,
+        ladder_transitions=(
+            controller.ladder.transitions if controller else 0
+        ),
+        ladder_oscillations=(
+            controller.ladder.oscillations if controller else 0
+        ),
+        final_level=(
+            controller.effective_level.name if controller else None
+        ),
+        violations=[violation.as_dict() for violation in violations],
+        error=error,
+    )
+
+
+def summarize_matrix(
+    cells: _t.Sequence[AdmissionCellResult],
+) -> _t.Dict[str, _t.Any]:
+    """The headline acceptance summary of one matrix.
+
+    ``slo_defended`` is True when, in every (workload, lambda_s) pair
+    where the plain cell violates the SLO, the admission cell holds it.
+    ``clean`` additionally requires zero oracle/conservation violations,
+    zero ladder oscillations, and zero cell errors anywhere.
+    """
+    plain = {
+        (cell.workload, cell.lambda_s): cell
+        for cell in cells
+        if cell.mode == "plain"
+    }
+    defended = True
+    plain_violations = 0
+    held = 0
+    for cell in cells:
+        if cell.mode != "admission":
+            continue
+        twin = plain.get((cell.workload, cell.lambda_s))
+        if twin is None:
+            continue
+        if twin.weighted_utility > 0:
+            cell.utility_retention = (
+                cell.weighted_utility / twin.weighted_utility
+            )
+        if not twin.slo_met:
+            plain_violations += 1
+            if cell.slo_met:
+                held += 1
+            else:
+                defended = False
+    oscillations = sum(cell.ladder_oscillations for cell in cells)
+    violations = sum(len(cell.violations) for cell in cells)
+    errors = sum(1 for cell in cells if cell.error is not None)
+    return {
+        "slo_defended": defended,
+        "plain_slo_violations": plain_violations,
+        "admission_cells_held": held,
+        "total_oscillations": oscillations,
+        "total_violations": violations,
+        "errors": errors,
+        "clean": (
+            defended
+            and oscillations == 0
+            and violations == 0
+            and errors == 0
+        ),
+    }
+
+
+def run_admission_matrix(
+    workloads: _t.Sequence[str] = DEFAULT_WORKLOADS,
+    lambdas: _t.Sequence[float] = DEFAULT_LAMBDAS,
+    duration: float = 15.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+    slo_p95: float = DEFAULT_SLO_P95,
+    spec: _t.Optional[TopologySpec] = None,
+) -> _t.Dict[str, _t.Any]:
+    """Run the (workload x lambda_s x {plain, admission}) burst matrix."""
+    if not workloads or not lambdas:
+        raise ValueError("at least one workload and one lambda_s required")
+    cells: _t.List[AdmissionCellResult] = []
+    for workload in workloads:
+        for lambda_s in lambdas:
+            for mode in ("plain", "admission"):
+                cells.append(
+                    run_admission_cell(
+                        spec if spec is not None else paper_calibration_spec(),
+                        workload,
+                        float(lambda_s),
+                        mode,
+                        duration=duration,
+                        warmup=warmup,
+                        seed=seed,
+                        slo_p95=slo_p95,
+                    )
+                )
+    summary = summarize_matrix(cells)
+    config = bench_admission_config(slo_p95)
+    return {
+        "suite": "admission",
+        "seed": seed,
+        "duration": duration,
+        "warmup": warmup,
+        "slo_p95": slo_p95,
+        "workloads": list(workloads),
+        "lambdas": [float(value) for value in lambdas],
+        "admission_config": {
+            "queue_slo_fraction": config.queue_slo_fraction,
+            "pressure_window": config.pressure_window,
+            "min_dwell": config.min_dwell,
+            "enter": list(config.enter),
+            "exit": list(config.exit),
+            "shed_low_fraction": config.shed_low_fraction,
+            "shed_high_fraction": config.shed_high_fraction,
+            "retry_after": config.retry_after,
+        },
+        "summary": summary,
+        "cells": [asdict(cell) for cell in cells],
+    }
+
+
+def write_admission_bench(results: _t.Dict[str, _t.Any], path: str) -> None:
+    """Write the matrix to disk (non-finite floats serialize as null)."""
+
+    def _clean(value: _t.Any) -> _t.Any:
+        if isinstance(value, float) and not np.isfinite(value):
+            return None
+        if isinstance(value, dict):
+            return {key: _clean(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [_clean(item) for item in value]
+        return value
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_clean(results), handle, indent=2, sort_keys=True)
+        handle.write("\n")

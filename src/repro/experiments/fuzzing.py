@@ -34,6 +34,7 @@ from dataclasses import asdict, dataclass, field, replace
 import numpy as np
 
 from repro.check import OracleRecorder, check_conservation
+from repro.control.admission import AdmissionConfig
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import policy_by_name
 from repro.graph.topology import Topology, TopologySpec, generate_topology
@@ -66,6 +67,10 @@ class FuzzScenario:
     dt: float
     duration: float
     reoptimize_interval: _t.Optional[float] = None
+    #: Arm the SLO-aware admission front end (deliberately aggressive
+    #: thresholds so the degradation ladder actually moves within the
+    #: short fuzz runs, exercising every admission oracle).
+    admission: bool = False
     faults: _t.Tuple[Fault, ...] = ()
 
     def build_topology(self) -> Topology:
@@ -82,14 +87,27 @@ class FuzzScenario:
     def build_config(self, control_impl: str = "scalar") -> SystemConfig:
         # warmup=0 keeps the egress collector's window equal to the whole
         # run, which is what makes the conservation ledger exact.
+        admission = None
+        if self.admission:
+            admission = AdmissionConfig(
+                slo_p95=0.2,
+                queue_slo_fraction=0.3,
+                pressure_window=0.25,
+                min_dwell=0.2,
+                retry_after=0.1,
+            )
         return SystemConfig(
             buffer_size=self.buffer_size,
             dt=self.dt,
             warmup=0.0,
             seed=self.seed + 1,
             source_kind=self.source_kind,
+            # Scale the flash-crowd surge into the (short) fuzz run.
+            source_surge_start=round(0.4 * self.duration, 3),
+            source_surge_duration=round(0.3 * self.duration, 3),
             reoptimize_interval=self.reoptimize_interval,
             control_impl=control_impl,
+            admission=admission,
         )
 
     def build_plan(self) -> FaultPlan:
@@ -111,11 +129,16 @@ def generate_scenario(seed: int) -> FuzzScenario:
         num_egress=int(rng.integers(1, 3)),
         num_intermediate=int(rng.integers(0, 7)),
         load_factor=float(np.round(0.6 + 1.4 * rng.random(), 3)),
-        source_kind=str(rng.choice(["onoff", "poisson", "constant"])),
+        source_kind=str(
+            rng.choice(
+                ["onoff", "poisson", "constant", "squarewave", "flashcrowd"]
+            )
+        ),
         buffer_size=int(rng.integers(8, 41)),
         dt=0.02,
         duration=float(np.round(2.0 + 1.5 * rng.random(), 2)),
         reoptimize_interval=1.0 if rng.random() < 0.5 else None,
+        admission=bool(rng.random() < 0.4),
     )
     topology = scenario.build_topology()
     return replace(
@@ -417,6 +440,8 @@ def _shrink_candidates(
                 scenario.faults[:index] + scenario.faults[index + 1:]
             )
             yield replace(scenario, faults=kept)
+    if scenario.admission:
+        yield replace(scenario, admission=False)
     if scenario.num_intermediate > 0:
         yield replace(scenario, num_intermediate=0)
         yield replace(

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import typing as _t
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -36,8 +36,15 @@ from repro.systems.faults import FaultPlan
 from repro.systems.simulated import SimulatedSystem, SystemConfig
 
 #: Trace kinds the chaos harness counts (everything else is filtered out
-#: at the recorder so long runs stay cheap).
-_GUARD_KINDS = ("fault", "feedback_stale", "tier1_fallback", "worker_restart")
+#: at the recorder so long runs stay cheap).  ``admission_level`` events
+#: additionally feed the per-cell ladder timeline.
+_GUARD_KINDS = (
+    "fault",
+    "feedback_stale",
+    "tier1_fallback",
+    "worker_restart",
+    "admission_level",
+)
 
 #: Recovery band: back within this fraction of the pre-fault rate.
 RECOVERY_TOLERANCE = 0.10
@@ -224,14 +231,25 @@ class ChaosCellResult:
     weighted_throughput: float
     events: _t.Dict[str, int]
     error: _t.Optional[str] = None
+    #: Whether the SLO-aware admission front end was armed in this cell.
+    admission: bool = False
+    #: Degradation-ladder level changes over the run, oldest first
+    #: (``{"t": ..., "level": ..., "cause": ...}``); empty without
+    #: admission.
+    ladder_timeline: _t.List[_t.Dict[str, object]] = field(
+        default_factory=list
+    )
 
 
 def chaos_system_config(
-    seed: int, dt: float = 0.01, warmup: float = 2.0
+    seed: int, dt: float = 0.01, warmup: float = 2.0, admission: bool = False
 ) -> SystemConfig:
     """System config the chaos matrix runs under: degradation guards on
     (staleness TTL of 10 control intervals, conservative bound 0) and
-    periodic Tier-1 re-solves so solver outages are actually exercised."""
+    periodic Tier-1 re-solves so solver outages are actually exercised.
+    With ``admission`` the tuned SLO-aware front end is armed too."""
+    from repro.experiments.admission import bench_admission_config
+
     return SystemConfig(
         seed=seed,
         dt=dt,
@@ -239,6 +257,7 @@ def chaos_system_config(
         feedback_staleness_ttl=10 * dt,
         feedback_stale_bound=0.0,
         reoptimize_interval=1.0,
+        admission=bench_admission_config() if admission else None,
     )
 
 
@@ -303,14 +322,23 @@ def run_chaos_cell(
         ),
         events={kind: recorder.counts.get(kind, 0) for kind in _GUARD_KINDS},
         error=error,
+        admission=config.admission is not None,
+        ladder_timeline=[
+            {
+                "t": event["t"],
+                "level": event["level"],
+                "cause": event["cause"],
+            }
+            for event in recorder.by_kind("admission_level")
+        ],
     )
 
 
 #: Everything one matrix cell needs, picklable for process fan-out:
 #: (spec, topology seed, policy name, scenario name, system seed,
-#:  duration, fault_start, fault_duration, warmup).
+#:  duration, fault_start, fault_duration, warmup, admission).
 _CellArgs = _t.Tuple[
-    TopologySpec, int, str, str, int, float, float, float, float
+    TopologySpec, int, str, str, int, float, float, float, float, bool
 ]
 
 
@@ -318,13 +346,16 @@ def _run_cell_args(args: _CellArgs) -> ChaosCellResult:
     (
         spec, topo_seed, policy_name, scenario_name,
         system_seed, duration, fault_start, fault_duration, warmup,
+        admission,
     ) = args
     topology = generate_topology(spec, np.random.default_rng(topo_seed))
     return run_chaos_cell(
         topology=topology,
         policy=policy_by_name(policy_name),
         scenario=SCENARIOS[scenario_name],
-        config=chaos_system_config(seed=system_seed, warmup=warmup),
+        config=chaos_system_config(
+            seed=system_seed, warmup=warmup, admission=admission
+        ),
         duration=duration,
         fault_start=fault_start,
         fault_duration=fault_duration,
@@ -339,6 +370,7 @@ def run_chaos_matrix(
     warmup: float = 2.0,
     seed: int = 0,
     jobs: int = 1,
+    admission: bool = False,
 ) -> _t.Dict[str, _t.Any]:
     """Run the full (scenario x policy) fault matrix on one topology.
 
@@ -346,6 +378,9 @@ def run_chaos_matrix(
     ``seed``) and the fault timeline: the fault fires 35% into the
     measured window and lasts 25% of it, leaving a 40% tail for recovery
     measurement.  ``jobs`` > 1 fans cells across worker processes.
+    With ``admission`` every (scenario, policy) pair runs twice — once
+    plain and once with the SLO-aware admission front end armed — and
+    admission cells carry the degradation-ladder level timeline.
     """
     names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]
@@ -358,13 +393,16 @@ def run_chaos_matrix(
 
     fault_start = 0.35 * duration
     fault_duration = 0.25 * duration
+    admission_modes = (False, True) if admission else (False,)
     tasks: _t.List[_CellArgs] = [
         (
             spec, seed, policy_name, scenario_name,
             seed * 1000 + 17, duration, fault_start, fault_duration, warmup,
+            armed,
         )
         for scenario_name in names
         for policy_name in policies
+        for armed in admission_modes
     ]
 
     cells: _t.List[ChaosCellResult]
@@ -379,6 +417,7 @@ def run_chaos_matrix(
         "seed": seed,
         "duration": duration,
         "warmup": warmup,
+        "admission": admission,
         "fault": {"start": fault_start, "duration": fault_duration},
         "recovery_tolerance": RECOVERY_TOLERANCE,
         "topology": {

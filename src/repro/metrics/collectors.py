@@ -182,6 +182,13 @@ class MetricsReport:
     #: (``{"p50": ..., "p95": ..., "p99": ...}``; empty when the run
     #: predates histogram collection).
     latency_percentiles: _t.Dict[str, float] = field(default_factory=dict)
+    #: Per-kind drop breakdown over the measured window.  The in-graph
+    #: kinds (``buffer_overflow``, ``flushed``, ``shed``) sum exactly to
+    #: :attr:`buffer_drops`; the admission-front-end refusals
+    #: (``admission_shed``, ``admission_rejected``) happen before any
+    #: buffer and are a subset of :attr:`source_rejections`.  Empty for
+    #: runs that predate the breakdown.
+    drops_by_kind: _t.Dict[str, int] = field(default_factory=dict)
 
     @property
     def input_loss_rate(self) -> float:

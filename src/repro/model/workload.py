@@ -8,9 +8,20 @@ the paper's evaluation needs:
 * :class:`PoissonSource` — memoryless arrivals;
 * :class:`OnOffSource` — two-state Markov-modulated (bursty) arrivals, the
   network-side counterpart of the PE processing burstiness.
+* :class:`SquareWaveSource` — deterministic adversarial on/off square
+  wave: CBR at ``peak_rate`` for the ON share of every ``period``,
+  silence otherwise (the worst case for a reactive controller, since
+  every burst edge is a step).
+* :class:`FlashCrowdSource` — Poisson background traffic multiplied by
+  ``surge_factor`` inside one ``[surge_start, surge_start +
+  surge_duration)`` window: the canonical flash-crowd overload.
 
 Sources tag each SDO with its creation time, which seeds the end-to-end
-latency measurement at the egress.
+latency measurement at the egress.  Every source honours
+:meth:`_SourceBase.backoff`: an admission front end answering 429-style
+hands the source a retry-after horizon and the source stops *offering*
+(not generating decisions) until the horizon passes — open-loop clients
+that retry later, not closed-loop clients that vanish.
 """
 
 from __future__ import annotations
@@ -35,6 +46,10 @@ class SourceStats:
     generated: int = 0
     admitted: int = 0
     rejected: int = 0
+    #: Offers withheld while honouring an admission retry-after horizon.
+    #: Deferred SDOs are never generated, so the conservation identity
+    #: ``generated == admitted + rejected`` is unaffected.
+    deferred: int = 0
 
     @property
     def rejection_rate(self) -> float:
@@ -58,6 +73,7 @@ class _SourceBase:
         self.sink = sink
         self.sdo_size = sdo_size
         self.stats = SourceStats()
+        self._backoff_until = 0.0
         self.process = env.process(self._run())
 
     def _interarrival(self) -> float:
@@ -73,8 +89,20 @@ class _SourceBase:
                 yield self.env.timeout(0.0)
             self._emit_one()
 
+    def backoff(self, until: float) -> None:
+        """429-style retry-after: hold all offers until ``until``.
+
+        Horizons only ever extend (a shorter retry-after never shortens
+        an existing hold), so concurrent rejections compose safely.
+        """
+        if until > self._backoff_until:
+            self._backoff_until = until
+
     def _emit_one(self) -> None:
         now = self.env.now
+        if now < self._backoff_until:
+            self.stats.deferred += 1
+            return
         sdo = SDO(stream_id=self.stream_id, origin_time=now, size=self.sdo_size)
         self.stats.generated += 1
         if self.sink(sdo, now):
@@ -176,3 +204,108 @@ class OnOffSource(_SourceBase):
             off_duration = exponential(self._rng, self.mean_off)
             if off_duration > 0:
                 yield self.env.timeout(off_duration)
+
+
+class SquareWaveSource(_SourceBase):
+    """Deterministic adversarial on/off square wave.
+
+    Every ``period`` seconds the source emits CBR traffic at
+    ``peak_rate`` for ``duty * period`` seconds, then goes silent for
+    the remainder.  Unlike :class:`OnOffSource` there is no randomness
+    at all: the burst edges are steps at exactly predictable instants,
+    which is the hardest shape for a reactive controller (no gradual
+    ramp to react to) and the easiest to assert on in tests.  The
+    long-run average rate is ``peak_rate * duty``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        peak_rate: float,
+        period: float,
+        duty: float,
+        sdo_size: float = 1.0,
+    ):
+        if peak_rate <= 0:
+            raise ValueError(f"peak_rate must be positive, got {peak_rate}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must lie in (0, 1], got {duty}")
+        self.peak_rate = peak_rate
+        self.period = period
+        self.duty = duty
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate."""
+        return self.peak_rate * self.duty
+
+    def _run(self) -> _t.Generator:
+        gap = 1.0 / self.peak_rate
+        on_duration = self.duty * self.period
+        off_duration = self.period - on_duration
+        while True:
+            burst_end = self.env.now + on_duration
+            while self.env.now + gap <= burst_end:
+                yield self.env.timeout(gap)
+                self._emit_one()
+            remainder = burst_end - self.env.now
+            if remainder > 0:
+                yield self.env.timeout(remainder)
+            if off_duration > 0:
+                yield self.env.timeout(off_duration)
+            else:
+                yield self.env.timeout(0.0)
+
+
+class FlashCrowdSource(_SourceBase):
+    """Poisson background traffic with one flash-crowd surge window.
+
+    Arrivals are Poisson at ``rate`` except inside ``[surge_start,
+    surge_start + surge_duration)``, where the rate multiplies by
+    ``surge_factor`` — the canonical breaking-news/thundering-herd
+    overload a latency SLO has to survive.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        rate: float,
+        surge_start: float,
+        surge_duration: float,
+        surge_factor: float,
+        rng: np.random.Generator,
+        sdo_size: float = 1.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if surge_start < 0 or surge_duration < 0:
+            raise ValueError(
+                "surge_start and surge_duration must be >= 0"
+            )
+        if surge_factor < 1.0:
+            raise ValueError(
+                f"surge_factor must be >= 1, got {surge_factor}"
+            )
+        self.rate = rate
+        self.surge_start = surge_start
+        self.surge_duration = surge_duration
+        self.surge_factor = surge_factor
+        self._rng = rng
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def current_rate(self, now: float) -> float:
+        """Instantaneous mean arrival rate at ``now``."""
+        surge_end = self.surge_start + self.surge_duration
+        if self.surge_start <= now < surge_end:
+            return self.rate * self.surge_factor
+        return self.rate
+
+    def _interarrival(self) -> float:
+        return exponential(self._rng, 1.0 / self.current_rate(self.env.now))

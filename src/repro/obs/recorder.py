@@ -41,6 +41,9 @@ EVENT_KINDS = frozenset(
         "worker_restart",  # a supervisor restarted a dead runtime worker
         "fault",  # a fault-injection apply/revert transition
         "span",  # one egress SDO's queue/service/transit decomposition
+        "admission_level",  # the admission ladder's effective level moved
+        "shed",  # one SDO shed at ingress by the admission front end
+        "reject",  # one SDO refused 429-style with a retry-after horizon
     }
 )
 

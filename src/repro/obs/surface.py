@@ -83,6 +83,23 @@ class MetricsSnapshot:
     span_rows: _t.List[_t.Dict[str, object]] = field(default_factory=list)
     #: Egress span-closure violations observed so far (should stay 0).
     span_violations: int = 0
+    #: Effective admission ladder level name (``None`` when no admission
+    #: front end is armed).
+    admission_level: _t.Optional[str] = None
+    #: Last unitless admission pressure (1.0 == SLO boundary).
+    admission_pressure: _t.Optional[float] = None
+    #: SDOs shed at the admission front end (lifetime).
+    admission_shed: int = 0
+    #: SDOs rejected with retry-after at the admission front end (lifetime).
+    admission_rejected: int = 0
+    #: Ladder transitions / oscillations observed so far.
+    admission_transitions: int = 0
+    admission_oscillations: int = 0
+    #: Per-ingress-stream admission ledger rows
+    #: (``{"pe": ..., "admitted": ..., "shed": ..., "rejected": ...}``).
+    admission_streams: _t.List[_t.Dict[str, object]] = field(
+        default_factory=list
+    )
 
     @property
     def drop_rate(self) -> float:
@@ -122,6 +139,29 @@ def _span_state(
     return spans.hop_rows(), len(spans.violations)
 
 
+def _admission_state(admission: _t.Optional[_t.Any]) -> _t.Dict[str, _t.Any]:
+    """Admission-front-end fields for a snapshot (empty when disarmed)."""
+    if admission is None:
+        return {}
+    return {
+        "admission_level": admission.effective_level.name,
+        "admission_pressure": admission.last_pressure,
+        "admission_shed": admission.total_shed,
+        "admission_rejected": admission.total_rejected,
+        "admission_transitions": admission.ladder.transitions,
+        "admission_oscillations": admission.ladder.oscillations,
+        "admission_streams": [
+            {
+                "pe": pe_id,
+                "admitted": stream.admitted,
+                "shed": stream.shed,
+                "rejected": stream.rejected,
+            }
+            for pe_id, stream in sorted(admission.streams.items())
+        ],
+    }
+
+
 def snapshot_system(system: "SimulatedSystem") -> MetricsSnapshot:
     """Snapshot a (paused or finished) simulated system."""
     now = system.env.now
@@ -157,6 +197,7 @@ def snapshot_system(system: "SimulatedSystem") -> MetricsSnapshot:
         pes=pes,
         span_rows=span_rows,
         span_violations=span_violations,
+        **_admission_state(getattr(system, "admission", None)),
     )
 
 
@@ -199,6 +240,7 @@ def snapshot_runtime(runtime: "SPCRuntime") -> MetricsSnapshot:
         pes=pes,
         span_rows=span_rows,
         span_violations=span_violations,
+        **_admission_state(getattr(runtime, "admission", None)),
     )
 
 
@@ -215,6 +257,19 @@ def render_top(snapshot: MetricsSnapshot) -> str:
         f"out={snapshot.total_output}  drops={snapshot.buffer_drops}  "
         f"rej={snapshot.source_rejections}"
     )
+    if snapshot.admission_level is not None:
+        pressure = (
+            "-"
+            if snapshot.admission_pressure is None
+            else f"{snapshot.admission_pressure:.2f}"
+        )
+        header += (
+            f"\nadmission: level={snapshot.admission_level}  "
+            f"pressure={pressure}  shed={snapshot.admission_shed}  "
+            f"rejected={snapshot.admission_rejected}  "
+            f"transitions={snapshot.admission_transitions}  "
+            f"oscillations={snapshot.admission_oscillations}"
+        )
     sections = [header]
 
     if snapshot.streams:
@@ -243,6 +298,12 @@ def render_top(snapshot: MetricsSnapshot) -> str:
             for row in snapshot.pes
         ]
         sections.append("-- PEs --\n" + format_table(pe_rows))
+
+    if snapshot.admission_streams:
+        sections.append(
+            "-- admission (per ingress stream) --\n"
+            + format_table(snapshot.admission_streams)
+        )
 
     if snapshot.span_rows:
         sections.append(
@@ -297,6 +358,48 @@ def render_prometheus(snapshot: MetricsSnapshot) -> str:
         f"repro_source_rejections_total{{{common}}} "
         f"{snapshot.source_rejections}"
     )
+
+    if snapshot.admission_level is not None:
+        lines.append(
+            "# HELP repro_admission_level Effective degradation ladder "
+            "level (0=NORMAL..4=KILL)."
+        )
+        lines.append("# TYPE repro_admission_level gauge")
+        level_rank = {
+            "NORMAL": 0,
+            "SHED_LOW": 1,
+            "SHED_HIGH": 2,
+            "REJECT": 3,
+            "KILL": 4,
+        }[snapshot.admission_level]
+        lines.append(f"repro_admission_level{{{common}}} {level_rank}")
+        lines.append(
+            "# HELP repro_admission_shed_total SDOs shed at the "
+            "admission front end."
+        )
+        lines.append("# TYPE repro_admission_shed_total counter")
+        lines.append(
+            f"repro_admission_shed_total{{{common}}} "
+            f"{snapshot.admission_shed}"
+        )
+        lines.append(
+            "# HELP repro_admission_rejected_total SDOs rejected with "
+            "retry-after at the admission front end."
+        )
+        lines.append("# TYPE repro_admission_rejected_total counter")
+        lines.append(
+            f"repro_admission_rejected_total{{{common}}} "
+            f"{snapshot.admission_rejected}"
+        )
+        lines.append(
+            "# HELP repro_admission_transitions_total Degradation "
+            "ladder transitions."
+        )
+        lines.append("# TYPE repro_admission_transitions_total counter")
+        lines.append(
+            f"repro_admission_transitions_total{{{common}}} "
+            f"{snapshot.admission_transitions}"
+        )
 
     lines.append("# HELP repro_pe_occupancy Input-buffer occupancy per PE.")
     lines.append("# TYPE repro_pe_occupancy gauge")

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.control import ControlPlane, NodeGroup
 from repro.control.adapter import GateFn, SettleFn
+from repro.control.admission import AdmissionConfig, AdmissionController
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
 from repro.core.targets import AllocationTargets
@@ -71,6 +72,9 @@ class RuntimeConfig:
     #: ``SystemConfig.control_impl``; vector falls back to scalar when
     #: numpy is unavailable.
     control_impl: str = "scalar"
+    #: When set, arm the SLO-aware admission front end in front of the
+    #: ingress channels, mirroring ``SystemConfig.admission``.
+    admission: _t.Optional[AdmissionConfig] = None
 
 
 @dataclass
@@ -92,6 +96,12 @@ class RuntimeReport:
     #: Pooled end-to-end latency quantiles in seconds
     #: (``{"p50": ..., "p95": ..., "p99": ...}``).
     latency_percentiles: _t.Dict[str, float] = field(default_factory=dict)
+    #: Per-kind drop breakdown over the measured window, mirroring
+    #: ``MetricsReport.drops_by_kind`` (``buffer_overflow`` covers
+    #: channel-full drops and crash-flush losses together — the threaded
+    #: channel does not distinguish them; ``admission_shed`` /
+    #: ``admission_rejected`` count front-end refusals).
+    drops_by_kind: _t.Dict[str, int] = field(default_factory=dict)
 
 
 class ThreadAdapter:
@@ -291,6 +301,31 @@ class SPCRuntime:
                 continue
             groups.append(NodeGroup(f"node-{node_index}", members))
 
+        #: SLO-aware admission front end, armed exactly as in the
+        #: simulator: same controller class, same config, bound to the
+        #: live channel views and the collector's histogram records
+        #: (reads under the collector lock).
+        self.admission: _t.Optional[AdmissionController] = None
+        if config.admission is not None:
+            self.admission = AdmissionController(config.admission)
+            self.admission.bind(
+                ingress={
+                    pe_id: pe.buffer
+                    for pe_id, pe in self.pes.items()
+                    if pe.is_ingress
+                },
+                egress=self._collector.records(),
+                clock=self.now,
+                lock=self._collector_lock,
+            )
+            self._threads.append(
+                threading.Thread(
+                    target=self._admission_loop,
+                    name="admission",
+                    daemon=True,
+                )
+            )
+
         self.adapter = ThreadAdapter(self.now, self.recorder)
         self.plane = ControlPlane(
             self.policy,
@@ -304,6 +339,7 @@ class SPCRuntime:
             feedback_stale_bound=config.feedback_stale_bound,
             recorder=self.recorder,
             control_impl=config.control_impl,
+            admission=self.admission,
         )
         for controller in self.plane.node_controllers:
             self._threads.append(
@@ -393,11 +429,23 @@ class SPCRuntime:
                         generation=pe.generation,
                     )
 
+    def _admission_loop(self) -> None:
+        """Tick the admission front end at the dilated control cadence."""
+        assert self.admission is not None
+        config = self.config
+        interval = self.admission.config.tick_interval or config.dt
+        period_wall = interval * config.dilation
+        tick = self.plane.tick_admission
+        while not self._stop.is_set():
+            time.sleep(period_wall)
+            tick(self.now())
+
     def _source_loop(self, pe_id: str, rate: float) -> None:
         config = self.config
         rng = self.streams.stream(f"src:{pe_id}")
         pe = self.pes[pe_id]
         spans_armed = self.spans is not None
+        admission = self.admission
         while not self._stop.is_set():
             if config.source_kind == "poisson":
                 gap = exponential(rng, 1.0 / rate)
@@ -405,6 +453,18 @@ class SPCRuntime:
                 gap = 1.0 / rate
             time.sleep(gap * config.dilation)
             origin = self.now()
+            if admission is not None:
+                verdict = admission.admit_ingress(pe_id, origin)
+                if verdict == "shed":
+                    continue
+                if verdict == "reject":
+                    # 429 + retry-after: this open-loop client holds all
+                    # offers until the horizon passes (same contract the
+                    # simulator's sources honour via their backoff hook).
+                    time.sleep(
+                        admission.config.retry_after * config.dilation
+                    )
+                    continue
             sdo = SDO(
                 stream_id=f"src:{pe_id}",
                 origin_time=origin,
@@ -451,6 +511,11 @@ class SPCRuntime:
         drops_at_start = sum(
             pe.channel.stats.dropped for pe in self.pes.values()
         )
+        admission = self.admission
+        shed_at_start = admission.total_shed if admission is not None else 0
+        rejected_at_start = (
+            admission.total_rejected if admission is not None else 0
+        )
         cpu_at_start = sum(pe.cpu_used for pe in self.pes.values())
         started = self.now()
 
@@ -488,16 +553,32 @@ class SPCRuntime:
                 for pe_id, record in self._collector.records().items()
             }
         window = ended - started
+        channel_drops = (
+            sum(pe.channel.stats.dropped for pe in self.pes.values())
+            - drops_at_start
+        )
+        drops_by_kind = {
+            "buffer_overflow": channel_drops,
+            "flushed": 0,
+            "shed": 0,
+            "admission_shed": (
+                (admission.total_shed - shed_at_start)
+                if admission is not None
+                else 0
+            ),
+            "admission_rejected": (
+                (admission.total_rejected - rejected_at_start)
+                if admission is not None
+                else 0
+            ),
+        }
         return RuntimeReport(
             policy=self.policy.name,
             duration=window,
             weighted_throughput=throughput,
             total_output_sdos=total,
             latency=latency,
-            buffer_drops=sum(
-                pe.channel.stats.dropped for pe in self.pes.values()
-            )
-            - drops_at_start,
+            buffer_drops=channel_drops,
             cpu_utilization=(
                 (sum(pe.cpu_used for pe in self.pes.values()) - cpu_at_start)
                 / (window * max(1, self.topology.num_nodes))
@@ -506,6 +587,7 @@ class SPCRuntime:
             worker_restarts=self.worker_restarts,
             workers_abandoned=self.workers_abandoned,
             latency_percentiles=percentiles,
+            drops_by_kind=drops_by_kind,
         )
 
 

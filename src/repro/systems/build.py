@@ -21,8 +21,10 @@ from repro.model.pe import PERuntime
 from repro.model.sdo import SDO
 from repro.model.workload import (
     ConstantRateSource,
+    FlashCrowdSource,
     OnOffSource,
     PoissonSource,
+    SquareWaveSource,
 )
 from repro.obs.gauges import GaugeRegistry
 from repro.obs.recorder import TraceRecorder
@@ -30,6 +32,7 @@ from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.admission import AdmissionConfig, AdmissionController
     from repro.obs.spans import SpanTracker
 
 #: admit(runtime, sdo, now) -> accepted?  Provided by the data plane.
@@ -54,12 +57,21 @@ class SystemConfig:
     feedback_staleness_ttl: _t.Optional[float] = None
     #: Conservative r_max substituted for stale feedback values.
     feedback_stale_bound: float = 0.0
-    #: Source model: 'onoff' (bursty), 'poisson', or 'constant'.
+    #: Source model: 'onoff' (bursty), 'poisson', 'constant',
+    #: 'squarewave' (deterministic adversarial on/off), or 'flashcrowd'
+    #: (Poisson with one surge window).
     source_kind: str = "onoff"
-    #: ON fraction for the on/off source.
+    #: ON fraction for the on/off and square-wave sources.
     source_duty: float = 0.5
     #: Mean ON-period duration (seconds) — the arrival burst length.
+    #: Doubles as the square-wave ON duration (period = mean_on/duty).
     source_mean_on: float = 0.5
+    #: Flash-crowd surge window start (simulated seconds).
+    source_surge_start: float = 6.0
+    #: Flash-crowd surge window length (seconds).
+    source_surge_duration: float = 2.0
+    #: Rate multiplier inside the surge window.
+    source_surge_factor: float = 4.0
     #: Simulated warm-up excluded from all metrics.
     warmup: float = 5.0
     #: Finite bandwidth (size units / second) for links between PEs on
@@ -89,6 +101,10 @@ class SystemConfig:
     #: (same-instant publication plus per-node offsets would otherwise
     #: differ).  None (default) keeps per-node staggered loops.
     control_phase_buckets: _t.Optional[int] = None
+    #: When set, arm the SLO-aware admission front end
+    #: (:class:`repro.control.admission.AdmissionController`) in front
+    #: of the ingress PEs; None (default) admits everything.
+    admission: _t.Optional["AdmissionConfig"] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -98,10 +114,22 @@ class SystemConfig:
             raise ValueError("b0_fraction must lie in [0, 1]")
         if self.dt <= 0:
             raise ValueError("dt must be positive")
-        if self.source_kind not in ("onoff", "poisson", "constant"):
+        if self.source_kind not in (
+            "onoff",
+            "poisson",
+            "constant",
+            "squarewave",
+            "flashcrowd",
+        ):
             raise ValueError(f"unknown source_kind {self.source_kind!r}")
         if not 0.0 < self.source_duty <= 1.0:
             raise ValueError("source_duty must lie in (0, 1]")
+        if self.source_surge_start < 0 or self.source_surge_duration < 0:
+            raise ValueError(
+                "source_surge_start and source_surge_duration must be >= 0"
+            )
+        if self.source_surge_factor < 1.0:
+            raise ValueError("source_surge_factor must be >= 1")
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
         if self.reoptimize_interval is not None and self.reoptimize_interval <= 0:
@@ -211,22 +239,69 @@ def build_sources(
     streams: RandomStreams,
     runtimes: _t.Mapping[str, PERuntime],
     admit: AdmitFn,
+    admission: _t.Optional["AdmissionController"] = None,
 ) -> _t.List[_t.Any]:
     """Start one workload source per ingress PE, sinking through the
-    data plane's admission path."""
+    data plane's admission path.
+
+    With an admission front end armed, every offer consults
+    :meth:`~repro.control.admission.AdmissionController.admit_ingress`
+    first — shed and rejected SDOs never reach the data plane (they
+    count as source rejections; the controller keeps the shed/reject
+    split) — and each source's ``backoff`` hook is registered so
+    REJECT-level refusals impose their retry-after horizon.
+    """
     sources = []
     for pe_id, rate in sorted(topology.source_rates.items()):
         runtime = runtimes[pe_id]
 
-        def sink(sdo: SDO, now: float, runtime: PERuntime = runtime) -> bool:
-            return admit(runtime, sdo, now)
+        if admission is None:
+
+            def sink(
+                sdo: SDO, now: float, runtime: PERuntime = runtime
+            ) -> bool:
+                return admit(runtime, sdo, now)
+
+        else:
+
+            def sink(
+                sdo: SDO,
+                now: float,
+                runtime: PERuntime = runtime,
+                pe_id: str = pe_id,
+            ) -> bool:
+                assert admission is not None
+                if admission.admit_ingress(pe_id, now) != "admit":
+                    return False
+                return admit(runtime, sdo, now)
 
         stream_id = f"src:{pe_id}"
         rng = streams.stream(stream_id)
         if config.source_kind == "constant":
-            source = ConstantRateSource(env, stream_id, sink, rate)
+            source: _t.Any = ConstantRateSource(env, stream_id, sink, rate)
         elif config.source_kind == "poisson":
             source = PoissonSource(env, stream_id, sink, rate, rng)
+        elif config.source_kind == "squarewave":
+            duty = config.source_duty
+            source = SquareWaveSource(
+                env,
+                stream_id,
+                sink,
+                peak_rate=rate / duty,
+                period=config.source_mean_on / duty,
+                duty=duty,
+            )
+        elif config.source_kind == "flashcrowd":
+            source = FlashCrowdSource(
+                env,
+                stream_id,
+                sink,
+                rate=rate,
+                surge_start=config.source_surge_start,
+                surge_duration=config.source_surge_duration,
+                surge_factor=config.source_surge_factor,
+                rng=rng,
+            )
         else:
             duty = config.source_duty
             mean_on = config.source_mean_on
@@ -240,6 +315,8 @@ def build_sources(
                 mean_off=mean_off,
                 rng=rng,
             )
+        if admission is not None:
+            admission.register_backoff(pe_id, source.backoff)
         sources.append(source)
     return sources
 

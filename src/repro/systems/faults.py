@@ -47,7 +47,11 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.core.resilience import LossyFeedbackBus
-from repro.model.workload import ConstantRateSource, PoissonSource
+from repro.model.workload import (
+    ConstantRateSource,
+    FlashCrowdSource,
+    PoissonSource,
+)
 from repro.systems.simulated import SimulatedSystem
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -351,7 +355,9 @@ class FaultInjector:
         source = next(
             s for s in self.system.sources if s.stream_id == stream_id
         )
-        if isinstance(source, (ConstantRateSource, PoissonSource)):
+        if isinstance(
+            source, (ConstantRateSource, PoissonSource, FlashCrowdSource)
+        ):
             original = source.rate
             source.rate = original * fault.magnitude
 
@@ -360,7 +366,7 @@ class FaultInjector:
 
             return revert
 
-        # On/off source: surge the peak rate.
+        # On/off and square-wave sources: surge the peak rate.
         original_peak = source.peak_rate
         source.peak_rate = original_peak * fault.magnitude
 

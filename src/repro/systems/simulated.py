@@ -24,6 +24,7 @@ import typing as _t
 from dataclasses import dataclass, field
 
 from repro.control import ControlPlane, NodeGroup, resolve_initial_targets
+from repro.control.admission import AdmissionController
 from repro.control.node import NodeController
 from repro.core.policies import Policy
 from repro.core.resilience import ResilientTier1
@@ -56,12 +57,15 @@ class _Snapshot:
     """Cumulative counters captured at the start of the measured window."""
 
     buffer_drops: int = 0
+    buffer_flushed: int = 0
     source_generated: int = 0
     source_rejected: int = 0
     cpu_used: float = 0.0
     emit_attempts: int = 0
     emit_drops: int = 0
     shed_drops: int = 0
+    admission_shed: int = 0
+    admission_rejected: int = 0
     occupancy_integrals: _t.Dict[str, float] = field(default_factory=dict)
 
 
@@ -115,6 +119,22 @@ class SimulatedSystem:
             config.dt if config.feedback_delay is None
             else config.feedback_delay
         )
+        #: SLO-aware admission front end (None unless configured).  Built
+        #: before the plane so the plane owns its tick; bound to the
+        #: ingress buffers and the live egress histogram records below.
+        self.admission: _t.Optional[AdmissionController] = None
+        if config.admission is not None:
+            self.admission = AdmissionController(config.admission)
+            self.admission.bind(
+                ingress={
+                    pe_id: runtime.buffer
+                    for pe_id, runtime in self.runtimes.items()
+                    if runtime.is_ingress
+                },
+                egress=self.collector.records(),
+                clock=lambda: self.env.now,
+            )
+
         self.adapter = SimAdapter(self.env, self.recorder, self.profiler)
         self.plane = ControlPlane(
             policy,
@@ -133,6 +153,7 @@ class SimulatedSystem:
             tier1=self.tier1,
             profiler=self.profiler,
             control_impl=config.control_impl,
+            admission=self.admission,
         )
         if (
             config.control_phase_buckets is not None
@@ -159,13 +180,15 @@ class SimulatedSystem:
 
         self.sources = build_sources(
             self.env, topology, config, self.streams, self.runtimes,
-            self.dataplane.admit,
+            self.dataplane.admit, admission=self.admission,
         )
         self.gauges = build_gauges(
             self.env, gauge_cadence, self.recorder, self.runtimes, self.plane,
             collector=self.collector,
         )
         self._start_node_loops()
+        if self.admission is not None:
+            self.env.process(self._admission_loop())
 
         if config.reoptimize_interval is not None:
             self.env.process(self._reoptimize_loop())
@@ -287,6 +310,22 @@ class SimulatedSystem:
                 tick(env.now)
             yield env.timeout(dt)
 
+    def _admission_loop(self) -> _t.Generator:
+        """Tick the admission front end once per control interval.
+
+        The tick interval follows the admission config when set, else
+        the plane's control ``dt`` — the same cadence every node
+        controller runs at.  The first tick lands one full interval in
+        (histograms are empty at t=0, so an immediate tick is noise).
+        """
+        assert self.admission is not None
+        interval = self.admission.config.tick_interval or self.config.dt
+        env = self.env
+        tick = self.plane.tick_admission
+        while True:
+            yield env.timeout(interval)
+            tick(env.now)
+
     def _reoptimize_loop(self) -> _t.Generator:
         """Periodic Tier-1 refresh from measured input rates (Section V)."""
         interval = self.config.reoptimize_interval
@@ -317,9 +356,13 @@ class SimulatedSystem:
         for runtime in self.runtimes.values():
             runtime.buffer.sample(now)
         dataplane = self.dataplane
+        admission = self.admission
         return _Snapshot(
             buffer_drops=sum(
                 r.buffer.telemetry.dropped for r in self.runtimes.values()
+            ),
+            buffer_flushed=sum(
+                r.buffer.telemetry.flushed for r in self.runtimes.values()
             ),
             source_generated=sum(s.stats.generated for s in self.sources),
             source_rejected=sum(s.stats.rejected for s in self.sources),
@@ -329,6 +372,12 @@ class SimulatedSystem:
             emit_attempts=dataplane.emit_attempts,
             emit_drops=dataplane.emit_drops,
             shed_drops=dataplane.shed_drops,
+            admission_shed=(
+                admission.total_shed if admission is not None else 0
+            ),
+            admission_rejected=(
+                admission.total_rejected if admission is not None else 0
+            ),
             occupancy_integrals={
                 pe_id: r.buffer.telemetry.occupancy_integral
                 for pe_id, r in self.runtimes.items()
@@ -363,6 +412,23 @@ class SimulatedSystem:
         generated = end.source_generated - start.source_generated
         rejected = end.source_rejected - start.source_rejected
 
+        # Windowed per-kind drop breakdown.  The invariant the ledger
+        # and tests rely on: the buffer_drops aggregate equals exactly
+        # buffer_overflow + flushed + shed; admission refusals happen
+        # before any buffer and are broken out separately (they are a
+        # subset of source_rejections).
+        dropped = end.buffer_drops - start.buffer_drops
+        flushed = end.buffer_flushed - start.buffer_flushed
+        drops_by_kind = {
+            "buffer_overflow": dropped - flushed,
+            "flushed": flushed,
+            "shed": end.shed_drops - start.shed_drops,
+            "admission_shed": end.admission_shed - start.admission_shed,
+            "admission_rejected": (
+                end.admission_rejected - start.admission_rejected
+            ),
+        }
+
         return MetricsReport(
             policy=self.policy.name,
             duration=duration,
@@ -372,9 +438,11 @@ class SimulatedSystem:
             total_output_sdos=self.collector.total_output(),
             latency=self.collector.latency_summary(),
             buffer_drops=(
-                (end.buffer_drops - start.buffer_drops)
-                + (end.shed_drops - start.shed_drops)
+                drops_by_kind["buffer_overflow"]
+                + drops_by_kind["flushed"]
+                + drops_by_kind["shed"]
             ),
+            drops_by_kind=drops_by_kind,
             source_rejections=rejected,
             source_generated=generated,
             mean_buffer_occupancy=(

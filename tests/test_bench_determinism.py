@@ -10,6 +10,7 @@ between runs.
 import json
 
 from benchmarks.conftest import experiment_scale
+from repro.experiments.admission import run_admission_matrix, write_admission_bench
 from repro.experiments.config import smoke_experiment
 from repro.experiments.figures import figure3_latency
 from repro.experiments.reporting import format_table
@@ -45,6 +46,28 @@ def test_resilience_bench_bytes_identical(tmp_path):
     # Sanity: the file actually carries measurements.
     payload = json.loads(first)
     assert payload["cells"][0]["policy"] == "udp"
+
+
+def test_admission_bench_bytes_identical(tmp_path):
+    paths = []
+    for name in ("first.json", "second.json"):
+        results = run_admission_matrix(
+            workloads=("squarewave",),
+            lambdas=(8.0,),
+            duration=3.0,
+            warmup=0.5,
+            seed=11,
+            spec=small_spec(),
+        )
+        path = tmp_path / name
+        write_admission_bench(results, str(path))
+        paths.append(path)
+    first, second = (path.read_bytes() for path in paths)
+    assert first == second
+    payload = json.loads(first)
+    # One plain and one admission-armed cell per (workload, lambda) pair.
+    assert [c["mode"] for c in payload["cells"]] == ["plain", "admission"]
+    assert payload["summary"]["errors"] == 0
 
 
 def test_fig3_percentile_table_bytes_identical():

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.model.workload import ConstantRateSource, OnOffSource, PoissonSource
+from repro.model.workload import (
+    ConstantRateSource,
+    FlashCrowdSource,
+    OnOffSource,
+    PoissonSource,
+    SquareWaveSource,
+)
 from repro.sim import Environment
 
 
@@ -153,3 +159,134 @@ class TestOnOffSource:
             )
         )
         assert np.var(onoff) > 3 * np.var(poisson)
+
+
+class TestSquareWaveSource:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SquareWaveSource(env, "s", lambda s, n: True, peak_rate=0.0,
+                             period=1.0, duty=0.5)
+        with pytest.raises(ValueError):
+            SquareWaveSource(env, "s", lambda s, n: True, peak_rate=10.0,
+                             period=0.0, duty=0.5)
+        with pytest.raises(ValueError):
+            SquareWaveSource(env, "s", lambda s, n: True, peak_rate=10.0,
+                             period=1.0, duty=1.5)
+
+    def test_mean_rate_property(self):
+        env = Environment()
+        source = SquareWaveSource(
+            env, "s", lambda s, n: True, peak_rate=80.0,
+            period=2.0, duty=0.25,
+        )
+        assert source.mean_rate == pytest.approx(20.0)
+
+    def test_fully_deterministic(self):
+        def arrivals():
+            env = Environment()
+            log = []
+            SquareWaveSource(
+                env, "s", accepting_sink(log), peak_rate=50.0,
+                period=1.0, duty=0.4,
+            )
+            env.run(until=10.0)
+            return [now for _, now in log]
+
+        first, second = arrivals(), arrivals()
+        assert first == second
+        assert len(first) == pytest.approx(50.0 * 0.4 * 10.0, rel=0.1)
+
+    def test_silent_outside_duty_window(self):
+        env = Environment()
+        log = []
+        SquareWaveSource(
+            env, "s", accepting_sink(log), peak_rate=100.0,
+            period=1.0, duty=0.5,
+        )
+        env.run(until=4.0)
+        for _, now in log:
+            # Arrivals land only in the first half of each period.
+            assert (now % 1.0) <= 0.5 + 1e-9
+
+
+class TestFlashCrowdSource:
+    def test_validation(self):
+        env = Environment()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            FlashCrowdSource(env, "s", lambda s, n: True, rate=0.0,
+                             surge_start=1.0, surge_duration=1.0,
+                             surge_factor=4.0, rng=rng)
+        with pytest.raises(ValueError):
+            FlashCrowdSource(env, "s", lambda s, n: True, rate=10.0,
+                             surge_start=-1.0, surge_duration=1.0,
+                             surge_factor=4.0, rng=rng)
+        with pytest.raises(ValueError):
+            FlashCrowdSource(env, "s", lambda s, n: True, rate=10.0,
+                             surge_start=1.0, surge_duration=1.0,
+                             surge_factor=0.5, rng=rng)
+
+    def test_current_rate_window(self):
+        env = Environment()
+        source = FlashCrowdSource(
+            env, "s", lambda s, n: True, rate=10.0, surge_start=5.0,
+            surge_duration=2.0, surge_factor=4.0,
+            rng=np.random.default_rng(0),
+        )
+        assert source.current_rate(4.9) == 10.0
+        assert source.current_rate(5.0) == 40.0
+        assert source.current_rate(6.9) == 40.0
+        assert source.current_rate(7.0) == 10.0
+
+    def test_surge_window_is_denser(self):
+        env = Environment()
+        log = []
+        FlashCrowdSource(
+            env, "s", accepting_sink(log), rate=50.0, surge_start=4.0,
+            surge_duration=4.0, surge_factor=5.0,
+            rng=np.random.default_rng(7),
+        )
+        env.run(until=12.0)
+        inside = sum(1 for _, now in log if 4.0 <= now < 8.0)
+        outside = len(log) - inside
+        # 4 s at 250/s vs 8 s at 50/s: the surge window dominates.
+        assert inside > 1.5 * outside
+
+    def test_reproducible_with_seed(self):
+        def arrivals(seed):
+            env = Environment()
+            log = []
+            FlashCrowdSource(
+                env, "s", accepting_sink(log), rate=30.0, surge_start=2.0,
+                surge_duration=1.0, surge_factor=3.0,
+                rng=np.random.default_rng(seed),
+            )
+            env.run(until=5.0)
+            return [now for _, now in log]
+
+        assert arrivals(9) == arrivals(9)
+        assert arrivals(9) != arrivals(10)
+
+
+class TestRetryAfterBackoff:
+    def test_backoff_defers_offers(self):
+        env = Environment()
+        log = []
+        source = ConstantRateSource(env, "s", accepting_sink(log), rate=10.0)
+        source.backoff(until=0.5)
+        env.run(until=1.0)
+        # Offers in [0, 0.5) are withheld, not generated-and-rejected.
+        assert source.stats.deferred > 0
+        assert source.stats.rejected == 0
+        assert all(now >= 0.5 for _, now in log)
+        assert source.stats.generated == len(log)
+
+    def test_backoff_horizon_only_extends(self):
+        env = Environment()
+        source = ConstantRateSource(env, "s", lambda s, n: True, rate=10.0)
+        source.backoff(until=2.0)
+        source.backoff(until=1.0)  # shorter horizon must not shrink it
+        env.run(until=1.5)
+        assert source.stats.generated == 0
+        assert source.stats.deferred > 0
