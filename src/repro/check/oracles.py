@@ -196,6 +196,58 @@ class OracleRecorder(TraceRecorder):
             pe_id: _make_shadow(controller)
             for pe_id, controller in inspection.controllers.items()
         }
+        self._rebind_inspection(inspection)
+        # Membership rebuilds (the elastic tier) invalidate every view
+        # this oracle flattened at attach time; re-flatten at each epoch
+        # boundary, preserving the Eq. 7 shadow histories of surviving
+        # PEs (their real controllers' histories survive too).
+        plane.add_rebuild_hook(self.refresh_plane)
+
+        self._admission = getattr(inspection, "admission", None)
+        self._adm_last_rank = 0
+        self._adm_last_ladder_t = None
+        if self._admission is not None:
+            # Static hysteresis-band validation: a malformed band (enter
+            # at or below exit, or non-increasing enters) lets pressure
+            # hovering at one value trigger repeated transitions, which
+            # is precisely what hysteresis exists to exclude.
+            config = self._admission.config
+            for index, level in enumerate(ADAPTIVE_LEVELS):
+                if config.enter[index] <= config.exit[index]:
+                    self.record_violation(
+                        "admission_band_consistency", "ladder hysteresis",
+                        f"{level.name}: enter={config.enter[index]} is not "
+                        f"strictly above exit={config.exit[index]}",
+                    )
+                if index and config.enter[index] <= config.enter[index - 1]:
+                    self.record_violation(
+                        "admission_band_consistency", "ladder hysteresis",
+                        f"enter thresholds not strictly increasing: "
+                        f"{config.enter}",
+                    )
+
+    def refresh_plane(self, plane: "ControlPlane") -> None:
+        """Re-flatten the oracle's views after a membership rebuild.
+
+        Shadows of surviving PEs are kept (Eq. 7 histories continue
+        across an epoch boundary exactly like the real controllers');
+        departed PEs are dropped and new ones get zero-history shadows.
+        Any partially accumulated capacity round is discarded — the
+        rebuild replaces node controllers mid-round, so the next full
+        round restarts the Eq. 4 sum.
+        """
+        inspection = plane.inspection()
+        self._inspection = inspection
+        controllers = inspection.controllers
+        for pe_id in [p for p in self._shadows if p not in controllers]:
+            del self._shadows[pe_id]
+        for pe_id, controller in controllers.items():
+            if pe_id not in self._shadows:
+                self._shadows[pe_id] = _make_shadow(controller)
+        self._rebind_inspection(inspection)
+
+    def _rebind_inspection(self, inspection: "PlaneInspection") -> None:
+        """Flatten the per-event lookup tables from one inspection view."""
         self._grant_groups = {}
         self._paused = inspection.paused
 
@@ -225,29 +277,6 @@ class OracleRecorder(TraceRecorder):
             )
             for pe_id, node_id in inspection.node_of.items()
         }
-
-        self._admission = getattr(inspection, "admission", None)
-        self._adm_last_rank = 0
-        self._adm_last_ladder_t = None
-        if self._admission is not None:
-            # Static hysteresis-band validation: a malformed band (enter
-            # at or below exit, or non-increasing enters) lets pressure
-            # hovering at one value trigger repeated transitions, which
-            # is precisely what hysteresis exists to exclude.
-            config = self._admission.config
-            for index, level in enumerate(ADAPTIVE_LEVELS):
-                if config.enter[index] <= config.exit[index]:
-                    self.record_violation(
-                        "admission_band_consistency", "ladder hysteresis",
-                        f"{level.name}: enter={config.enter[index]} is not "
-                        f"strictly above exit={config.exit[index]}",
-                    )
-                if index and config.enter[index] <= config.enter[index - 1]:
-                    self.record_violation(
-                        "admission_band_consistency", "ladder hysteresis",
-                        f"enter thresholds not strictly increasing: "
-                        f"{config.enter}",
-                    )
 
     def bind_clock(self, clock: _t.Callable[[], float]) -> None:
         super().bind_clock(clock)
@@ -664,7 +693,16 @@ class OracleRecorder(TraceRecorder):
         inspection = self._inspection
         if inspection is None:
             return
-        targets = inspection.plane.targets
+        plane = inspection.plane
+        targets = plane.targets
+        # Budgets are checked under the placement the targets were
+        # *adopted* for: a live migration moves PEs without touching
+        # targets, so summing over the post-migration placement would
+        # flag a transient that Eq. 4 enforcement (the per-grant check)
+        # already covers.  Nodes removed since adoption are skipped.
+        node_of = getattr(plane, "targets_node_of", None)
+        if node_of is None:
+            node_of = inspection.node_of
         sums: _t.Dict[str, float] = {
             node_id: 0.0 for node_id in inspection.nominal_capacity
         }
@@ -674,8 +712,8 @@ class OracleRecorder(TraceRecorder):
                     "target_cpu_nonnegative", "Eq. 4",
                     f"Tier-1 cpu target {cpu} < 0", t=t, pe=pe_id,
                 )
-            node_id = inspection.node_of.get(pe_id)
-            if node_id is not None:
+            node_id = node_of.get(pe_id)
+            if node_id is not None and node_id in sums:
                 sums[node_id] += cpu
         for node_id, total in sums.items():
             capacity = inspection.nominal_capacity[node_id]

@@ -12,6 +12,7 @@ Commands
 ``calibrate`` run the simulator-vs-threaded-runtime comparison
 ``chaos``     run the resilience fault matrix (MTTR, utility retention)
 ``admit``     run the admission burst matrix (plain vs ACES + admission)
+``elastic``   run the elasticity ramp matrix (static vs autoscaled)
 ``fuzz``      seeded scenario fuzzing with invariant oracles armed
 
 Examples::
@@ -24,6 +25,7 @@ Examples::
     python -m repro figure fig5
     python -m repro chaos --smoke --output BENCH_resilience.json
     python -m repro admit --smoke --output BENCH_admission.json
+    python -m repro elastic --smoke --output BENCH_elasticity.json
     python -m repro fuzz --seeds 100 --output fuzz.jsonl
 """
 
@@ -643,6 +645,73 @@ def cmd_admit(args: argparse.Namespace) -> int:
     return 0 if summary["clean"] else 1
 
 
+def cmd_elastic(args: argparse.Namespace) -> int:
+    from repro.experiments.elasticity import (
+        run_elasticity_matrix,
+        write_elasticity_bench,
+    )
+
+    if args.smoke:
+        policies = ["udp"]
+        duration, warmup = 12.0, 1.0
+    else:
+        policies = [name.strip() for name in args.policies.split(",")]
+        duration, warmup = args.duration, args.warmup
+    for name in policies:
+        policy_by_name(name)  # fail fast on unknown policy names
+
+    results = run_elasticity_matrix(
+        policies=policies,
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+        max_nodes=args.max_nodes,
+    )
+    write_elasticity_bench(results, args.output)
+
+    rows = [
+        {
+            "policy": cell["policy"],
+            "mode": cell["mode"],
+            "wutil": cell["weighted_utility"],
+            "retention": (
+                cell["utility_retention"]
+                if cell["utility_retention"] is not None
+                else "-"
+            ),
+            "out/in": f"{cell['scale_outs']}/{cell['scale_ins']}",
+            "peak": cell["peak_nodes"],
+            "final": cell["final_nodes"],
+            "migrations": cell["migrations"],
+            "downtime_max_ms": cell["downtime_max"] * 1000.0,
+            "node_seconds": cell["node_seconds"],
+            "stranded": cell["stranded_sdos"],
+            "violations": len(cell["violations"]),
+            "error": cell["error"] or "-",
+        }
+        for cell in results["cells"]
+    ]
+    print_table(
+        rows,
+        title=(
+            f"elasticity ramp matrix (downtime bound "
+            f"{results['downtime_bound']:.1f}s)"
+        ),
+        precision=3,
+    )
+    summary = results["summary"]
+    print(
+        f"cells={len(results['cells'])} "
+        f"scale_outs={summary['total_scale_outs']} "
+        f"scale_ins={summary['total_scale_ins']} "
+        f"migrations={summary['total_migrations']} "
+        f"stranded={summary['total_stranded_sdos']} "
+        f"violations={summary['total_violations']} "
+        f"errors={summary['errors']} -> {args.output}"
+    )
+    return 0 if summary["clean"] else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.experiments.fuzzing import DEFAULT_POLICIES, run_fuzz_campaign
 
@@ -973,6 +1042,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced CI matrix: one workload, one lambda_s, short run",
     )
     admit.set_defaults(handler=cmd_admit)
+
+    elastic = subparsers.add_parser(
+        "elastic",
+        help="elasticity ramp matrix (static vs autoscaled cluster)",
+        description=(
+            "Run flash-crowd scale-out/in ramps per policy, with the "
+            "cluster membership frozen (static) and with the Tier-3 "
+            "elastic tier armed (autoscaling + live PE migration), strict "
+            "invariant oracles watching every cell, and write the matrix "
+            "to a JSON benchmark file.  Exits nonzero if any elastic cell "
+            "fails to scale, exceeds the migration downtime bound, "
+            "strands SDOs, or violates an invariant."
+        ),
+    )
+    elastic.add_argument(
+        "--policies", default="aces,udp",
+        help="comma-separated policy names (default aces,udp)",
+    )
+    elastic.add_argument(
+        "--duration", type=float, default=18.0, help="measured seconds"
+    )
+    elastic.add_argument(
+        "--warmup", type=float, default=1.0, help="warm-up seconds"
+    )
+    elastic.add_argument(
+        "--max-nodes", dest="max_nodes", type=int, default=5,
+        help="autoscaler node ceiling (default 5)",
+    )
+    elastic.add_argument("--seed", type=int, default=0, help="matrix seed")
+    elastic.add_argument(
+        "--output", default="BENCH_elasticity.json", metavar="PATH",
+        help="benchmark JSON output file",
+    )
+    elastic.add_argument(
+        "--smoke", action="store_true",
+        help="reduced CI matrix: UDP only, short run",
+    )
+    elastic.set_defaults(handler=cmd_elastic)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="simulator vs threaded runtime"

@@ -38,6 +38,15 @@ from repro.control.admission import (
     DegradationLadder,
     LadderTransition,
 )
+from repro.control.elastic import (
+    ElasticityConfig,
+    MigrationRecord,
+    PlacementBook,
+    PlacementVersion,
+    ScalingPolicy,
+    plan_scale_in_placement,
+    plan_scale_out_placement,
+)
 from repro.control.node import ControlRecord, NodeController
 from repro.control.plane import (
     ControlPlane,
@@ -65,12 +74,17 @@ __all__ = [
     "ControlPlane",
     "ControlRecord",
     "DegradationLadder",
+    "ElasticityConfig",
     "LadderTransition",
+    "MigrationRecord",
     "NodeController",
     "NodeGroup",
     "PEIndexRegistry",
     "PELike",
+    "PlacementBook",
+    "PlacementVersion",
     "PlaneInspection",
+    "ScalingPolicy",
     "SystemAdapter",
     "VectorEngine",
     "VectorFeedbackBus",
@@ -80,5 +94,7 @@ __all__ = [
     "VectorTokenScheduler",
     "fallback_reason",
     "numpy_enabled",
+    "plan_scale_in_placement",
+    "plan_scale_out_placement",
     "resolve_initial_targets",
 ]

@@ -1,0 +1,403 @@
+"""Tier-3 elasticity: versioned placement, membership, and autoscaling.
+
+The paper holds placement fixed after Tier-1 assigns it.  This module
+adds the third control tier on top: placement becomes a *versioned
+runtime object* (:class:`PlacementBook` holding a chain of
+:class:`PlacementVersion` epochs), node membership becomes mutable
+(:meth:`~repro.control.plane.ControlPlane.add_node` /
+``remove_node`` / ``migrate_pes`` rebuild the Tier-2 state at an epoch
+boundary), and a :class:`ScalingPolicy` decides *when* to scale from a
+utilization/queue pressure signal using the admission ladder's
+hysteresis-plus-dwell pattern.
+
+The tier is strictly additive: systems built without an
+:class:`ElasticityConfig` never construct any of this and their outputs
+stay byte-identical to the pre-elasticity code.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+#: A scaling decision: what the policy wants the system to do now.
+ScalingDecision = str  # "scale_out" | "scale_in" | "hold"
+
+
+@dataclass(frozen=True)
+class PlacementVersion:
+    """One immutable epoch of the placement history.
+
+    ``placement`` maps pe_id -> node index into the node list in effect
+    at this epoch; ``diff`` records what changed relative to the
+    previous epoch as ``pe_id -> (old_node, new_node)`` (``old_node`` is
+    None for a PE that did not exist before, which cannot happen today
+    but keeps the contract total).
+    """
+
+    epoch: int
+    placement: _t.Mapping[str, int]
+    num_nodes: int
+    diff: _t.Mapping[str, _t.Tuple[_t.Optional[int], int]]
+    reason: str = "initial"
+
+    @property
+    def migrations(self) -> _t.Tuple[_t.Tuple[str, int, int], ...]:
+        """The migration set: ``(pe_id, from_node, to_node)`` triples."""
+        return tuple(
+            (pe_id, old, new)
+            for pe_id, (old, new) in self.diff.items()
+            if old is not None and old != new
+        )
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+        if self.num_nodes <= 0:
+            raise ValueError(
+                f"num_nodes must be positive, got {self.num_nodes}"
+            )
+        for pe_id, node in self.placement.items():
+            if not (0 <= node < self.num_nodes):
+                raise ValueError(
+                    f"placement maps {pe_id!r} to node {node}, outside "
+                    f"[0, {self.num_nodes})"
+                )
+
+
+class PlacementBook:
+    """The mutable spine of placement history: an append-only epoch chain.
+
+    Every consumer that used to read a frozen ``topology.placement``
+    dict reads :attr:`placement` (the current epoch's mapping) instead;
+    the elastic tier appends epochs via :meth:`advance` and the full
+    history stays available for tracing and the bench report.
+
+    The seed epoch copies the initial mapping, preserving insertion
+    order — Tier-1's solver iterates the mapping, so order is part of
+    the determinism contract.
+    """
+
+    def __init__(
+        self, placement: _t.Mapping[str, int], num_nodes: int
+    ) -> None:
+        seed = PlacementVersion(
+            epoch=0,
+            placement=dict(placement),
+            num_nodes=num_nodes,
+            diff={},
+            reason="initial",
+        )
+        self.versions: _t.List[PlacementVersion] = [seed]
+
+    @property
+    def current(self) -> PlacementVersion:
+        return self.versions[-1]
+
+    @property
+    def placement(self) -> _t.Mapping[str, int]:
+        """The live pe_id -> node-index mapping (current epoch)."""
+        return self.current.placement
+
+    @property
+    def epoch(self) -> int:
+        return self.current.epoch
+
+    @property
+    def num_nodes(self) -> int:
+        return self.current.num_nodes
+
+    def node_of(self, pe_id: str) -> int:
+        return self.current.placement[pe_id]
+
+    def advance(
+        self,
+        placement: _t.Mapping[str, int],
+        num_nodes: int,
+        reason: str,
+    ) -> PlacementVersion:
+        """Append a new epoch, computing the diff against the current one.
+
+        The new mapping is copied with the *previous* epoch's key order
+        preserved for surviving PEs (new PEs append), so downstream
+        deterministic iteration (Tier-1 variable order) is stable across
+        epochs.
+        """
+        previous = self.current
+        ordered: _t.Dict[str, int] = {}
+        for pe_id in previous.placement:
+            if pe_id in placement:
+                ordered[pe_id] = placement[pe_id]
+        for pe_id, node in placement.items():
+            if pe_id not in ordered:
+                ordered[pe_id] = node
+        diff: _t.Dict[str, _t.Tuple[_t.Optional[int], int]] = {}
+        for pe_id, node in ordered.items():
+            old = previous.placement.get(pe_id)
+            if old != node:
+                diff[pe_id] = (old, node)
+        version = PlacementVersion(
+            epoch=previous.epoch + 1,
+            placement=ordered,
+            num_nodes=num_nodes,
+            diff=diff,
+            reason=reason,
+        )
+        self.versions.append(version)
+        return version
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementBook(epoch={self.epoch}, "
+            f"nodes={self.num_nodes}, pes={len(self.placement)})"
+        )
+
+
+@dataclass
+class MigrationRecord:
+    """One live PE migration: identity, route, and observed downtime.
+
+    Shared by both substrates: the simulator fills ``downtime`` from its
+    consumed-counter watermark watcher; the threaded runtime's workers
+    never stop draining their channels during a (plane-only) migration,
+    so it reports a downtime of zero.
+    """
+
+    pe_id: str
+    t: float
+    from_node: str
+    to_node: str
+    epoch: int
+    #: SDOs lifted through the buffer handoff (conserved exactly).
+    handoff_occupancy: int
+    #: Seconds until the PE's consumed counter advanced past its
+    #: pre-migration watermark; None when it never consumed again
+    #: before the run ended (e.g. no further traffic reached it).
+    downtime: _t.Optional[float] = None
+
+
+@dataclass
+class ElasticityConfig:
+    """Arming switch and tuning knobs for the elastic tier.
+
+    Pressure is the max over nodes of a blended utilization/queue
+    signal in [0, 1] (see the substrate's pressure probe).  The policy
+    scales out when pressure dwells above ``scale_out_pressure`` and in
+    when it dwells below ``scale_in_pressure`` — a hysteresis band, the
+    same shape as the admission ladder's enter/exit thresholds, so the
+    two never chatter against each other.
+    """
+
+    #: Pressure at or above which the policy wants another node.
+    scale_out_pressure: float = 0.85
+    #: Pressure at or below which the policy wants one fewer node.
+    scale_in_pressure: float = 0.35
+    min_nodes: int = 1
+    max_nodes: int = 16
+    #: Seconds between pressure observations (the Tier-3 cadence).
+    check_interval: float = 0.5
+    #: Consecutive beyond-threshold observations required to act
+    #: (min-dwell, the admission ladder's anti-oscillation pattern).
+    dwell_intervals: int = 3
+    #: Seconds after any membership action before the next may fire.
+    cooldown: float = 2.0
+    #: Cap on PE moves applied per epoch (bounds per-epoch disruption).
+    max_migrations_per_epoch: int = 4
+    #: Evaluation budget handed to ``optimize_placement`` per re-solve.
+    placement_evaluations: int = 24
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.scale_in_pressure < self.scale_out_pressure <= 1.0):
+            raise ValueError(
+                "need 0 <= scale_in_pressure < scale_out_pressure <= 1, "
+                f"got {self.scale_in_pressure} / {self.scale_out_pressure}"
+            )
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes ({self.max_nodes}) < min_nodes ({self.min_nodes})"
+            )
+        if self.check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be positive, got {self.check_interval}"
+            )
+        if self.dwell_intervals < 1:
+            raise ValueError(
+                f"dwell_intervals must be >= 1, got {self.dwell_intervals}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.max_migrations_per_epoch < 1:
+            raise ValueError(
+                "max_migrations_per_epoch must be >= 1, got "
+                f"{self.max_migrations_per_epoch}"
+            )
+        if self.placement_evaluations < 1:
+            raise ValueError(
+                "placement_evaluations must be >= 1, got "
+                f"{self.placement_evaluations}"
+            )
+
+
+@dataclass
+class ScalingDecisionRecord:
+    """One fired decision, kept for the bench report."""
+
+    t: float
+    decision: ScalingDecision
+    pressure: float
+    num_nodes: int
+
+
+class ScalingPolicy:
+    """Hysteresis + min-dwell + cooldown over a scalar pressure signal.
+
+    Pure and substrate-free: callers feed ``observe(pressure, now)``
+    once per check interval and act on the returned decision.  The
+    policy never fires outside the configured node bounds, never fires
+    during cooldown, and requires ``dwell_intervals`` *consecutive*
+    beyond-threshold observations — one in-band reading resets the
+    streak, exactly like the admission ladder's min-dwell.
+    """
+
+    def __init__(self, config: ElasticityConfig) -> None:
+        self.config = config
+        self._out_streak = 0
+        self._in_streak = 0
+        self._cooldown_until = float("-inf")
+        self.decisions: _t.List[ScalingDecisionRecord] = []
+
+    def observe(
+        self,
+        pressure: float,
+        now: float,
+        num_nodes: int,
+        slack_pressure: _t.Optional[float] = None,
+    ) -> ScalingDecision:
+        """Feed one observation; returns the decision to apply.
+
+        ``pressure`` is the hot-spot signal (max over nodes) and drives
+        scale-out; ``slack_pressure`` is the cluster-wide slack signal
+        (mean over nodes, empty nodes counting as zero) and drives
+        scale-in.  The asymmetry is deliberate: one saturated node
+        justifies growing the cluster, but only cluster-wide idleness
+        justifies shrinking it — under a skew-prone policy the hottest
+        node can stay pinned near full long after aggregate load has
+        collapsed.  Callers with a single signal omit ``slack_pressure``
+        and the hot-spot value serves both sides.
+        """
+        config = self.config
+        slack = pressure if slack_pressure is None else slack_pressure
+        if pressure >= config.scale_out_pressure:
+            self._out_streak += 1
+            self._in_streak = 0
+        elif slack <= config.scale_in_pressure:
+            self._in_streak += 1
+            self._out_streak = 0
+        else:
+            self._out_streak = 0
+            self._in_streak = 0
+        if now < self._cooldown_until:
+            return "hold"
+        if (
+            self._out_streak >= config.dwell_intervals
+            and num_nodes < config.max_nodes
+        ):
+            self._fire("scale_out", pressure, now, num_nodes)
+            return "scale_out"
+        if (
+            self._in_streak >= config.dwell_intervals
+            and num_nodes > config.min_nodes
+        ):
+            self._fire("scale_in", slack, now, num_nodes)
+            return "scale_in"
+        return "hold"
+
+    def _fire(
+        self,
+        decision: ScalingDecision,
+        pressure: float,
+        now: float,
+        num_nodes: int,
+    ) -> None:
+        self._out_streak = 0
+        self._in_streak = 0
+        self._cooldown_until = now + self.config.cooldown
+        self.decisions.append(
+            ScalingDecisionRecord(
+                t=now,
+                decision=decision,
+                pressure=pressure,
+                num_nodes=num_nodes,
+            )
+        )
+
+
+def plan_scale_out_placement(
+    placement: _t.Mapping[str, int],
+    num_nodes: int,
+    load: _t.Mapping[str, float],
+    max_moves: int,
+) -> _t.Dict[str, int]:
+    """Seed placement for a freshly joined node: offload the hottest PEs.
+
+    A deterministic greedy seed used before (or instead of) the full
+    ``optimize_placement`` re-solve: take up to ``max_moves`` PEs from
+    the most loaded nodes — heaviest ``load`` first, pe_id as the
+    tiebreak — and move them to the new node (index ``num_nodes - 1``).
+    Never moves a PE that is alone on its node.
+    """
+    new_node = num_nodes - 1
+    result = dict(placement)
+    counts: _t.Dict[int, int] = {}
+    for node in result.values():
+        counts[node] = counts.get(node, 0) + 1
+    candidates = sorted(
+        (pe_id for pe_id, node in result.items() if node != new_node),
+        key=lambda pe_id: (-load.get(pe_id, 0.0), pe_id),
+    )
+    moved = 0
+    for pe_id in candidates:
+        if moved >= max_moves:
+            break
+        home = result[pe_id]
+        if counts.get(home, 0) <= 1:
+            continue
+        result[pe_id] = new_node
+        counts[home] -= 1
+        counts[new_node] = counts.get(new_node, 0) + 1
+        moved += 1
+    return result
+
+
+def plan_scale_in_placement(
+    placement: _t.Mapping[str, int],
+    num_nodes: int,
+    victim: int,
+    load: _t.Mapping[str, float],
+) -> _t.Dict[str, int]:
+    """Relocate every PE off ``victim`` and renumber nodes above it.
+
+    PEs leaving the victim go to the currently least-loaded surviving
+    node (fewest resident PEs, lowest index as the tiebreak); placements
+    referencing nodes above the victim shift down by one so the result
+    indexes the post-removal node list.
+    """
+    if not (0 <= victim < num_nodes):
+        raise ValueError(
+            f"victim node {victim} outside [0, {num_nodes})"
+        )
+    survivors = [n for n in range(num_nodes) if n != victim]
+    weight: _t.Dict[int, float] = {n: 0.0 for n in survivors}
+    for pe_id, node in placement.items():
+        if node != victim:
+            weight[node] += load.get(pe_id, 1.0)
+    result: _t.Dict[str, int] = {}
+    for pe_id, node in placement.items():
+        if node == victim:
+            target = min(survivors, key=lambda n: (weight[n], n))
+            weight[target] += load.get(pe_id, 1.0)
+            node = target
+        result[pe_id] = node if node < victim else node - 1
+    return result

@@ -99,8 +99,30 @@ class NodeGroup:
     """The PEs resident on one node, as the control plane sees them."""
 
     node_id: str
-    pes: _t.Sequence[PELike] = field(default_factory=list)
+    pes: _t.List[PELike] = field(default_factory=list)
     cpu_capacity: float = 1.0
+
+
+@dataclass
+class _EpochCarry:
+    """Control state harvested before a membership rebuild.
+
+    Everything here is keyed by stable identity (node_id / pe_id), never
+    by index, so it survives node-list surgery: pause flags and injected
+    capacity slowdowns follow their node, token levels and Eq. 7
+    histories follow their PE.
+    """
+
+    paused: _t.Dict[str, bool]
+    ticks: _t.Dict[str, int]
+    blocked: _t.Dict[str, _t.FrozenSet[str]]
+    capacity: _t.Dict[str, float]
+    token_levels: _t.Dict[str, float]
+    #: Vector-engine per-PE flow state (None when the engine is off).
+    vector: _t.Optional[_t.Dict[str, _t.Dict[str, _t.Any]]]
+    #: Vector bus contents (None when the scalar bus is in use — the
+    #: scalar bus is pe_id-keyed and survives rebuilds untouched).
+    bus: _t.Optional[_t.Dict[str, _t.Any]]
 
 
 def resolve_initial_targets(
@@ -205,6 +227,62 @@ class ControlPlane:
             else True
         )
 
+        #: Construction inputs persisted so membership rebuilds can
+        #: re-resolve the policy factories with identical parameters.
+        self._requested_impl = control_impl
+        self._gains = (
+            policy.controller_gains(dt) if self.uses_feedback else None
+        )
+        if self.uses_feedback:
+            # feedback policies always provide controller gains.
+            assert self._gains is not None
+        self._feedback_delay = feedback_delay
+        self._feedback_staleness_ttl = feedback_staleness_ttl
+        self._feedback_stale_bound = feedback_stale_bound
+
+        #: Why a requested vector path fell back to scalar (None when
+        #: vector is active or scalar was requested).
+        self.vector_fallback_reason: _t.Optional[str] = None
+        self._engine: _t.Optional[VectorEngine] = None
+        self.controllers: _t.Dict[str, _t.Any] = {}
+        self.gates: _t.Dict[str, _t.Optional[GateFn]] = {}
+        self.admission_filters: _t.Dict[str, AdmissionFn] = {}
+        #: Placement epoch: 0 at construction, +1 per membership rebuild.
+        self.epoch = 0
+        #: Callbacks run after every membership rebuild (oracles and
+        #: other observers re-derive their cached plane views here).
+        self.rebuild_hooks: _t.List[
+            _t.Callable[["ControlPlane"], None]
+        ] = []
+        self._build()
+
+        #: Per-node pause flags (controller-outage injection).  Loops may
+        #: capture this list object; mutate it, never rebind it.
+        self.paused: _t.List[bool] = [False] * len(self.groups)
+        #: Number of Tier-1 refreshes adopted during the run.
+        self.reoptimizations = 0
+        #: pe_id -> node_id snapshot taken when the current targets were
+        #: adopted.  Tier-1 budgets against the placement it solved for;
+        #: a later migration moves PEs without touching targets, so
+        #: capacity validation of the *targets* must use this snapshot,
+        #: not the live placement (grants are still checked live).
+        self.targets_node_of: _t.Dict[str, str] = self._node_of_snapshot()
+
+    # -- construction / epoch rebuild ----------------------------------------
+
+    def _build(self) -> None:
+        """Resolve the policy factories into runnable Tier-2 state.
+
+        Called once at construction and again (via the membership API)
+        at every epoch boundary.  Rebuilds derive everything from the
+        *current* :attr:`groups`; state that must survive a rebuild is
+        carried across by :meth:`_harvest` / :meth:`_restore`, keyed by
+        node_id / pe_id rather than index.
+        """
+        policy = self.policy
+        targets = self.targets
+        dt = self.dt
+
         # The policy's schedulers are always built normally; in vector
         # mode they become parameter donors (bucket depths/levels,
         # strict targets, capacities) for the engine's state arrays and
@@ -215,18 +293,11 @@ class ControlPlane:
             )
             for group in self.groups
         ]
-        gains = (
-            policy.controller_gains(dt) if self.uses_feedback else None
-        )
-        if self.uses_feedback:
-            # feedback policies always provide controller gains.
-            assert gains is not None
+        gains = self._gains
 
-        #: Why a requested vector path fell back to scalar (None when
-        #: vector is active or scalar was requested).
-        self.vector_fallback_reason: _t.Optional[str] = None
-        self._engine: _t.Optional[VectorEngine] = None
-        if control_impl == "vector":
+        self.vector_fallback_reason = None
+        self._engine = None
+        if self._requested_impl == "vector":
             self.vector_fallback_reason = fallback_reason(
                 donors, self.uses_feedback
             )
@@ -235,24 +306,27 @@ class ControlPlane:
                 self._engine = VectorEngine(self, registry, donors, gains)
         self.control_impl = "vector" if self._engine is not None else "scalar"
 
-        if self._engine is not None and feedback_staleness_ttl is None:
+        prev_bus = getattr(self, "bus", None)
+        if self._engine is not None and self._feedback_staleness_ttl is None:
             vbus = VectorFeedbackBus(
                 self._engine.registry,
-                delay=feedback_delay,
+                delay=self._feedback_delay,
                 recorder=self.recorder,
             )
             self._engine.bus = vbus
             self.bus: _t.Any = vbus
-        else:
+        elif prev_bus is None or isinstance(prev_bus, VectorFeedbackBus):
             # Staleness guard configured (or scalar mode): the scalar
             # bus keeps its per-read decay semantics; a vector engine
             # treats it as a foreign bus (per-PE reads/publishes).
             self.bus = FeedbackBus(
-                delay=feedback_delay,
-                staleness_ttl=feedback_staleness_ttl,
-                stale_bound=feedback_stale_bound,
+                delay=self._feedback_delay,
+                staleness_ttl=self._feedback_staleness_ttl,
+                stale_bound=self._feedback_stale_bound,
                 recorder=self.recorder,
             )
+        # else: the installed scalar bus (possibly a fault-injection
+        # wrapper) is pe_id-keyed and survives the rebuild untouched.
 
         self.schedulers: _t.List[_t.Any] = (
             self._engine.scheduler_views
@@ -264,8 +338,11 @@ class ControlPlane:
                 attach = getattr(scheduler, "attach_tracing", None)
                 if attach is not None:
                     attach(self.recorder, group.node_id)
+        self._scheduler_of: _t.Dict[str, _t.Any] = {}
+        for group, scheduler in zip(self.groups, self.schedulers):
+            for pe in group.pes:
+                self._scheduler_of[pe.pe_id] = scheduler
 
-        self.controllers: _t.Dict[str, _t.Any] = {}
         if self.uses_feedback:
             assert gains is not None
             if self._engine is not None:
@@ -280,22 +357,27 @@ class ControlPlane:
             else:
                 for group in self.groups:
                     for pe in group.pes:
-                        self.controllers[pe.pe_id] = FlowController(
-                            gains,
-                            target_occupancy=b0,
-                            buffer_capacity=pe.buffer.capacity,
-                            pe_id=pe.pe_id,
-                            recorder=self.recorder,
-                        )
+                        # A surviving scalar controller is reused so its
+                        # Eq. 7 histories carry across epochs verbatim.
+                        existing = self.controllers.get(pe.pe_id)
+                        if not isinstance(existing, FlowController):
+                            self.controllers[pe.pe_id] = FlowController(
+                                gains,
+                                target_occupancy=self.b0,
+                                buffer_capacity=pe.buffer.capacity,
+                                pe_id=pe.pe_id,
+                                recorder=self.recorder,
+                            )
 
-        self.gates: _t.Dict[str, _t.Optional[GateFn]] = {}
-        self.admission_filters: _t.Dict[str, AdmissionFn] = {}
         for group in self.groups:
             for pe in group.pes:
-                self.gates[pe.pe_id] = policy.make_gate(pe)
-                self.admission_filters[pe.pe_id] = (
-                    policy.make_admission_filter(pe)
-                )
+                # Only fill missing entries: dynamically replaced gates
+                # (fault injection) must survive a rebuild.
+                if pe.pe_id not in self.gates:
+                    self.gates[pe.pe_id] = policy.make_gate(pe)
+                    self.admission_filters[pe.pe_id] = (
+                        policy.make_admission_filter(pe)
+                    )
 
         controller_cls: _t.Any = (
             VectorNodeController
@@ -317,7 +399,7 @@ class ControlPlane:
                     for pe in group.pes
                 ],
                 plane=self,
-                adapter=adapter,
+                adapter=self.adapter,
                 dt=dt,
                 uses_feedback=self.uses_feedback,
                 aggregate_max=self.aggregate_max,
@@ -326,7 +408,7 @@ class ControlPlane:
                     if self._engine is not None
                     else isinstance(scheduler, AcesCpuScheduler)
                 ),
-                profiler=profiler,
+                profiler=self.profiler,
                 **(
                     {"engine": self._engine}
                     if self._engine is not None
@@ -338,11 +420,347 @@ class ControlPlane:
             )
         ]
 
-        #: Per-node pause flags (controller-outage injection).  Loops may
-        #: capture this list object; mutate it, never rebind it.
-        self.paused: _t.List[bool] = [False] * len(self.groups)
-        #: Number of Tier-1 refreshes adopted during the run.
-        self.reoptimizations = 0
+    def _harvest(self) -> _EpochCarry:
+        """Capture identity-keyed control state ahead of group surgery."""
+        paused = {
+            group.node_id: flag
+            for group, flag in zip(self.groups, self.paused)
+        }
+        ticks = {c.node_id: c.ticks for c in self.node_controllers}
+        blocked = {
+            c.node_id: c.last_blocked for c in self.node_controllers
+        }
+        capacity = {
+            group.node_id: float(scheduler.capacity)
+            for group, scheduler in zip(self.groups, self.schedulers)
+        }
+        token_levels: _t.Dict[str, float] = {}
+        vector: _t.Optional[_t.Dict[str, _t.Dict[str, _t.Any]]] = None
+        bus_state: _t.Optional[_t.Dict[str, _t.Any]] = None
+        engine = self._engine
+        if engine is None:
+            for scheduler in self.schedulers:
+                buckets = getattr(scheduler, "buckets", None)
+                if buckets:
+                    for pe_id, bucket in buckets.items():
+                        token_levels[pe_id] = float(bucket.level)
+        else:
+            index = engine.registry.index
+            if engine.is_aces:
+                for pe_id, i in index.items():
+                    token_levels[pe_id] = float(engine.tok_level[i])
+            vector = {
+                "flow_last": {},
+                "flow_updates": {},
+                "dev": {},
+                "sur": {},
+            }
+            for pe_id, i in index.items():
+                vector["flow_last"][pe_id] = float(engine.flow_last[i])
+                vector["flow_updates"][pe_id] = int(
+                    engine.flow_updates[i]
+                )
+                if engine.dev_hist is not None:
+                    vector["dev"][pe_id] = engine.dev_hist[:, i].copy()
+                    vector["sur"][pe_id] = engine.sur_hist[:, i].copy()
+            if isinstance(self.bus, VectorFeedbackBus):
+                bus_state = self._harvest_vector_bus(
+                    self.bus, engine.registry
+                )
+        return _EpochCarry(
+            paused=paused,
+            ticks=ticks,
+            blocked=blocked,
+            capacity=capacity,
+            token_levels=token_levels,
+            vector=vector,
+            bus=bus_state,
+        )
+
+    @staticmethod
+    def _harvest_vector_bus(
+        bus: VectorFeedbackBus, registry: PEIndexRegistry
+    ) -> _t.Dict[str, _t.Any]:
+        """Decompose the vector bus into pe_id-keyed settled + in-flight
+        state (batch selections reference the *old* index space, so they
+        cannot cross a registry rebuild as-is)."""
+        entries: _t.Dict[str, _t.Tuple[float, float]] = {}
+        for pe_id, i in registry.index.items():
+            if bus._published[i]:
+                entries[pe_id] = (
+                    float(bus._current_arr[i]),
+                    float(bus._freshened[i]),
+                )
+        # Batch entries rank before per-PE entries at the same
+        # visible_at — settle_all gives ties to the per-PE message.
+        inflight: _t.Dict[
+            str, _t.List[_t.Tuple[float, int, float]]
+        ] = {}
+        for visible_at, sel, values in bus._batches:
+            if isinstance(sel, slice):
+                ids = registry.ids[sel]
+            else:
+                ids = [registry.ids[int(i)] for i in sel]
+            for j, pe_id in enumerate(ids):
+                inflight.setdefault(pe_id, []).append(
+                    (visible_at, 0, float(values[j]))
+                )
+        for pe_id, pending in bus._pending.items():
+            for visible_at, value in pending:
+                inflight.setdefault(pe_id, []).append(
+                    (visible_at, 1, float(value))
+                )
+        for pending_entries in inflight.values():
+            pending_entries.sort(key=lambda e: (e[0], e[1]))
+        return {
+            "publishes": bus.publishes,
+            "stale_reads": bus.stale_reads,
+            "entries": entries,
+            "inflight": inflight,
+        }
+
+    def _restore(self, carry: _EpochCarry) -> None:
+        """Re-install harvested state into the freshly built epoch."""
+        self.paused[:] = [
+            carry.paused.get(group.node_id, False)
+            for group in self.groups
+        ]
+        for controller in self.node_controllers:
+            controller.ticks = carry.ticks.get(controller.node_id, 0)
+            resident = frozenset(
+                record.pe_id for record in controller.records
+            )
+            controller.last_blocked = (
+                carry.blocked.get(controller.node_id, frozenset())
+                & resident
+            )
+        for group, scheduler in zip(self.groups, self.schedulers):
+            cap = carry.capacity.get(group.node_id)
+            if cap is not None:
+                scheduler.capacity = cap
+        engine = self._engine
+        if carry.token_levels:
+            if engine is not None and engine.is_aces:
+                index = engine.registry.index
+                for pe_id, level in carry.token_levels.items():
+                    i = index.get(pe_id)
+                    if i is None:
+                        continue
+                    depth = float(engine.tok_depth[i])
+                    engine.tok_level[i] = (
+                        level if level <= depth else depth
+                    )
+            elif engine is None:
+                for scheduler in self.schedulers:
+                    buckets = getattr(scheduler, "buckets", None)
+                    if not buckets:
+                        continue
+                    for pe_id, bucket in buckets.items():
+                        level = carry.token_levels.get(pe_id)
+                        if level is not None:
+                            bucket.level = (
+                                level
+                                if level <= bucket.depth
+                                else bucket.depth
+                            )
+        if engine is not None and carry.vector is not None:
+            index = engine.registry.index
+            for pe_id, i in index.items():
+                last = carry.vector["flow_last"].get(pe_id)
+                if last is None:
+                    continue
+                engine.flow_last[i] = last
+                engine.flow_updates[i] = carry.vector["flow_updates"][
+                    pe_id
+                ]
+                dev = carry.vector["dev"].get(pe_id)
+                if dev is not None and engine.dev_hist is not None:
+                    engine.dev_hist[:, i] = dev
+                    engine.sur_hist[:, i] = carry.vector["sur"][pe_id]
+        if (
+            engine is not None
+            and carry.bus is not None
+            and isinstance(self.bus, VectorFeedbackBus)
+        ):
+            bus = self.bus
+            index = engine.registry.index
+            bus.publishes = carry.bus["publishes"]
+            bus.stale_reads = carry.bus["stale_reads"]
+            for pe_id, (value, freshened) in carry.bus[
+                "entries"
+            ].items():
+                i = index.get(pe_id)
+                if i is None:
+                    continue
+                bus._current_arr[i] = value
+                bus._published[i] = True
+                bus._freshened[i] = freshened
+            for pe_id, inflight in carry.bus["inflight"].items():
+                if pe_id not in index or not inflight:
+                    continue
+                bus._pending[pe_id] = [
+                    (visible_at, value)
+                    for visible_at, _, value in inflight
+                ]
+
+    def _apply_membership(
+        self, carry: _EpochCarry, now: float, reason: str
+    ) -> None:
+        """Rebuild + restore at an epoch boundary, then notify hooks."""
+        self._build()
+        self._restore(carry)
+        self.epoch += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "epoch",
+                epoch=self.epoch,
+                reason=reason,
+                nodes=len(self.groups),
+                pes=sum(len(group.pes) for group in self.groups),
+                control_impl=self.control_impl,
+            )
+        for hook in self.rebuild_hooks:
+            hook(self)
+
+    def add_rebuild_hook(
+        self, hook: _t.Callable[["ControlPlane"], None]
+    ) -> None:
+        """Run ``hook(plane)`` after every membership rebuild."""
+        if hook not in self.rebuild_hooks:
+            self.rebuild_hooks.append(hook)
+
+    # -- membership (the elastic tier's operational surface) -----------------
+
+    def add_node(
+        self,
+        node_id: str,
+        cpu_capacity: float = 1.0,
+        now: float = 0.0,
+        pes: _t.Optional[_t.List[PELike]] = None,
+    ) -> int:
+        """Join an empty node to the plane; returns its node index.
+
+        The Tier-2 state is rebuilt at this epoch boundary (schedulers,
+        node controllers, and — in vector mode — the PE index registry
+        and feedback bus), with all identity-keyed control state
+        carried across.  PEs arrive later via :meth:`migrate_pes`.
+
+        ``pes`` lets the substrate hand in its *own* (empty) resident
+        list so node and group share one list object, the same aliasing
+        the constructor path establishes — group surgery then moves PEs
+        physically too.
+        """
+        if cpu_capacity <= 0:
+            raise ValueError(
+                f"cpu_capacity must be positive, got {cpu_capacity}"
+            )
+        if any(group.node_id == node_id for group in self.groups):
+            raise ValueError(f"node {node_id!r} already in the plane")
+        if pes:
+            raise ValueError(
+                f"node {node_id!r} must join empty; migrate PEs in "
+                "after the join"
+            )
+        carry = self._harvest()
+        self.groups.append(
+            NodeGroup(node_id, pes if pes is not None else [], cpu_capacity)
+        )
+        self._apply_membership(carry, now, reason=f"join:{node_id}")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "membership",
+                node=node_id,
+                action="join",
+                epoch=self.epoch,
+                nodes=len(self.groups),
+            )
+        return len(self.groups) - 1
+
+    def remove_node(self, node_index: int, now: float = 0.0) -> str:
+        """Remove an *empty* node from the plane; returns its node_id.
+
+        Refuses while PEs are resident — migrate them off first — so a
+        removal can never strand buffered work.  Node indices above the
+        removed one shift down by one; identity-keyed state (pause
+        flags, capacity slowdowns) follows the surviving node_ids.
+        """
+        if not (0 <= node_index < len(self.groups)):
+            raise ValueError(
+                f"node index {node_index} outside "
+                f"[0, {len(self.groups)})"
+            )
+        if len(self.groups) == 1:
+            raise ValueError("cannot remove the last node")
+        group = self.groups[node_index]
+        if group.pes:
+            raise ValueError(
+                f"node {group.node_id!r} still hosts "
+                f"{len(group.pes)} PE(s); migrate them off first"
+            )
+        carry = self._harvest()
+        del self.groups[node_index]
+        self._apply_membership(
+            carry, now, reason=f"leave:{group.node_id}"
+        )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "membership",
+                node=group.node_id,
+                action="leave",
+                epoch=self.epoch,
+                nodes=len(self.groups),
+            )
+        return group.node_id
+
+    def migrate_pes(
+        self,
+        moves: _t.Sequence[_t.Tuple[str, int]],
+        now: float = 0.0,
+        reason: str = "migration",
+    ) -> None:
+        """Re-home PEs between groups in one epoch boundary.
+
+        ``moves`` is a sequence of ``(pe_id, target_node_index)``.  The
+        plane only moves *control* state; the substrate orchestrates
+        the physical protocol around this call (drain, buffer handoff,
+        dataplane re-wiring, resume).  All moves share one rebuild so
+        an epoch's migration set is atomic from the controllers' view.
+        """
+        if not moves:
+            return
+        carry = self._harvest()
+        for pe_id, target in moves:
+            if not (0 <= target < len(self.groups)):
+                raise ValueError(
+                    f"{pe_id}: target node index {target} outside "
+                    f"[0, {len(self.groups)})"
+                )
+            source = None
+            for group in self.groups:
+                for pe in group.pes:
+                    if pe.pe_id == pe_id:
+                        source = group
+                        break
+                if source is not None:
+                    break
+            if source is None:
+                raise ValueError(f"unknown PE {pe_id!r}")
+            if source is self.groups[target]:
+                continue
+            pe_obj = next(
+                pe for pe in source.pes if pe.pe_id == pe_id
+            )
+            source.pes.remove(pe_obj)
+            self.groups[target].pes.append(pe_obj)
+        self._apply_membership(carry, now, reason=reason)
+
+    def token_level(self, pe_id: str) -> float:
+        """The PE's current token level via its *current* scheduler.
+
+        Gauge lambdas bind the plane, not a scheduler object, so token
+        gauges keep reading the right state across epoch rebuilds.
+        """
+        return float(self._scheduler_of[pe_id].token_level(pe_id))
 
     # -- operational surface -------------------------------------------------
 
@@ -444,9 +862,17 @@ class ControlPlane:
 
     # -- Tier-1 interaction --------------------------------------------------
 
+    def _node_of_snapshot(self) -> _t.Dict[str, str]:
+        return {
+            pe.pe_id: group.node_id
+            for group in self.groups
+            for pe in group.pes
+        }
+
     def adopt_targets(self, targets: AllocationTargets) -> None:
         """Install refreshed Tier-1 targets into schedulers and records."""
         self.targets = targets
+        self.targets_node_of = self._node_of_snapshot()
         for scheduler in self.schedulers:
             scheduler.update_targets(targets.cpu)
         for controller in self.node_controllers:
@@ -534,11 +960,14 @@ class ControlPlane:
         for scheduler in self.schedulers:
             # Token-capable schedulers (AcesCpuScheduler or the vector
             # engine's token view) expose token_level; strict ones don't.
+            # The gauge closes over the plane, not the scheduler object:
+            # membership rebuilds replace schedulers, and a migrated
+            # PE's tokens must be read from wherever it lives now.
             if getattr(scheduler, "token_level", None) is not None:
                 for pe in scheduler.pes:
                     gauges.register(
                         "token_level",
-                        lambda s=scheduler, p=pe.pe_id: s.token_level(p),
+                        lambda s=self, p=pe.pe_id: s.token_level(p),
                         pe=pe.pe_id,
                     )
         admission = self.admission
@@ -547,15 +976,15 @@ class ControlPlane:
                 "admission_level",
                 lambda a=admission: float(int(a.effective_level)),
             )
-        controllers = self.controllers
-        ids = controllers.keys() if pe_order is None else pe_order
+        ids = self.controllers.keys() if pe_order is None else pe_order
         for pe_id in ids:
-            controller = controllers.get(pe_id)
-            if controller is None:
+            if pe_id not in self.controllers:
                 continue
+            # Bound via the plane's live dict: vector rebuilds replace
+            # the per-PE flow views, scalar controllers are reused.
             gauges.register(
                 "r_max",
-                lambda c=controller: c.last_r_max,
+                lambda s=self, p=pe_id: s.controllers[p].last_r_max,
                 pe=pe_id,
             )
 

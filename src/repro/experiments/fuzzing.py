@@ -1,9 +1,11 @@
 """Seeded scenario fuzzer driving the :mod:`repro.check` oracles.
 
 One integer seed deterministically expands into a full scenario — a
-random DAG topology, a workload mix, a fault schedule — which is then
-run under each transmission policy with the invariant oracles armed and
-the SDO conservation ledger closed at the end.  A *differential* pass
+random DAG topology, a workload mix, a fault schedule, and (since the
+elastic tier landed) optional topology mutation: an armed autoscaler
+plus node_join/node_leave membership churn — which is then run under
+each transmission policy with the invariant oracles armed and the SDO
+conservation ledger closed at the end.  A *differential* pass
 additionally drives the simulator's and the threaded runtime's control
 planes with one scripted input trace (the PR-4 parity harness) and
 asserts their decision sequences are bit-identical, with strict oracles
@@ -35,6 +37,7 @@ import numpy as np
 
 from repro.check import OracleRecorder, check_conservation
 from repro.control.admission import AdmissionConfig
+from repro.control.elastic import ElasticityConfig
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import policy_by_name
 from repro.graph.topology import Topology, TopologySpec, generate_topology
@@ -71,6 +74,12 @@ class FuzzScenario:
     #: thresholds so the degradation ladder actually moves within the
     #: short fuzz runs, exercising every admission oracle).
     admission: bool = False
+    #: Arm the Tier-3 elastic tier (aggressive thresholds and short
+    #: dwell so the autoscaler actually fires within a fuzz run);
+    #: membership faults in ``faults`` require this.  In differential
+    #: mode it also scripts one identical join-plus-migration into both
+    #: planes mid-drive, fuzzing cross-substrate epoch-rebuild parity.
+    elasticity: bool = False
     faults: _t.Tuple[Fault, ...] = ()
 
     def build_topology(self) -> Topology:
@@ -96,6 +105,22 @@ class FuzzScenario:
                 min_dwell=0.2,
                 retry_after=0.1,
             )
+        elasticity = None
+        if self.elasticity:
+            # Thresholds sit clear of ACES's b0 = 0.5 buffer set-point on
+            # both sides; two-interval dwell and a short cooldown let a
+            # 2-3s run fire real scale-outs/ins without thrashing.
+            elasticity = ElasticityConfig(
+                scale_out_pressure=0.8,
+                scale_in_pressure=0.2,
+                min_nodes=1,
+                max_nodes=self.num_nodes + 2,
+                check_interval=0.3,
+                dwell_intervals=2,
+                cooldown=0.6,
+                max_migrations_per_epoch=3,
+                placement_evaluations=8,
+            )
         return SystemConfig(
             buffer_size=self.buffer_size,
             dt=self.dt,
@@ -108,6 +133,7 @@ class FuzzScenario:
             reoptimize_interval=self.reoptimize_interval,
             control_impl=control_impl,
             admission=admission,
+            elasticity=elasticity,
         )
 
     def build_plan(self) -> FaultPlan:
@@ -141,9 +167,20 @@ def generate_scenario(seed: int) -> FuzzScenario:
         admission=bool(rng.random() < 0.4),
     )
     topology = scenario.build_topology()
-    return replace(
+    scenario = replace(
         scenario, faults=tuple(_generate_faults(rng, scenario, topology))
     )
+    # Topology-mutation dimension.  Drawn strictly *after* every legacy
+    # draw so pre-elasticity seeds still expand to identical scenarios;
+    # armed scenarios additionally get membership churn faults.
+    if rng.random() < 0.35:
+        scenario = replace(
+            scenario,
+            elasticity=True,
+            faults=scenario.faults
+            + tuple(_generate_membership_faults(rng, scenario)),
+        )
+    return scenario
 
 
 def _generate_faults(
@@ -219,6 +256,34 @@ def _generate_faults(
             if scenario.reoptimize_interval is None:
                 continue  # no re-solves to fail
             plan.tier1_outage(start=start, duration=duration)
+    return plan.faults
+
+
+def _generate_membership_faults(
+    rng: np.random.Generator, scenario: FuzzScenario
+) -> _t.List[Fault]:
+    """Membership churn for an elasticity-armed scenario.
+
+    A node joins early in the run (and is evacuated and removed when
+    its window ends); optionally a node also leaves afterwards.  The
+    two share the ``membership`` resource key, so their windows are
+    kept disjoint by construction.
+    """
+    plan = FaultPlan()
+    join_start = float(np.round(0.2 + 0.3 * rng.random(), 2))
+    join_duration = float(np.round(0.4 + 0.4 * rng.random(), 2))
+    plan.node_join(
+        start=join_start,
+        duration=join_duration,
+        cpu_capacity=float(np.round(0.5 + rng.random(), 2)),
+    )
+    leave_start = float(
+        np.round(join_start + join_duration + 0.1 + 0.3 * rng.random(), 2)
+    )
+    leave_duration = float(np.round(0.2 + 0.3 * rng.random(), 2))
+    victim = int(rng.integers(0, scenario.num_nodes))
+    if rng.random() < 0.5 and leave_start + leave_duration < scenario.duration:
+        plan.node_leave(victim, start=leave_start, duration=leave_duration)
     return plan.faults
 
 
@@ -320,10 +385,21 @@ def _drive_plane(
     scenario: FuzzScenario,
     steps: int,
 ) -> _t.List[_t.Tuple[object, ...]]:
-    """The PR-4 parity drive: scripted occupancies, hand-pumped ticks."""
+    """The PR-4 parity drive: scripted occupancies, hand-pumped ticks.
+
+    Elasticity-armed scenarios additionally script one membership
+    mutation halfway through — join a node, live-migrate the first PE
+    onto it — applied identically to both planes, so any divergence in
+    how the substrates rebuild Tier-2 state at an epoch boundary shows
+    up as a decision mismatch.
+    """
     decisions: _t.List[_t.Tuple[object, ...]] = []
     for step in range(steps):
         now = (step + 1) * scenario.dt
+        if scenario.elasticity and step == steps // 2:
+            index = plane.add_node(f"fuzz-join-{step}", 1.0, now=now)
+            mover = sorted(pes_by_id)[0]
+            plane.migrate_pes([(mover, index)], now=now, reason="fuzz")
         for pe_index, pe_id in enumerate(sorted(pes_by_id)):
             pe = pes_by_id[pe_id]
             for _ in range(_scripted_load(pe_index, step, scenario.seed)):
@@ -442,6 +518,18 @@ def _shrink_candidates(
             yield replace(scenario, faults=kept)
     if scenario.admission:
         yield replace(scenario, admission=False)
+    if scenario.elasticity:
+        # Disarming the elastic tier also drops the membership faults
+        # that require it; keeping them would fail plan validation.
+        yield replace(
+            scenario,
+            elasticity=False,
+            faults=tuple(
+                fault
+                for fault in scenario.faults
+                if fault.kind not in ("node_join", "node_leave")
+            ),
+        )
     if scenario.num_intermediate > 0:
         yield replace(scenario, num_intermediate=0)
         yield replace(

@@ -100,8 +100,26 @@ def optimize_placement(
         rng = np.random.default_rng(0)
 
     current = dict(initial)
+
+    # The local search revisits placements: a candidate differs from the
+    # incumbent by a single PE, and rejected moves are retried from the
+    # same incumbent on later sweeps.  Each solve is an SLSQP run over
+    # the whole system, so memoize scores by placement signature for the
+    # duration of this call.  The ``evaluations`` budget still counts
+    # cache hits — the search trajectory (and therefore the result) is
+    # identical to the uncached search, just cheaper.
+    cache: _t.Dict[_t.Tuple[_t.Tuple[str, int], ...], float] = {}
+
+    def scored(placement: Placement) -> float:
+        signature = tuple(sorted(placement.items()))
+        hit = cache.get(signature)
+        if hit is None:
+            hit = _score(graph, placement, source_rates, utility)
+            cache[signature] = hit
+        return hit
+
     evaluations = 1
-    current_score = _score(graph, current, source_rates, utility)
+    current_score = scored(current)
     initial_score = current_score
     improvements: _t.List[_t.Tuple[str, float]] = []
 
@@ -126,7 +144,7 @@ def optimize_placement(
                 candidate = dict(current)
                 candidate[pe_id] = node
                 evaluations += 1
-                score = _score(graph, candidate, source_rates, utility)
+                score = scored(candidate)
                 if score > current_score * (1 + 1e-6):
                     current = candidate
                     current_score = score

@@ -215,6 +215,31 @@ class InputBuffer:
             )
         return lost
 
+    def handoff(self, now: float) -> _t.List[SDO]:
+        """Remove and return every buffered SDO *without* counting drops.
+
+        The migration path: the elastic tier lifts a draining PE's
+        buffered work out before re-wiring and puts it back with
+        :meth:`restore` at the same instant.  No telemetry counter moves
+        — the SDOs were accepted and will still be popped or flushed
+        later — so the conservation identities
+        ``offered == accepted + (dropped - flushed)`` and
+        ``accepted == popped + flushed + occupancy`` hold exactly across
+        the handoff.
+        """
+        self._integrate(now)
+        held = list(self._items)
+        self._items.clear()
+        return held
+
+    def restore(self, items: _t.Iterable[SDO]) -> None:
+        """Re-enqueue SDOs lifted by :meth:`handoff` (same instant).
+
+        Order is preserved; the occupancy integral is unaffected because
+        handoff and restore happen at one timestamp.
+        """
+        self._items.extend(items)
+
     # -- telemetry ---------------------------------------------------------
 
     def _integrate(self, now: float) -> None:

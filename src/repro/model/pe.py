@@ -182,6 +182,13 @@ class PERuntime:
                 # ticks; the state machine still advances along the
                 # interpolated work timeline.
                 wall = now + (used / cpu if cpu > 0 else 0.0)
+                if wall < self.machine.now:
+                    # A migrated PE can be ticked by its new node's
+                    # phase-staggered loop before the work timeline its
+                    # old node already consumed (up to interval start +
+                    # dt) has elapsed.  Work on one PE is serial: the
+                    # next SDO starts where the previous grant left off.
+                    wall = self.machine.now
                 self._current = self.buffer.pop(now)
                 self._work_remaining = self.machine.service_time_at(wall)
                 if spans is not None:
@@ -194,6 +201,10 @@ class PERuntime:
 
             if self._work_remaining <= 1e-12:
                 completion = now + used / cpu
+                if completion < self.machine.now:
+                    # Keep completions at or after the SDO's (possibly
+                    # clamped) start so service spans never run negative.
+                    completion = self.machine.now
                 self._complete(self._current, completion, emit)
                 self._current = None
                 self._work_remaining = 0.0

@@ -44,6 +44,9 @@ EVENT_KINDS = frozenset(
         "admission_level",  # the admission ladder's effective level moved
         "shed",  # one SDO shed at ingress by the admission front end
         "reject",  # one SDO refused 429-style with a retry-after horizon
+        "membership",  # a node joined or left the control plane
+        "migration",  # one PE migration phase (drain/resume)
+        "epoch",  # a new placement version was installed
     }
 )
 

@@ -20,11 +20,22 @@ import time
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.control import ControlPlane, NodeGroup
+from repro.control import ControlPlane, NodeGroup, resolve_initial_targets
 from repro.control.adapter import GateFn, SettleFn
 from repro.control.admission import AdmissionConfig, AdmissionController
+from repro.control.elastic import (
+    ElasticityConfig,
+    MigrationRecord,
+    PlacementBook,
+    PlacementVersion,
+    ScalingPolicy,
+    plan_scale_in_placement,
+    plan_scale_out_placement,
+)
+from repro.graph.placement_opt import optimize_placement
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
+from repro.core.resilience import ResilientTier1
 from repro.core.targets import AllocationTargets
 from repro.graph.topology import Topology
 from repro.metrics.collectors import EgressCollector
@@ -75,6 +86,13 @@ class RuntimeConfig:
     #: When set, arm the SLO-aware admission front end in front of the
     #: ingress channels, mirroring ``SystemConfig.admission``.
     admission: _t.Optional[AdmissionConfig] = None
+    #: When set, arm the Tier-3 elastic tier, mirroring
+    #: ``SystemConfig.elasticity``: node membership becomes mutable
+    #: (``add_node`` / ``remove_node`` / ``migrate_pes``), control loops
+    #: follow nodes by identity across epoch rebuilds, and a scaling
+    #: thread observes channel pressure at the configured cadence.
+    #: Disarmed runtimes build and behave exactly as before.
+    elasticity: _t.Optional[ElasticityConfig] = None
 
 
 @dataclass
@@ -195,20 +213,52 @@ class SPCRuntime:
         self.spans = spans
         if spans is not None:
             spans.ensure_locked()
-        if targets is None:
+        #: Set before the Tier-1 bootstrap: the solver emits trace
+        #: events, and the bound clock reads ``_start_wall``.
+        self._start_wall: _t.Optional[float] = None
+        #: Degradation-guarded Tier-1 solver; only armed runtimes carry
+        #: one (scale-out/in re-solves go through it), keeping disarmed
+        #: construction byte-identical.
+        self.tier1: _t.Optional[ResilientTier1] = None
+        if self.config.elasticity is not None:
+            self.tier1 = ResilientTier1(recorder=self.recorder)
+            targets = resolve_initial_targets(self.tier1, topology, targets)
+        elif targets is None:
             targets = solve_global_allocation(
                 topology.graph, topology.placement, topology.source_rates
             ).targets
         self.targets = targets
         self.streams = RandomStreams(seed=self.config.seed)
 
-        self._start_wall: _t.Optional[float] = None
         self._collector = EgressCollector()
         self._collector_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: _t.List[threading.Thread] = []
         self.worker_restarts = 0
         self.workers_abandoned = 0
+
+        #: Tier-3 state.  The placement book always carries the seed
+        #: epoch (uniform introspection); it only advances when armed.
+        self.elasticity = self.config.elasticity
+        self.scaling_policy = (
+            ScalingPolicy(self.elasticity)
+            if self.elasticity is not None
+            else None
+        )
+        self.placement_book = PlacementBook(
+            dict(topology.placement), topology.num_nodes
+        )
+        self.migration_log: _t.List[MigrationRecord] = []
+        self._node_ordinal = topology.num_nodes
+        self._membership_timeline: _t.List[_t.Tuple[float, int]] = [
+            (0.0, topology.num_nodes)
+        ]
+        #: Serializes membership mutations (the scaling thread, a fault
+        #: injector, and test code may all call them); control threads
+        #: deliberately do not take it — a tick against the outgoing
+        #: epoch's controller is harmless, and the identity-keyed loops
+        #: re-resolve their controller on the next tick.
+        self._membership_lock = threading.Lock()
 
         self._build()
 
@@ -297,7 +347,11 @@ class SPCRuntime:
                 for pe_id in graph.topological_order()
                 if self.topology.placement[pe_id] == node_index
             ]
-            if not members:
+            if not members and config.elasticity is None:
+                # Disarmed: a PE-less node gets no controller (legacy
+                # behaviour, kept byte-identical).  Armed, empty nodes
+                # keep their group so group indices track node indices
+                # across membership operations.
                 continue
             groups.append(NodeGroup(f"node-{node_index}", members))
 
@@ -338,16 +392,33 @@ class SPCRuntime:
             feedback_staleness_ttl=config.feedback_staleness_ttl,
             feedback_stale_bound=config.feedback_stale_bound,
             recorder=self.recorder,
+            tier1=self.tier1,
             control_impl=config.control_impl,
             admission=self.admission,
         )
         for controller in self.plane.node_controllers:
-            self._threads.append(
-                threading.Thread(
+            if config.elasticity is not None:
+                # Identity-keyed: membership rebuilds replace controller
+                # objects and shift node indices, so the loop re-resolves
+                # its controller by node_id each tick.
+                thread = threading.Thread(
+                    target=self._elastic_control_loop,
+                    args=(controller.node_id,),
+                    name=f"ctl-{controller.node_id}",
+                    daemon=True,
+                )
+            else:
+                thread = threading.Thread(
                     target=self._control_loop,
                     args=(controller,),
                     name=f"ctl-{controller.node_id}",
                     daemon=True,
+                )
+            self._threads.append(thread)
+        if config.elasticity is not None:
+            self._threads.append(
+                threading.Thread(
+                    target=self._elastic_loop, name="elastic", daemon=True
                 )
             )
 
@@ -374,6 +445,274 @@ class SPCRuntime:
             if not paused[node_index]:
                 controller.tick(self.now())
             time.sleep(period_wall)
+
+    # -- elastic tier (armed runtimes only) ----------------------------------
+
+    def _node_index(self, node_id: str) -> _t.Optional[int]:
+        for index, group in enumerate(self.plane.groups):
+            if group.node_id == node_id:
+                return index
+        return None
+
+    def _elastic_control_loop(self, node_id: str) -> None:
+        """Identity-keyed control pump; retires when its node leaves."""
+        config = self.config
+        period_wall = config.dt * config.dilation
+        while not self._stop.is_set():
+            index = self._node_index(node_id)
+            if index is None:
+                return
+            plane = self.plane
+            if index < len(plane.paused) and not plane.paused[index]:
+                plane.node_controllers[index].tick(self.now())
+            time.sleep(period_wall)
+
+    def _elastic_loop(self) -> None:
+        """Tier-3 cadence thread: observe pressure, act on the decision."""
+        assert self.elasticity is not None and self.scaling_policy is not None
+        period_wall = self.elasticity.check_interval * self.config.dilation
+        while not self._stop.is_set():
+            time.sleep(period_wall)
+            if self._stop.is_set():
+                return
+            if self.now() < self.config.warmup:
+                # Cold channels read as slack; scaling decisions start
+                # with the measured window.
+                continue
+            with self._membership_lock:
+                hot, slack = self._pressure()
+                decision = self.scaling_policy.observe(
+                    hot, self.now(), len(self.plane.groups),
+                    slack_pressure=slack,
+                )
+                if decision == "scale_out":
+                    self._scale_out()
+                elif decision == "scale_in":
+                    self._scale_in()
+
+    def _pressure(self) -> _t.Tuple[float, float]:
+        """(hot-spot, slack) scaling signals, both normalized to [0, 1].
+
+        The same pair as the simulator's pressure probe, read from the
+        live channels: hot-spot is the max over nodes of mean resident
+        fill (drives scale-out); slack is the mean over *all* nodes,
+        empty nodes counting as zero (drives scale-in).
+        """
+        worst = 0.0
+        total = 0.0
+        groups = self.plane.groups
+        for group in groups:
+            if not group.pes:
+                continue
+            fill = sum(
+                pe.buffer.occupancy / pe.buffer.capacity for pe in group.pes
+            ) / len(group.pes)
+            if fill > worst:
+                worst = fill
+            total += fill
+        return worst, (total / len(groups) if groups else 0.0)
+
+    def _require_elastic(self, operation: str) -> None:
+        if self.elasticity is None:
+            raise RuntimeError(
+                f"{operation} requires an elasticity-armed runtime "
+                "(RuntimeConfig.elasticity): disarmed control loops are "
+                "object-bound and cannot follow membership churn"
+            )
+
+    def add_node(self, cpu_capacity: float = 1.0) -> str:
+        """Join a fresh empty node: plane group, gauges, control thread."""
+        self._require_elastic("add_node")
+        node_id = f"node-{self._node_ordinal}"
+        self._node_ordinal += 1
+        now = self.now()
+        self.plane.add_node(node_id, cpu_capacity, now=now)
+        self._membership_timeline.append((now, len(self.plane.groups)))
+        thread = threading.Thread(
+            target=self._elastic_control_loop,
+            args=(node_id,),
+            name=f"ctl-{node_id}",
+            daemon=True,
+        )
+        if self._start_wall is None:
+            self._threads.append(thread)
+        else:
+            thread.start()
+        return node_id
+
+    def remove_node(self, node_index: int) -> str:
+        """Leave: the plane refuses non-empty nodes (the same safety
+        interlock as the simulator — buffered work and ingress channels
+        can never be stranded); the node's control thread retires on its
+        next tick."""
+        self._require_elastic("remove_node")
+        node_id = self.plane.remove_node(node_index, now=self.now())
+        self._membership_timeline.append(
+            (self.now(), len(self.plane.groups))
+        )
+        return node_id
+
+    def migrate_pes(
+        self,
+        moves: _t.Sequence[_t.Tuple[str, int]],
+        reason: str = "migration",
+    ) -> _t.Optional[PlacementVersion]:
+        """Live-migrate PEs between nodes — control-plane re-homing.
+
+        Worker threads own their input channels and never stop draining
+        them, so the threaded migration is pure Tier-2/Tier-3 surgery:
+        the plane re-homes control state at one epoch boundary and the
+        placement book advances.  Downtime is zero by construction; the
+        ``migration`` trace family still brackets the epoch so traces
+        from both substrates read the same.
+        """
+        self._require_elastic("migrate_pes")
+        now = self.now()
+        current = self.placement_book.placement
+        num_nodes = len(self.plane.groups)
+        actual: _t.List[_t.Tuple[str, int]] = []
+        for pe_id, target in moves:
+            if pe_id not in self.pes:
+                raise KeyError(f"unknown PE {pe_id!r}")
+            if not (0 <= target < num_nodes):
+                raise ValueError(
+                    f"target node {target} outside [0, {num_nodes})"
+                )
+            if current[pe_id] != target:
+                actual.append((pe_id, target))
+        if not actual:
+            return None
+        recording = self.recorder.enabled
+        routes: _t.Dict[str, _t.Tuple[str, str]] = {}
+        for pe_id, target in actual:
+            from_id = self.plane.groups[current[pe_id]].node_id
+            to_id = self.plane.groups[target].node_id
+            routes[pe_id] = (from_id, to_id)
+            if recording:
+                self.recorder.emit(
+                    "migration",
+                    pe=pe_id,
+                    node=from_id,
+                    phase="drain",
+                    to=to_id,
+                    occupancy=self.pes[pe_id].buffer.occupancy,
+                )
+        self.plane.migrate_pes(actual, now=now, reason=reason)
+        placement = dict(current)
+        for pe_id, target in actual:
+            placement[pe_id] = target
+        version = self.placement_book.advance(placement, num_nodes, reason)
+        for pe_id, target in actual:
+            from_id, to_id = routes[pe_id]
+            self.migration_log.append(
+                MigrationRecord(
+                    pe_id=pe_id,
+                    t=now,
+                    from_node=from_id,
+                    to_node=to_id,
+                    epoch=version.epoch,
+                    handoff_occupancy=self.pes[pe_id].buffer.occupancy,
+                    downtime=0.0,
+                )
+            )
+            if recording:
+                self.recorder.emit(
+                    "migration",
+                    pe=pe_id,
+                    node=to_id,
+                    phase="resume",
+                    occupancy=self.pes[pe_id].buffer.occupancy,
+                    epoch=version.epoch,
+                )
+        return version
+
+    def _scale_out(self) -> None:
+        """Join a node, re-solve placement, migrate a bounded move set."""
+        assert self.elasticity is not None
+        config = self.elasticity
+        self.add_node()
+        num_nodes = len(self.plane.groups)
+        load = dict(self.plane.targets.cpu)
+        seed = plan_scale_out_placement(
+            self.placement_book.placement,
+            num_nodes,
+            load,
+            config.max_migrations_per_epoch,
+        )
+        refined = optimize_placement(
+            self.topology.graph,
+            seed,
+            self.topology.source_rates,
+            num_nodes,
+            max_evaluations=config.placement_evaluations,
+        ).placement
+        current = self.placement_book.placement
+        moves = [
+            (pe_id, refined[pe_id])
+            for pe_id in current
+            if refined[pe_id] != current[pe_id]
+        ][: config.max_migrations_per_epoch]
+        self.migrate_pes(moves, reason="scale_out")
+        self.plane.reoptimize(
+            self.topology.graph,
+            self.placement_book.placement,
+            self.topology.source_rates,
+            reason="elastic",
+        )
+
+    def _scale_in(self) -> None:
+        """Evacuate and remove the least-loaded evictable node."""
+        assert self.elasticity is not None
+        config = self.elasticity
+        current = self.placement_book.placement
+        num_nodes = len(self.plane.groups)
+        load = dict(self.plane.targets.cpu)
+        node_load = [0.0] * num_nodes
+        node_count = [0] * num_nodes
+        for pe_id, node in current.items():
+            node_load[node] += load.get(pe_id, 0.0)
+            node_count[node] += 1
+        candidates = [
+            n
+            for n in range(num_nodes)
+            if node_count[n] <= config.max_migrations_per_epoch
+        ]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda n: (node_load[n], -n))
+        renumbered = plan_scale_in_placement(
+            current, num_nodes, victim, load
+        )
+        # plan_scale_in returns post-removal indices; the physical moves
+        # happen before removal, so map targets back to current indices.
+        moves = [
+            (pe_id, post if post < victim else post + 1)
+            for pe_id, post in renumbered.items()
+            if current[pe_id] == victim
+        ]
+        self.migrate_pes(moves, reason="scale_in")
+        self.remove_node(victim)
+        self.placement_book.advance(
+            renumbered, len(self.plane.groups), "scale_in"
+        )
+        self.plane.reoptimize(
+            self.topology.graph,
+            self.placement_book.placement,
+            self.topology.source_rates,
+            reason="elastic",
+        )
+
+    def _node_seconds(self, t0: float, t1: float) -> float:
+        """Integrate the membership step function over [t0, t1]."""
+        timeline = self._membership_timeline
+        total = 0.0
+        for i, (t, count) in enumerate(timeline):
+            seg_start = max(t, t0)
+            seg_end = timeline[i + 1][0] if i + 1 < len(timeline) else t1
+            seg_end = min(seg_end, t1)
+            if seg_end > seg_start:
+                total += (seg_end - seg_start) * count
+        return total
 
     def _supervisor_loop(self) -> None:
         """Detect dead workers and revive them with bounded backoff.
@@ -553,6 +892,12 @@ class SPCRuntime:
                 for pe_id, record in self._collector.records().items()
             }
         window = ended - started
+        if self.elasticity is not None:
+            # Membership varied during the window: normalize CPU use by
+            # integrated node-seconds, not a fixed node count.
+            cpu_denominator = self._node_seconds(started, ended)
+        else:
+            cpu_denominator = window * max(1, self.topology.num_nodes)
         channel_drops = (
             sum(pe.channel.stats.dropped for pe in self.pes.values())
             - drops_at_start
@@ -581,7 +926,9 @@ class SPCRuntime:
             buffer_drops=channel_drops,
             cpu_utilization=(
                 (sum(pe.cpu_used for pe in self.pes.values()) - cpu_at_start)
-                / (window * max(1, self.topology.num_nodes))
+                / cpu_denominator
+                if cpu_denominator
+                else 0.0
             ),
             per_egress_counts=per_egress,
             worker_restarts=self.worker_restarts,

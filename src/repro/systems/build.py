@@ -33,6 +33,7 @@ from repro.sim.rng import RandomStreams
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.control.admission import AdmissionConfig, AdmissionController
+    from repro.control.elastic import ElasticityConfig
     from repro.obs.spans import SpanTracker
 
 #: admit(runtime, sdo, now) -> accepted?  Provided by the data plane.
@@ -105,6 +106,12 @@ class SystemConfig:
     #: (:class:`repro.control.admission.AdmissionController`) in front
     #: of the ingress PEs; None (default) admits everything.
     admission: _t.Optional["AdmissionConfig"] = None
+    #: When set, arm the Tier-3 elastic tier
+    #: (:class:`repro.control.elastic.ElasticityConfig`): dynamic node
+    #: membership, autoscaling, and live PE migration.  None (default)
+    #: keeps membership frozen and every output byte-identical to the
+    #: pre-elasticity system.
+    elasticity: _t.Optional["ElasticityConfig"] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -155,6 +162,16 @@ class SystemConfig:
             and self.control_phase_buckets < 1
         ):
             raise ValueError("control_phase_buckets must be >= 1")
+        if (
+            self.elasticity is not None
+            and self.control_phase_buckets is not None
+        ):
+            raise ValueError(
+                "elasticity requires per-node control loops "
+                "(control_phase_buckets must be None): membership "
+                "changes re-bucket nodes mid-run, which shared-phase "
+                "loops cannot follow"
+            )
 
 
 def build_runtimes(

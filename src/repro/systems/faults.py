@@ -29,6 +29,16 @@ Control-plane faults (the *controller itself* misbehaving):
 * :meth:`FaultPlan.pe_crash` — a PE crashes, *losing its input buffer*,
   and restarts after the window.
 
+Membership faults (the cluster itself churning; requires a system built
+with an :class:`~repro.control.elastic.ElasticityConfig`, whose control
+loops follow nodes by identity across epoch rebuilds):
+
+* :meth:`FaultPlan.node_join` — a node joins at ``start`` and is
+  evacuated and removed again when the window ends;
+* :meth:`FaultPlan.node_leave` — a node is evacuated (its PEs live-
+  migrate to the survivors) and removed at ``start``; a fresh
+  replacement node of the same capacity joins when the window ends.
+
 Build a :class:`FaultPlan`, then ``plan.attach(system)`` *before* running;
 each fault is applied and reverted by simulation processes.  For the
 threaded runtime use ``plan.attach_runtime(runtime)``, which schedules
@@ -46,6 +56,7 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
+from repro.control.elastic import plan_scale_in_placement
 from repro.core.resilience import LossyFeedbackBus
 from repro.model.workload import (
     ConstantRateSource,
@@ -106,6 +117,10 @@ def _check_magnitude(kind: str, magnitude: float) -> None:
         raise ValueError(
             f"delay multiplier must be >= 1, got {magnitude}"
         )
+    if kind == "node_join" and magnitude <= 0:
+        raise ValueError(
+            f"joined-node cpu capacity must be positive, got {magnitude}"
+        )
 
 
 def _resource_key(fault: Fault) -> _t.Tuple[str, str]:
@@ -126,6 +141,10 @@ def _resource_key(fault: Fault) -> _t.Tuple[str, str]:
         return ("tier1", "*")
     if fault.kind == "controller_outage":
         return ("controller_ticks", fault.target)
+    if fault.kind in ("node_join", "node_leave"):
+        # Membership mutations share the whole node list: two overlapping
+        # joins/leaves would revert against a shifted topology.
+        return ("membership", "*")
     return (fault.kind, fault.target)
 
 
@@ -233,6 +252,29 @@ class FaultPlan:
         self.faults.append(Fault("pe_crash", pe_id, start, duration, 0.0))
         return self
 
+    # -- membership faults (elasticity-armed systems only) ------------------
+
+    def node_join(
+        self, start: float, duration: float, cpu_capacity: float = 1.0
+    ) -> "FaultPlan":
+        """Join a fresh node for the window; it is evacuated and removed
+        again at the end (capacity churn the scaler must ride out)."""
+        _check_magnitude("node_join", cpu_capacity)
+        self.faults.append(
+            Fault("node_join", "*", start, duration, cpu_capacity)
+        )
+        return self
+
+    def node_leave(
+        self, node_index: int, start: float, duration: float
+    ) -> "FaultPlan":
+        """Evacuate and remove one node at ``start`` (its PEs live-migrate
+        to the survivors); a same-capacity replacement joins at the end."""
+        self.faults.append(
+            Fault("node_leave", str(node_index), start, duration, 0.0)
+        )
+        return self
+
     # -- attachment -------------------------------------------------------
 
     def attach(self, system: SimulatedSystem) -> "FaultInjector":
@@ -276,6 +318,17 @@ class FaultInjector:
             "feedback_loss", "feedback_delay", "tier1_outage"
         ):
             pass  # bus-wide / solver-wide: no target to resolve
+        elif fault.kind in ("node_join", "node_leave"):
+            if getattr(self.system, "elasticity", None) is None:
+                raise ValueError(
+                    f"{fault.kind} requires an elasticity-armed system "
+                    "(SystemConfig.elasticity): disarmed control loops "
+                    "are index-bound and cannot follow membership churn"
+                )
+            if fault.kind == "node_leave":
+                index = int(fault.target)
+                if not 0 <= index < len(self.system.nodes):
+                    raise ValueError(f"no node {index}")
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
 
@@ -318,12 +371,20 @@ class FaultInjector:
             "tier1_outage": self._apply_tier1_outage,
             "controller_outage": self._apply_controller_outage,
             "pe_crash": self._apply_pe_crash,
+            "node_join": self._apply_node_join,
+            "node_leave": self._apply_node_leave,
         }[fault.kind](fault)
 
     def _apply_node_slowdown(self, fault: Fault) -> _t.Callable[[], None]:
         index = int(fault.target)
-        node = self.system.nodes[index]
-        scheduler = self.system.schedulers[index]
+        system = self.system
+        if index >= len(system.nodes):
+            # The elastic tier shrank the cluster below the planned
+            # index between attach and apply; nothing to slow down.
+            return lambda: None
+        node = system.nodes[index]
+        node_id = node.node_id
+        scheduler = system.schedulers[index]
         original_node = node.cpu_capacity
         original_scheduler = scheduler.capacity
         node.cpu_capacity = original_node * fault.magnitude
@@ -331,7 +392,17 @@ class FaultInjector:
 
         def revert() -> None:
             node.cpu_capacity = original_node
-            scheduler.capacity = original_scheduler
+            # A membership rebuild during the window replaces scheduler
+            # objects (the slowed capacity is carried across by node_id)
+            # and may shift node indices, so re-resolve the live
+            # scheduler by node identity; a node that left mid-window
+            # has nothing left to revert.
+            for idx, group in enumerate(system.plane.groups):
+                if group.node_id == node_id:
+                    system.plane.schedulers[idx].capacity = (
+                        original_scheduler
+                    )
+                    break
 
         return revert
 
@@ -412,10 +483,20 @@ class FaultInjector:
     def _apply_controller_outage(self, fault: Fault) -> _t.Callable[[], None]:
         index = int(fault.target)
         system = self.system
+        if index >= len(system.plane.groups):
+            # Membership churn removed the planned node before the
+            # window opened; there is no controller to suspend.
+            return lambda: None
+        node_id = system.plane.groups[index].node_id
         system.suspend_node(index)
 
         def revert() -> None:
-            system.resume_node(index)
+            # Pause flags are carried by node_id across membership
+            # rebuilds, but resume_node takes an index — re-resolve it.
+            for idx, group in enumerate(system.plane.groups):
+                if group.node_id == node_id:
+                    system.resume_node(idx)
+                    break
 
         return revert
 
@@ -433,6 +514,70 @@ class FaultInjector:
         def revert() -> None:
             system.set_gate(fault.target, previous_gate)
             runtime.blocked_last_interval = False
+
+        return revert
+
+    def _evacuate_and_remove(self, node_id: str, reason: str) -> bool:
+        """Live-migrate everything off ``node_id``, then remove it.
+
+        Resolves the node by identity (the elastic tier may have moved
+        or already removed it); returns False when there is nothing to
+        do (node gone, or it is the last one standing).
+        """
+        system = self.system
+        index = next(
+            (
+                idx
+                for idx, group in enumerate(system.plane.groups)
+                if group.node_id == node_id
+            ),
+            None,
+        )
+        if index is None or len(system.nodes) <= 1:
+            return False
+        current = system.placement_book.placement
+        load = dict(system.plane.targets.cpu)
+        renumbered = plan_scale_in_placement(
+            current, len(system.nodes), index, load
+        )
+        moves = [
+            (pe_id, post if post < index else post + 1)
+            for pe_id, post in renumbered.items()
+            if current[pe_id] == index
+        ]
+        system.migrate_pes(moves, reason=reason)
+        system.remove_node(index)
+        system.placement_book.advance(
+            renumbered, len(system.nodes), reason
+        )
+        return True
+
+    def _apply_node_join(self, fault: Fault) -> _t.Callable[[], None]:
+        system = self.system
+        node = system.add_node(cpu_capacity=fault.magnitude)
+        node_id = node.node_id
+
+        def revert() -> None:
+            # Evacuate whatever the scaler placed on the guest node and
+            # remove it; a no-op when the elastic tier already did.
+            self._evacuate_and_remove(node_id, reason="fault_node_join")
+
+        return revert
+
+    def _apply_node_leave(self, fault: Fault) -> _t.Callable[[], None]:
+        system = self.system
+        index = int(fault.target)
+        if not 0 <= index < len(system.nodes):
+            # The elastic tier shrank below the planned index; nothing
+            # to take away.
+            return lambda: None
+        node_id = system.nodes[index].node_id
+        capacity = system.nodes[index].cpu_capacity
+        left = self._evacuate_and_remove(node_id, reason="fault_node_leave")
+
+        def revert() -> None:
+            if left:
+                system.add_node(cpu_capacity=capacity)
 
         return revert
 

@@ -12,6 +12,10 @@ import json
 from benchmarks.conftest import experiment_scale
 from repro.experiments.admission import run_admission_matrix, write_admission_bench
 from repro.experiments.config import smoke_experiment
+from repro.experiments.elasticity import (
+    run_elasticity_matrix,
+    write_elasticity_bench,
+)
 from repro.experiments.figures import figure3_latency
 from repro.experiments.reporting import format_table
 from repro.experiments.resilience import run_chaos_matrix, write_resilience_bench
@@ -67,6 +71,26 @@ def test_admission_bench_bytes_identical(tmp_path):
     payload = json.loads(first)
     # One plain and one admission-armed cell per (workload, lambda) pair.
     assert [c["mode"] for c in payload["cells"]] == ["plain", "admission"]
+    assert payload["summary"]["errors"] == 0
+
+
+def test_elasticity_bench_bytes_identical(tmp_path):
+    paths = []
+    for name in ("first.json", "second.json"):
+        results = run_elasticity_matrix(
+            policies=("udp",),
+            duration=6.0,
+            warmup=0.5,
+            seed=11,
+        )
+        path = tmp_path / name
+        write_elasticity_bench(results, str(path))
+        paths.append(path)
+    first, second = (path.read_bytes() for path in paths)
+    assert first == second
+    payload = json.loads(first)
+    # One static and one elastic cell for the single policy.
+    assert [c["mode"] for c in payload["cells"]] == ["static", "elastic"]
     assert payload["summary"]["errors"] == 0
 
 
