@@ -33,6 +33,11 @@ emitting trace events:
   adaptively.  ``shed``/``reject`` events are only legal at the levels
   that shed/reject.  The enter/exit bands themselves are validated once
   at attach time.
+* **Forecast tier** (when the plane carries a forecasting tier) — every
+  ``forecast`` tick publishes finite, non-negative signals whose ratio
+  is exactly ``predicted / baseline``; every ``proactive_trigger`` cites
+  a ratio at or above the configured headroom, and consecutive triggers
+  respect the forecast cooldown.
 
 :class:`OracleRecorder` is a :class:`~repro.obs.recorder.TraceRecorder`:
 arm it by passing it as the ``recorder`` of a simulated system, threaded
@@ -62,6 +67,7 @@ from repro.obs.recorder import TraceFilter, TraceRecorder
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.control.admission import AdmissionController
+    from repro.control.forecast import ForecastController
     from repro.control.plane import ControlPlane, PlaneInspection
 
 _INF = float("inf")
@@ -178,6 +184,10 @@ class OracleRecorder(TraceRecorder):
         #: Time of the last *ladder* transition (adaptive/recovery,
         #: shadowed or not); operator actions don't reset the dwell.
         self._adm_last_ladder_t: _t.Optional[float] = None
+        #: The plane's forecasting tier, when armed.
+        self._forecast: _t.Optional["ForecastController"] = None
+        #: Time of the last proactive trigger (cooldown spacing check).
+        self._fc_last_trigger_t: _t.Optional[float] = None
         if plane is not None:
             self.attach_plane(plane)
 
@@ -206,6 +216,8 @@ class OracleRecorder(TraceRecorder):
         self._admission = getattr(inspection, "admission", None)
         self._adm_last_rank = 0
         self._adm_last_ladder_t = None
+        self._forecast = getattr(inspection, "forecast", None)
+        self._fc_last_trigger_t = None
         if self._admission is not None:
             # Static hysteresis-band validation: a malformed band (enter
             # at or below exit, or non-increasing enters) lets pressure
@@ -673,6 +685,60 @@ class OracleRecorder(TraceRecorder):
                     f"reject at level {event['level']}",
                     t=event["t"], pe=event["pe"],
                 )
+
+        elif kind == "forecast":
+            # Every forecast tick publishes finite, non-negative signals,
+            # and the headroom ratio it acts on is exactly
+            # predicted / baseline (the trigger predicate's inputs).
+            clean = True
+            for name in ("predicted", "observed", "baseline", "ratio"):
+                value = event[name]
+                if not _isfinite(value) or value < 0:
+                    self.record_violation(
+                        "forecast_signal_range", "forecast tier",
+                        f"{name}={value} is not finite and non-negative",
+                        t=event["t"],
+                    )
+                    clean = False
+            if clean and event["baseline"] > 0:
+                expected = event["predicted"] / event["baseline"]
+                if abs(event["ratio"] - expected) > tolerance * max(
+                    1.0, expected
+                ):
+                    self.record_violation(
+                        "forecast_ratio_consistency", "forecast tier",
+                        f"ratio {event['ratio']} != predicted/baseline "
+                        f"= {expected}",
+                        t=event["t"],
+                    )
+
+        elif kind == "proactive_trigger":
+            # A trigger must cite a ratio at or above the configured
+            # headroom, and consecutive triggers must respect the
+            # forecast cooldown (the anti-thrash contract).
+            t = event["t"]
+            forecast = self._forecast
+            if forecast is not None:
+                config = forecast.config
+                if event["ratio"] < config.headroom - tolerance:
+                    self.record_violation(
+                        "proactive_headroom", "forecast trigger",
+                        f"trigger at ratio {event['ratio']} below "
+                        f"headroom {config.headroom}",
+                        t=t,
+                    )
+                last = self._fc_last_trigger_t
+                if last is not None:
+                    gap = t - last
+                    slack = tolerance * max(1.0, config.cooldown)
+                    if gap < config.cooldown - slack:
+                        self.record_violation(
+                            "proactive_cooldown", "forecast trigger",
+                            f"proactive triggers {gap:.6f}s apart "
+                            f"(cooldown={config.cooldown})",
+                            t=t,
+                        )
+            self._fc_last_trigger_t = t
 
         sink = self.sink
         if sink is not None:

@@ -13,6 +13,7 @@ Commands
 ``chaos``     run the resilience fault matrix (MTTR, utility retention)
 ``admit``     run the admission burst matrix (plain vs ACES + admission)
 ``elastic``   run the elasticity ramp matrix (static vs autoscaled)
+``forecast``  run the forecasting matrix (reactive vs proactive)
 ``fuzz``      seeded scenario fuzzing with invariant oracles armed
 
 Examples::
@@ -26,6 +27,7 @@ Examples::
     python -m repro chaos --smoke --output BENCH_resilience.json
     python -m repro admit --smoke --output BENCH_admission.json
     python -m repro elastic --smoke --output BENCH_elasticity.json
+    python -m repro forecast --smoke --output BENCH_forecast.json
     python -m repro fuzz --seeds 100 --output fuzz.jsonl
 """
 
@@ -712,6 +714,76 @@ def cmd_elastic(args: argparse.Namespace) -> int:
     return 0 if summary["clean"] else 1
 
 
+def cmd_forecast(args: argparse.Namespace) -> int:
+    from repro.experiments.forecast import (
+        SCENARIOS,
+        run_forecast_matrix,
+        write_forecast_bench,
+    )
+
+    if args.smoke:
+        scenarios = ["flashcrowd"]
+        duration, warmup = 12.0, 1.0
+    else:
+        scenarios = (
+            [name.strip() for name in args.scenarios.split(",")]
+            if args.scenarios
+            else list(SCENARIOS)
+        )
+        duration, warmup = args.duration, args.warmup
+    for name in scenarios:  # fail fast on unknown scenario names
+        if name not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {name!r} (library: {', '.join(SCENARIOS)})"
+            )
+
+    results = run_forecast_matrix(
+        scenarios=scenarios,
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+        max_nodes=args.max_nodes,
+    )
+    write_forecast_bench(results, args.output)
+
+    rows = [
+        {
+            "scenario": cell["scenario"],
+            "mode": cell["mode"],
+            "wutil": cell["weighted_utility"],
+            "retention": (
+                cell["utility_retention"]
+                if cell["utility_retention"] is not None
+                else "-"
+            ),
+            "triggers": cell["forecast_triggers"],
+            "mae": cell["forecast_mae"],
+            "out/in": f"{cell['scale_outs']}/{cell['scale_ins']}",
+            "peak": cell["peak_nodes"],
+            "drops": cell["buffer_drops"],
+            "violations": len(cell["violations"]),
+            "error": cell["error"] or "-",
+        }
+        for cell in results["cells"]
+    ]
+    print_table(
+        rows,
+        title="forecast matrix (reactive vs proactive control)",
+        precision=3,
+    )
+    summary = results["summary"]
+    retention = summary["utility_retention_min"]
+    print(
+        f"cells={len(results['cells'])} "
+        f"triggers={summary['total_triggers']} "
+        f"retention_min="
+        f"{retention if retention is not None else '-'} "
+        f"violations={summary['total_violations']} "
+        f"errors={summary['errors']} -> {args.output}"
+    )
+    return 0 if summary["clean"] else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.experiments.fuzzing import DEFAULT_POLICIES, run_fuzz_campaign
 
@@ -1080,6 +1152,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced CI matrix: UDP only, short run",
     )
     elastic.set_defaults(handler=cmd_elastic)
+
+    forecast = subparsers.add_parser(
+        "forecast",
+        help="forecasting matrix (reactive vs proactive control)",
+        description=(
+            "Run every scenario-library workload twice — purely reactive "
+            "(elastic tier only) and proactive (the forecasting tier "
+            "additionally armed: Holt-Winters rate forecasts triggering "
+            "Tier-1 re-solves and early scale-out ahead of predicted "
+            "load shifts) — with strict invariant oracles watching every "
+            "cell, and write the matrix to a JSON benchmark file.  Exits "
+            "nonzero if any proactive cell loses utility against its "
+            "reactive twin, no cell triggers, or an invariant is "
+            "violated."
+        ),
+    )
+    forecast.add_argument(
+        "--scenarios", default="",
+        help="comma-separated scenario names (default: the full library)",
+    )
+    forecast.add_argument(
+        "--duration", type=float, default=16.0, help="measured seconds"
+    )
+    forecast.add_argument(
+        "--warmup", type=float, default=1.0, help="warm-up seconds"
+    )
+    forecast.add_argument(
+        "--max-nodes", dest="max_nodes", type=int, default=5,
+        help="autoscaler node ceiling (default 5)",
+    )
+    forecast.add_argument("--seed", type=int, default=0, help="matrix seed")
+    forecast.add_argument(
+        "--output", default="BENCH_forecast.json", metavar="PATH",
+        help="benchmark JSON output file",
+    )
+    forecast.add_argument(
+        "--smoke", action="store_true",
+        help="reduced CI matrix: flash-crowd scenario only, short run",
+    )
+    forecast.set_defaults(handler=cmd_forecast)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="simulator vs threaded runtime"

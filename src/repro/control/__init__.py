@@ -47,6 +47,14 @@ from repro.control.elastic import (
     plan_scale_in_placement,
     plan_scale_out_placement,
 )
+from repro.control.forecast import (
+    EwmaForecaster,
+    ForecastConfig,
+    ForecastController,
+    HoltWintersForecaster,
+    ProactiveTriggerRecord,
+    make_forecaster,
+)
 from repro.control.node import ControlRecord, NodeController
 from repro.control.plane import (
     ControlPlane,
@@ -75,6 +83,10 @@ __all__ = [
     "ControlRecord",
     "DegradationLadder",
     "ElasticityConfig",
+    "EwmaForecaster",
+    "ForecastConfig",
+    "ForecastController",
+    "HoltWintersForecaster",
     "LadderTransition",
     "MigrationRecord",
     "NodeController",
@@ -84,6 +96,7 @@ __all__ = [
     "PlacementBook",
     "PlacementVersion",
     "PlaneInspection",
+    "ProactiveTriggerRecord",
     "ScalingPolicy",
     "SystemAdapter",
     "VectorEngine",
@@ -93,6 +106,7 @@ __all__ = [
     "VectorStrictScheduler",
     "VectorTokenScheduler",
     "fallback_reason",
+    "make_forecaster",
     "numpy_enabled",
     "plan_scale_in_placement",
     "plan_scale_out_placement",

@@ -314,6 +314,38 @@ class ScalingPolicy:
             return "scale_in"
         return "hold"
 
+    def request_external(
+        self,
+        decision: ScalingDecision,
+        now: float,
+        num_nodes: int,
+        pressure: float = 0.0,
+    ) -> bool:
+        """Request a scaling action from outside the reactive loop.
+
+        The forecasting tier's proactive triggers route through here so
+        reactive and proactive decisions share one cooldown: a granted
+        request fires exactly like a reactive decision (streaks reset,
+        the cooldown starts, the decision is recorded), which means the
+        reactive loop then holds through the same quiet period — the
+        two can never thrash each other.  Returns False (and does
+        nothing) during cooldown or outside the configured node bounds.
+        """
+        if decision not in ("scale_out", "scale_in"):
+            raise ValueError(
+                f"decision must be 'scale_out' or 'scale_in', "
+                f"got {decision!r}"
+            )
+        config = self.config
+        if now < self._cooldown_until:
+            return False
+        if decision == "scale_out" and num_nodes >= config.max_nodes:
+            return False
+        if decision == "scale_in" and num_nodes <= config.min_nodes:
+            return False
+        self._fire(decision, pressure, now, num_nodes)
+        return True
+
     def _fire(
         self,
         decision: ScalingDecision,

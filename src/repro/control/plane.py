@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.control.adapter import GateFn, PELike, SystemAdapter
 from repro.control.admission import AdmissionController
+from repro.control.forecast import ForecastController
 from repro.control.node import ControlRecord, NodeController
 from repro.control.vector import (
     PEIndexRegistry,
@@ -92,6 +93,8 @@ class PlaneInspection:
     plane: "ControlPlane"
     #: The admission front end, when armed (None otherwise).
     admission: _t.Optional[AdmissionController] = None
+    #: The forecasting tier, when armed (None otherwise).
+    forecast: _t.Optional[ForecastController] = None
 
 
 @dataclass
@@ -197,6 +200,7 @@ class ControlPlane:
         profiler: _t.Optional[_t.Any] = None,
         control_impl: str = "scalar",
         admission: _t.Optional[AdmissionController] = None,
+        forecast: _t.Optional[ForecastController] = None,
     ):
         if control_impl not in ("scalar", "vector"):
             raise ValueError(
@@ -218,6 +222,12 @@ class ControlPlane:
         self.admission = admission
         if admission is not None:
             admission.recorder = self.recorder
+        #: Optional forecasting tier; ticked by the substrate through
+        #: :meth:`tick_forecast` at the forecast cadence, armed
+        #: identically in sim and threaded runs.
+        self.forecast = forecast
+        if forecast is not None:
+            forecast.recorder = self.recorder
 
         #: Behavioural constants, resolved from the policy exactly once.
         self.uses_feedback = policy.uses_feedback
@@ -860,6 +870,15 @@ class ControlPlane:
         if self.admission is not None:
             self.admission.tick(now)
 
+    def tick_forecast(self, now: float) -> None:
+        """Advance the forecasting tier one sample interval.
+
+        A no-op on planes built without forecasting, so substrate loops
+        can call it unconditionally.
+        """
+        if self.forecast is not None:
+            self.forecast.tick(now)
+
     # -- Tier-1 interaction --------------------------------------------------
 
     def _node_of_snapshot(self) -> _t.Dict[str, str]:
@@ -945,6 +964,7 @@ class ControlPlane:
             paused=self.paused,
             plane=self,
             admission=self.admission,
+            forecast=self.forecast,
         )
 
     def register_gauges(
@@ -975,6 +995,14 @@ class ControlPlane:
             gauges.register(
                 "admission_level",
                 lambda a=admission: float(int(a.effective_level)),
+            )
+        forecast = self.forecast
+        if forecast is not None:
+            # The aggregate predicted/baseline load ratio: the one
+            # number the proactive trigger predicate watches.
+            gauges.register(
+                "forecast_ratio",
+                lambda f=forecast: float(f.last_ratio),
             )
         ids = self.controllers.keys() if pe_order is None else pe_order
         for pe_id in ids:

@@ -1,9 +1,11 @@
 """Seeded scenario fuzzer driving the :mod:`repro.check` oracles.
 
 One integer seed deterministically expands into a full scenario — a
-random DAG topology, a workload mix, a fault schedule, and (since the
-elastic tier landed) optional topology mutation: an armed autoscaler
-plus node_join/node_leave membership churn — which is then run under
+random DAG topology, a workload mix (including the scenario library:
+diurnal cycles, drifting trends, correlated bursts, drifting square
+waves), a fault schedule, and optional control-tier arming: an armed
+autoscaler plus node_join/node_leave membership churn, and/or the
+anticipatory forecasting tier — which is then run under
 each transmission policy with the invariant oracles armed and the SDO
 conservation ledger closed at the end.  A *differential* pass
 additionally drives the simulator's and the threaded runtime's control
@@ -38,6 +40,7 @@ import numpy as np
 from repro.check import OracleRecorder, check_conservation
 from repro.control.admission import AdmissionConfig
 from repro.control.elastic import ElasticityConfig
+from repro.control.forecast import ForecastConfig
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import policy_by_name
 from repro.graph.topology import Topology, TopologySpec, generate_topology
@@ -80,6 +83,10 @@ class FuzzScenario:
     #: mode it also scripts one identical join-plus-migration into both
     #: planes mid-drive, fuzzing cross-substrate epoch-rebuild parity.
     elasticity: bool = False
+    #: Arm the anticipatory forecasting tier (short season and a low
+    #: headroom so proactive triggers actually fire within a fuzz run,
+    #: exercising the forecast oracles and the trigger paths).
+    forecast: bool = False
     faults: _t.Tuple[Fault, ...] = ()
 
     def build_topology(self) -> Topology:
@@ -121,19 +128,34 @@ class FuzzScenario:
                 max_migrations_per_epoch=3,
                 placement_evaluations=8,
             )
+        forecast = None
+        if self.forecast:
+            forecast = ForecastConfig(
+                kind="holtwinters",
+                season_length=4,
+                sample_interval=0.2,
+                horizon=2,
+                headroom=1.2,
+                dwell_ticks=2,
+                cooldown=0.5,
+            )
         return SystemConfig(
             buffer_size=self.buffer_size,
             dt=self.dt,
             warmup=0.0,
             seed=self.seed + 1,
             source_kind=self.source_kind,
-            # Scale the flash-crowd surge into the (short) fuzz run.
+            # Scale the flash-crowd surge (and the scenario-library
+            # cycles/trends) into the (short) fuzz run.
             source_surge_start=round(0.4 * self.duration, 3),
             source_surge_duration=round(0.3 * self.duration, 3),
+            source_period=round(0.5 * self.duration, 3),
+            source_drift=0.15,
             reoptimize_interval=self.reoptimize_interval,
             control_impl=control_impl,
             admission=admission,
             elasticity=elasticity,
+            forecast=forecast,
         )
 
     def build_plan(self) -> FaultPlan:
@@ -180,6 +202,20 @@ def generate_scenario(seed: int) -> FuzzScenario:
             faults=scenario.faults
             + tuple(_generate_membership_faults(rng, scenario)),
         )
+    # Scenario-library and forecasting dimensions.  Both drawn strictly
+    # after every pre-forecasting draw, so older seeds still expand to
+    # identical legacy scenarios.
+    if rng.random() < 0.35:
+        scenario = replace(
+            scenario,
+            source_kind=str(
+                rng.choice(
+                    ["diurnal", "drift", "correlatedburst", "driftsquare"]
+                )
+            ),
+        )
+    if rng.random() < 0.35:
+        scenario = replace(scenario, forecast=True)
     return scenario
 
 
@@ -518,6 +554,8 @@ def _shrink_candidates(
             yield replace(scenario, faults=kept)
     if scenario.admission:
         yield replace(scenario, admission=False)
+    if scenario.forecast:
+        yield replace(scenario, forecast=False)
     if scenario.elasticity:
         # Disarming the elastic tier also drops the membership faults
         # that require it; keeping them would fail plan validation.

@@ -16,6 +16,25 @@ the paper's evaluation needs:
   ``surge_factor`` inside one ``[surge_start, surge_start +
   surge_duration)`` window: the canonical flash-crowd overload.
 
+The forecasting scenario library (PR 10) adds four more shapes, each a
+deterministic seeded generator:
+
+* :class:`DiurnalSource` — Poisson with a sinusoidally modulated rate
+  (the daily load cycle, compressed to simulation scale): the
+  predictable-periodic workload a seasonal forecaster should anticipate
+  almost perfectly.
+* :class:`DriftSource` — Poisson with a linearly drifting mean rate:
+  the slow organic-growth trend where a trend-aware forecaster beats a
+  flat one.
+* :class:`CorrelatedBurstSource` — Poisson background with a *shared*
+  deterministic burst window schedule: every source built from the
+  same parameters bursts in the same windows, modeling correlated
+  multi-source load (one upstream event driving all ingress streams at
+  once).
+* :class:`DriftSquareWaveSource` — the adversarial square wave composed
+  with a linear peak-rate drift: step edges (worst case for reactive
+  control) on top of a trend (worst case for a memoryless forecaster).
+
 Sources tag each SDO with its creation time, which seeds the end-to-end
 latency measurement at the egress.  Every source honours
 :meth:`_SourceBase.backoff`: an admission front end answering 429-style
@@ -309,3 +328,196 @@ class FlashCrowdSource(_SourceBase):
 
     def _interarrival(self) -> float:
         return exponential(self._rng, 1.0 / self.current_rate(self.env.now))
+
+
+class DiurnalSource(_SourceBase):
+    """Poisson arrivals with a sinusoidal (diurnal) rate cycle.
+
+    The instantaneous mean rate is ``rate * (1 + amplitude *
+    sin(2*pi*(t - phase)/period))`` — always positive because
+    ``amplitude`` must lie in [0, 1).  Interarrivals are drawn from the
+    exponential at the instantaneous rate (a standard non-homogeneous
+    approximation: exact wherever the rate is locally flat relative to
+    the gap, and deterministic given the seeded RNG either way).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        rate: float,
+        period: float,
+        amplitude: float,
+        rng: np.random.Generator,
+        phase: float = 0.0,
+        sdo_size: float = 1.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must lie in [0, 1), got {amplitude}"
+            )
+        self.rate = rate
+        self.period = period
+        self.amplitude = amplitude
+        self.phase = phase
+        self._rng = rng
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def current_rate(self, now: float) -> float:
+        """Instantaneous mean arrival rate at ``now``."""
+        cycle = 2.0 * np.pi * (now - self.phase) / self.period
+        return self.rate * (1.0 + self.amplitude * float(np.sin(cycle)))
+
+    def _interarrival(self) -> float:
+        return exponential(self._rng, 1.0 / self.current_rate(self.env.now))
+
+
+class DriftSource(_SourceBase):
+    """Poisson arrivals with a linearly drifting mean rate.
+
+    The instantaneous mean rate is ``rate * (1 + drift * t)``, floored
+    at 5% of the base rate so a negative drift can slow the stream to a
+    trickle but never stop (or reverse) it.  ``drift`` is the relative
+    slope per second: 0.05 means +5% load per simulated second.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        rate: float,
+        drift: float,
+        rng: np.random.Generator,
+        sdo_size: float = 1.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.drift = drift
+        self._rng = rng
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def current_rate(self, now: float) -> float:
+        """Instantaneous mean arrival rate at ``now``."""
+        return max(0.05 * self.rate, self.rate * (1.0 + self.drift * now))
+
+    def _interarrival(self) -> float:
+        return exponential(self._rng, 1.0 / self.current_rate(self.env.now))
+
+
+class CorrelatedBurstSource(_SourceBase):
+    """Poisson background with a shared deterministic burst schedule.
+
+    Every ``period`` seconds the mean rate multiplies by
+    ``burst_factor`` for ``burst_duration`` seconds.  The window
+    schedule is a pure function of time (no RNG), so every source built
+    with the same parameters bursts in exactly the same windows —
+    correlated multi-source overload, the case where per-stream
+    reactive control underestimates the aggregate surge.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        rate: float,
+        period: float,
+        burst_duration: float,
+        burst_factor: float,
+        rng: np.random.Generator,
+        sdo_size: float = 1.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= burst_duration <= period:
+            raise ValueError(
+                "burst_duration must lie in [0, period], got "
+                f"{burst_duration} (period {period})"
+            )
+        if burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {burst_factor}"
+            )
+        self.rate = rate
+        self.period = period
+        self.burst_duration = burst_duration
+        self.burst_factor = burst_factor
+        self._rng = rng
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def current_rate(self, now: float) -> float:
+        """Instantaneous mean arrival rate at ``now``."""
+        if (now % self.period) < self.burst_duration:
+            return self.rate * self.burst_factor
+        return self.rate
+
+    def _interarrival(self) -> float:
+        return exponential(self._rng, 1.0 / self.current_rate(self.env.now))
+
+
+class DriftSquareWaveSource(_SourceBase):
+    """The adversarial square wave composed with a linear peak drift.
+
+    Deterministic like :class:`SquareWaveSource` — CBR bursts at the
+    *current* peak rate for ``duty * period`` of every ``period`` —
+    but the peak rate itself drifts as ``peak_rate * (1 + drift * t)``
+    (floored at 5% of the base peak), sampled once per burst.  Step
+    edges defeat purely reactive control; the drift defeats a purely
+    memoryless forecaster; together they are the library's worst case.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream_id: str,
+        sink: Sink,
+        peak_rate: float,
+        period: float,
+        duty: float,
+        drift: float,
+        sdo_size: float = 1.0,
+    ):
+        if peak_rate <= 0:
+            raise ValueError(f"peak_rate must be positive, got {peak_rate}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must lie in (0, 1], got {duty}")
+        self.peak_rate = peak_rate
+        self.period = period
+        self.duty = duty
+        self.drift = drift
+        super().__init__(env, stream_id, sink, sdo_size)
+
+    def current_peak(self, now: float) -> float:
+        """Drifted peak rate at ``now``."""
+        return max(
+            0.05 * self.peak_rate,
+            self.peak_rate * (1.0 + self.drift * now),
+        )
+
+    def _run(self) -> _t.Generator:
+        on_duration = self.duty * self.period
+        off_duration = self.period - on_duration
+        while True:
+            gap = 1.0 / self.current_peak(self.env.now)
+            burst_end = self.env.now + on_duration
+            while self.env.now + gap <= burst_end:
+                yield self.env.timeout(gap)
+                self._emit_one()
+            remainder = burst_end - self.env.now
+            if remainder > 0:
+                yield self.env.timeout(remainder)
+            if off_duration > 0:
+                yield self.env.timeout(off_duration)
+            else:
+                yield self.env.timeout(0.0)

@@ -32,6 +32,7 @@ from repro.control.elastic import (
     plan_scale_in_placement,
     plan_scale_out_placement,
 )
+from repro.control.forecast import ForecastConfig, ForecastController
 from repro.graph.placement_opt import optimize_placement
 from repro.core.global_opt import solve_global_allocation
 from repro.core.policies import AcesPolicy, LockStepPolicy, Policy, UdpPolicy
@@ -93,6 +94,12 @@ class RuntimeConfig:
     #: thread observes channel pressure at the configured cadence.
     #: Disarmed runtimes build and behave exactly as before.
     elasticity: _t.Optional[ElasticityConfig] = None
+    #: When set, arm the anticipatory forecasting tier, mirroring
+    #: ``SystemConfig.forecast``: per-source rate forecasters sampled at
+    #: the configured cadence, triggering a proactive Tier-1 re-solve
+    #: (and, when the elastic tier is also armed, a proactive scale-out
+    #: through the shared cooldown) before a predicted load shift.
+    forecast: _t.Optional[ForecastConfig] = None
 
 
 @dataclass
@@ -217,10 +224,13 @@ class SPCRuntime:
         #: events, and the bound clock reads ``_start_wall``.
         self._start_wall: _t.Optional[float] = None
         #: Degradation-guarded Tier-1 solver; only armed runtimes carry
-        #: one (scale-out/in re-solves go through it), keeping disarmed
-        #: construction byte-identical.
+        #: one (scale-out/in and proactive re-solves go through it),
+        #: keeping disarmed construction byte-identical.
         self.tier1: _t.Optional[ResilientTier1] = None
-        if self.config.elasticity is not None:
+        if (
+            self.config.elasticity is not None
+            or self.config.forecast is not None
+        ):
             self.tier1 = ResilientTier1(recorder=self.recorder)
             targets = resolve_initial_targets(self.tier1, topology, targets)
         elif targets is None:
@@ -380,6 +390,20 @@ class SPCRuntime:
                 )
             )
 
+        #: Anticipatory forecasting tier, armed exactly as in the
+        #: simulator: same controller class, same config, fed from the
+        #: per-source cumulative offered-SDO counters below.
+        self.forecast: _t.Optional[ForecastController] = None
+        if config.forecast is not None:
+            self.forecast = ForecastController(config.forecast)
+            self._threads.append(
+                threading.Thread(
+                    target=self._forecast_loop,
+                    name="forecast",
+                    daemon=True,
+                )
+            )
+
         self.adapter = ThreadAdapter(self.now, self.recorder)
         self.plane = ControlPlane(
             self.policy,
@@ -395,6 +419,7 @@ class SPCRuntime:
             tier1=self.tier1,
             control_impl=config.control_impl,
             admission=self.admission,
+            forecast=self.forecast,
         )
         for controller in self.plane.node_controllers:
             if config.elasticity is not None:
@@ -422,7 +447,13 @@ class SPCRuntime:
                 )
             )
 
-        # Source threads.
+        # Source threads.  ``source_generated`` mirrors the simulator
+        # sources' ``stats.generated`` counters (offered load, counted
+        # before the admission verdict); single-writer per key, so the
+        # forecast tick can read it lock-free.
+        self.source_generated: _t.Dict[str, int] = {
+            pe_id: 0 for pe_id in self.topology.source_rates
+        }
         for pe_id, rate in sorted(self.topology.source_rates.items()):
             self._threads.append(
                 threading.Thread(
@@ -431,6 +462,18 @@ class SPCRuntime:
                     name=f"src-{pe_id}",
                     daemon=True,
                 )
+            )
+
+        if self.forecast is not None:
+            self.forecast.bind(
+                counters={
+                    pe_id: (lambda p=pe_id: self.source_generated[p])
+                    for pe_id in sorted(self.topology.source_rates)
+                },
+                baseline=dict(self.topology.source_rates),
+                reoptimize_fn=self._proactive_reoptimize,
+                scale_out_fn=self._proactive_scale_out,
+                active_after=config.warmup,
             )
 
     # -- threads ------------------------------------------------------------
@@ -779,6 +822,49 @@ class SPCRuntime:
             time.sleep(period_wall)
             tick(self.now())
 
+    def _forecast_loop(self) -> None:
+        """Tick the forecasting tier at its dilated sample cadence.
+
+        Runs under the membership lock: a fired trigger may scale out,
+        and membership mutations are serialized with the elastic loop.
+        """
+        assert self.forecast is not None
+        config = self.config
+        period_wall = self.forecast.config.sample_interval * config.dilation
+        tick = self.plane.tick_forecast
+        while not self._stop.is_set():
+            time.sleep(period_wall)
+            if self._stop.is_set():
+                return
+            with self._membership_lock:
+                tick(self.now())
+
+    def _proactive_reoptimize(
+        self, rates: _t.Mapping[str, float]
+    ) -> None:
+        """Forecast-triggered Tier-1 re-solve from *predicted* rates."""
+        self.plane.reoptimize(
+            self.topology.graph,
+            self.placement_book.placement,
+            rates,
+            reason="proactive",
+        )
+
+    def _proactive_scale_out(self, now: float) -> bool:
+        """Forecast-triggered scale-out through the shared elastic
+        cooldown; False when no elastic tier is armed or the request
+        was vetoed.  Caller (the forecast tick) already holds the
+        membership lock."""
+        policy = self.scaling_policy
+        if policy is None:
+            return False
+        if not policy.request_external(
+            "scale_out", now, len(self.plane.groups)
+        ):
+            return False
+        self._scale_out()
+        return True
+
     def _source_loop(self, pe_id: str, rate: float) -> None:
         config = self.config
         rng = self.streams.stream(f"src:{pe_id}")
@@ -792,6 +878,7 @@ class SPCRuntime:
                 gap = 1.0 / rate
             time.sleep(gap * config.dilation)
             origin = self.now()
+            self.source_generated[pe_id] += 1
             if admission is not None:
                 verdict = admission.admit_ingress(pe_id, origin)
                 if verdict == "shed":

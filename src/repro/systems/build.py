@@ -21,6 +21,10 @@ from repro.model.pe import PERuntime
 from repro.model.sdo import SDO
 from repro.model.workload import (
     ConstantRateSource,
+    CorrelatedBurstSource,
+    DiurnalSource,
+    DriftSource,
+    DriftSquareWaveSource,
     FlashCrowdSource,
     OnOffSource,
     PoissonSource,
@@ -34,10 +38,26 @@ from repro.sim.rng import RandomStreams
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.control.admission import AdmissionConfig, AdmissionController
     from repro.control.elastic import ElasticityConfig
+    from repro.control.forecast import ForecastConfig
     from repro.obs.spans import SpanTracker
 
 #: admit(runtime, sdo, now) -> accepted?  Provided by the data plane.
 AdmitFn = _t.Callable[[PERuntime, SDO, float], bool]
+
+#: Every workload-source model ``build_sources`` can instantiate.  The
+#: first five are the original set; the last four are the forecasting
+#: scenario library (PR 10).
+SOURCE_KINDS = (
+    "onoff",
+    "poisson",
+    "constant",
+    "squarewave",
+    "flashcrowd",
+    "diurnal",
+    "drift",
+    "correlatedburst",
+    "driftsquare",
+)
 
 
 @dataclass
@@ -59,8 +79,11 @@ class SystemConfig:
     #: Conservative r_max substituted for stale feedback values.
     feedback_stale_bound: float = 0.0
     #: Source model: 'onoff' (bursty), 'poisson', 'constant',
-    #: 'squarewave' (deterministic adversarial on/off), or 'flashcrowd'
-    #: (Poisson with one surge window).
+    #: 'squarewave' (deterministic adversarial on/off), 'flashcrowd'
+    #: (Poisson with one surge window), or one of the scenario-library
+    #: kinds — 'diurnal' (sinusoidal cycle), 'drift' (linear trend),
+    #: 'correlatedburst' (shared periodic burst windows), 'driftsquare'
+    #: (square wave with drifting peak).  See :data:`SOURCE_KINDS`.
     source_kind: str = "onoff"
     #: ON fraction for the on/off and square-wave sources.
     source_duty: float = 0.5
@@ -73,6 +96,15 @@ class SystemConfig:
     source_surge_duration: float = 2.0
     #: Rate multiplier inside the surge window.
     source_surge_factor: float = 4.0
+    #: Cycle length (seconds) for the 'diurnal' and 'correlatedburst'
+    #: sources (the correlated burst window repeats every period;
+    #: window length and factor reuse the surge knobs above).
+    source_period: float = 8.0
+    #: Sinusoidal modulation depth for the 'diurnal' source, in [0, 1).
+    source_amplitude: float = 0.6
+    #: Relative rate slope per second for the 'drift' and 'driftsquare'
+    #: sources (0.05 = +5% load per simulated second).
+    source_drift: float = 0.05
     #: Simulated warm-up excluded from all metrics.
     warmup: float = 5.0
     #: Finite bandwidth (size units / second) for links between PEs on
@@ -112,6 +144,13 @@ class SystemConfig:
     #: keeps membership frozen and every output byte-identical to the
     #: pre-elasticity system.
     elasticity: _t.Optional["ElasticityConfig"] = None
+    #: When set, arm the forecasting tier
+    #: (:class:`repro.control.forecast.ForecastController`): streaming
+    #: per-source rate forecasts sampled at the configured cadence,
+    #: with proactive Tier-1 re-solves (and, when the elastic tier is
+    #: also armed, proactive scale-out requests) ahead of predicted
+    #: load shifts.  None (default) keeps the system purely reactive.
+    forecast: _t.Optional["ForecastConfig"] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -121,13 +160,7 @@ class SystemConfig:
             raise ValueError("b0_fraction must lie in [0, 1]")
         if self.dt <= 0:
             raise ValueError("dt must be positive")
-        if self.source_kind not in (
-            "onoff",
-            "poisson",
-            "constant",
-            "squarewave",
-            "flashcrowd",
-        ):
+        if self.source_kind not in SOURCE_KINDS:
             raise ValueError(f"unknown source_kind {self.source_kind!r}")
         if not 0.0 < self.source_duty <= 1.0:
             raise ValueError("source_duty must lie in (0, 1]")
@@ -137,6 +170,18 @@ class SystemConfig:
             )
         if self.source_surge_factor < 1.0:
             raise ValueError("source_surge_factor must be >= 1")
+        if self.source_period <= 0:
+            raise ValueError("source_period must be positive")
+        if not 0.0 <= self.source_amplitude < 1.0:
+            raise ValueError("source_amplitude must lie in [0, 1)")
+        if (
+            self.source_kind == "correlatedburst"
+            and self.source_surge_duration > self.source_period
+        ):
+            raise ValueError(
+                "correlatedburst needs source_surge_duration <= "
+                "source_period (the burst window repeats every period)"
+            )
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
         if self.reoptimize_interval is not None and self.reoptimize_interval <= 0:
@@ -318,6 +363,47 @@ def build_sources(
                 surge_duration=config.source_surge_duration,
                 surge_factor=config.source_surge_factor,
                 rng=rng,
+            )
+        elif config.source_kind == "diurnal":
+            source = DiurnalSource(
+                env,
+                stream_id,
+                sink,
+                rate=rate,
+                period=config.source_period,
+                amplitude=config.source_amplitude,
+                rng=rng,
+            )
+        elif config.source_kind == "drift":
+            source = DriftSource(
+                env,
+                stream_id,
+                sink,
+                rate=rate,
+                drift=config.source_drift,
+                rng=rng,
+            )
+        elif config.source_kind == "correlatedburst":
+            source = CorrelatedBurstSource(
+                env,
+                stream_id,
+                sink,
+                rate=rate,
+                period=config.source_period,
+                burst_duration=config.source_surge_duration,
+                burst_factor=config.source_surge_factor,
+                rng=rng,
+            )
+        elif config.source_kind == "driftsquare":
+            duty = config.source_duty
+            source = DriftSquareWaveSource(
+                env,
+                stream_id,
+                sink,
+                peak_rate=rate / duty,
+                period=config.source_mean_on / duty,
+                duty=duty,
+                drift=config.source_drift,
             )
         else:
             duty = config.source_duty

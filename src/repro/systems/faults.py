@@ -60,6 +60,9 @@ from repro.control.elastic import plan_scale_in_placement
 from repro.core.resilience import LossyFeedbackBus
 from repro.model.workload import (
     ConstantRateSource,
+    CorrelatedBurstSource,
+    DiurnalSource,
+    DriftSource,
     FlashCrowdSource,
     PoissonSource,
 )
@@ -427,7 +430,15 @@ class FaultInjector:
             s for s in self.system.sources if s.stream_id == stream_id
         )
         if isinstance(
-            source, (ConstantRateSource, PoissonSource, FlashCrowdSource)
+            source,
+            (
+                ConstantRateSource,
+                PoissonSource,
+                FlashCrowdSource,
+                DiurnalSource,
+                DriftSource,
+                CorrelatedBurstSource,
+            ),
         ):
             original = source.rate
             source.rate = original * fault.magnitude
@@ -437,7 +448,8 @@ class FaultInjector:
 
             return revert
 
-        # On/off and square-wave sources: surge the peak rate.
+        # On/off and square-wave sources (including the drifting square
+        # wave): surge the peak rate.
         original_peak = source.peak_rate
         source.peak_rate = original_peak * fault.magnitude
 

@@ -33,6 +33,7 @@ from repro.control.elastic import (
     plan_scale_in_placement,
     plan_scale_out_placement,
 )
+from repro.control.forecast import ForecastController
 from repro.control.node import NodeController
 from repro.core.policies import Policy
 from repro.core.resilience import ResilientTier1
@@ -146,6 +147,13 @@ class SimulatedSystem:
                 clock=lambda: self.env.now,
             )
 
+        #: Forecasting tier (None unless configured).  Built before the
+        #: plane so the plane owns its tick; bound to the source
+        #: counters (which exist only after ``build_sources``) below.
+        self.forecast: _t.Optional[ForecastController] = None
+        if config.forecast is not None:
+            self.forecast = ForecastController(config.forecast)
+
         self.adapter = SimAdapter(self.env, self.recorder, self.profiler)
         self.plane = ControlPlane(
             policy,
@@ -165,6 +173,7 @@ class SimulatedSystem:
             profiler=self.profiler,
             control_impl=config.control_impl,
             admission=self.admission,
+            forecast=self.forecast,
         )
         if (
             config.control_phase_buckets is not None
@@ -221,9 +230,28 @@ class SimulatedSystem:
         #: One record per live PE migration (route + observed downtime).
         self.migration_log: _t.List[MigrationRecord] = []
 
+        if self.forecast is not None:
+            # Source-rate probes: each source's cumulative generated
+            # counter, keyed by its ingress pe_id.  The baseline is the
+            # provisioned load Tier-1 bootstrapped against.
+            self.forecast.bind(
+                counters={
+                    source.stream_id.split(":", 1)[1]: (
+                        lambda s=source: s.stats.generated
+                    )
+                    for source in self.sources
+                },
+                baseline=dict(topology.source_rates),
+                reoptimize_fn=self._proactive_reoptimize,
+                scale_out_fn=self._proactive_scale_out,
+                active_after=config.warmup,
+            )
+
         self._start_node_loops()
         if self.admission is not None:
             self.env.process(self._admission_loop())
+        if self.forecast is not None:
+            self.env.process(self._forecast_loop())
 
         if config.reoptimize_interval is not None:
             self.env.process(self._reoptimize_loop())
@@ -682,6 +710,46 @@ class SimulatedSystem:
         while True:
             yield env.timeout(interval)
             tick(env.now)
+
+    def _forecast_loop(self) -> _t.Generator:
+        """Tick the forecasting tier at its sample cadence.
+
+        The first tick lands one full interval in (rate extraction
+        needs two counter readings; an immediate tick is noise).
+        """
+        assert self.forecast is not None
+        interval = self.forecast.config.sample_interval
+        env = self.env
+        tick = self.plane.tick_forecast
+        while True:
+            yield env.timeout(interval)
+            tick(env.now)
+
+    def _proactive_reoptimize(
+        self, rates: _t.Mapping[str, float]
+    ) -> None:
+        """Forecast-triggered Tier-1 re-solve from *predicted* rates."""
+        self.plane.reoptimize(
+            self.topology.graph,
+            self.placement_book.placement,
+            rates,
+            reason="proactive",
+        )
+
+    def _proactive_scale_out(self, now: float) -> bool:
+        """Forecast-triggered scale-out, routed through the elastic
+        policy so the reactive and proactive tiers share one cooldown.
+        Returns False when no elastic tier is armed or the request was
+        vetoed (cooldown / node bounds)."""
+        policy = self.scaling_policy
+        if policy is None:
+            return False
+        if not policy.request_external(
+            "scale_out", now, len(self.nodes)
+        ):
+            return False
+        self._scale_out()
+        return True
 
     def _reoptimize_loop(self) -> _t.Generator:
         """Periodic Tier-1 refresh from measured input rates (Section V)."""

@@ -17,6 +17,10 @@ from repro.experiments.elasticity import (
     write_elasticity_bench,
 )
 from repro.experiments.figures import figure3_latency
+from repro.experiments.forecast import (
+    run_forecast_matrix,
+    write_forecast_bench,
+)
 from repro.experiments.reporting import format_table
 from repro.experiments.resilience import run_chaos_matrix, write_resilience_bench
 from repro.graph.topology import TopologySpec
@@ -92,6 +96,27 @@ def test_elasticity_bench_bytes_identical(tmp_path):
     # One static and one elastic cell for the single policy.
     assert [c["mode"] for c in payload["cells"]] == ["static", "elastic"]
     assert payload["summary"]["errors"] == 0
+
+
+def test_forecast_bench_bytes_identical(tmp_path):
+    paths = []
+    for name in ("first.json", "second.json"):
+        results = run_forecast_matrix(
+            scenarios=("flashcrowd",),
+            duration=6.0,
+            warmup=0.5,
+            seed=11,
+        )
+        path = tmp_path / name
+        write_forecast_bench(results, str(path))
+        paths.append(path)
+    first, second = (path.read_bytes() for path in paths)
+    assert first == second
+    payload = json.loads(first)
+    # One reactive and one proactive cell for the single scenario.
+    assert [c["mode"] for c in payload["cells"]] == ["reactive", "proactive"]
+    assert payload["summary"]["errors"] == 0
+    assert payload["summary"]["total_violations"] == 0
 
 
 def test_fig3_percentile_table_bytes_identical():

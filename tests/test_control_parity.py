@@ -169,3 +169,133 @@ def test_node_controllers_are_shared_type():
     assert sim_types == run_types == {
         type(system.plane.node_controllers[0])
     }
+
+
+# -- proactive (forecast-tier) decision parity --------------------------------
+
+
+def parity_forecast_config():
+    """Armed tight enough that the scripted ramp below actually fires."""
+    from repro.control.forecast import ForecastConfig
+
+    return ForecastConfig(
+        kind="holtwinters",
+        season_length=4,
+        sample_interval=DT,
+        horizon=2,
+        headroom=1.2,
+        dwell_ticks=2,
+        cooldown=4 * DT,
+    )
+
+
+def build_forecast_pair(policy_factory, topology):
+    """Both substrates with the forecasting tier armed (no elastic tier,
+    so proactive triggers re-solve Tier-1 but cannot scale out)."""
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    system = SimulatedSystem(
+        topology,
+        policy_factory(),
+        targets=targets,
+        config=SystemConfig(
+            buffer_size=BUFFER, dt=DT, feedback_delay=0.0, seed=5,
+            warmup=0.0, forecast=parity_forecast_config(),
+        ),
+    )
+    runtime = SPCRuntime(
+        topology,
+        policy_factory(),
+        targets=targets,
+        config=RuntimeConfig(
+            buffer_size=BUFFER, dt=DT, seed=5,
+            warmup=0.0, forecast=parity_forecast_config(),
+        ),
+    )
+    return system, runtime
+
+
+def scripted_rate(pe_index, step, baseline):
+    """A deterministic ramp crossing the headroom mid-script."""
+    return baseline * (0.5 + 0.08 * step + 0.02 * pe_index)
+
+
+def drive_forecast(forecast, baseline):
+    """Feed the scripted rate walk into one ForecastController; return
+    the per-tick decision sequence plus the trigger records."""
+    states = []
+    for step in range(STEPS):
+        now = (step + 1) * DT
+        rates = {
+            pe_id: scripted_rate(pe_index, step, baseline[pe_id])
+            for pe_index, pe_id in enumerate(sorted(baseline))
+        }
+        forecast.observe(rates, now)
+        states.append(
+            (
+                dict(forecast.last_forecast),
+                forecast.last_ratio,
+                len(forecast.triggers),
+            )
+        )
+    triggers = [
+        (record.t, record.ratio, record.predicted, record.reoptimized,
+         record.scaled_out)
+        for record in forecast.triggers
+    ]
+    return states, triggers
+
+
+def test_proactive_decisions_identical_across_substrates():
+    """The forecast tier, scripted identically on both substrates, emits
+    bit-identical forecasts, ratios, and trigger records — including the
+    Tier-1 re-solves its triggers cause."""
+    topology = parity_topology(seed=7)
+    system, runtime = build_pair_forecast_checked(topology)
+
+    baseline = dict(topology.source_rates)
+    sim_states, sim_triggers = drive_forecast(system.forecast, baseline)
+    run_states, run_triggers = drive_forecast(runtime.forecast, baseline)
+
+    assert sim_states == run_states
+    assert sim_triggers == run_triggers
+    assert len(sim_triggers) > 0  # the ramp actually fired
+    # Triggers re-solved Tier-1 on both planes (no elastic tier armed,
+    # so no scale-out), and both adopted identical targets.
+    assert all(record[3] for record in sim_triggers)
+    assert all(not record[4] for record in sim_triggers)
+    assert system.plane.reoptimizations == runtime.plane.reoptimizations > 0
+    assert system.plane.targets.cpu == runtime.plane.targets.cpu
+
+
+def build_pair_forecast_checked(topology):
+    system, runtime = build_forecast_pair(AcesPolicy, topology)
+    assert system.forecast is not None and runtime.forecast is not None
+    return system, runtime
+
+
+def test_proactive_decisions_identical_scalar_vs_vector():
+    """control_impl is a pure performance knob for the forecast tier too:
+    scalar and vector planes see identical proactive decisions."""
+    topology = parity_topology(seed=7)
+    targets = solve_global_allocation(
+        topology.graph, topology.placement, topology.source_rates
+    ).targets
+    outcomes = {}
+    for impl in ("scalar", "vector"):
+        system = SimulatedSystem(
+            topology,
+            AcesPolicy(),
+            targets=targets,
+            config=SystemConfig(
+                buffer_size=BUFFER, dt=DT, feedback_delay=0.0, seed=5,
+                warmup=0.0, control_impl=impl,
+                forecast=parity_forecast_config(),
+            ),
+        )
+        outcomes[impl] = drive_forecast(
+            system.forecast, dict(topology.source_rates)
+        )
+    assert outcomes["scalar"] == outcomes["vector"]
+    assert len(outcomes["scalar"][1]) > 0

@@ -46,6 +46,13 @@ class TestScenarioGeneration:
         assert sorted(first.placement) == sorted(second.placement)
         assert first.source_rates == second.source_rates
 
+    def test_scenario_library_and_forecast_dimensions_drawn(self):
+        scenarios = [generate_scenario(seed) for seed in range(25)]
+        kinds = {scenario.source_kind for scenario in scenarios}
+        assert kinds & {"diurnal", "drift", "correlatedburst", "driftsquare"}
+        assert any(scenario.forecast for scenario in scenarios)
+        assert any(not scenario.forecast for scenario in scenarios)
+
 
 class TestFuzzCases:
     @pytest.mark.parametrize("policy_name", ["udp", "lockstep", "aces"])
@@ -72,6 +79,31 @@ class TestFuzzCases:
             record = json.loads(line)
             assert record["failed"] is False
             assert record["scenario"]["seed"] in (0, 1)
+
+    def test_scenario_library_source_surge_reproducer(self):
+        """Pinned campaign finding: seed 1 expands to a diurnal source
+        with a ``source_surge`` fault (forecast and elastic tiers both
+        armed).  The fault injector's source dispatch predated the
+        scenario library and crashed with ``AttributeError: 'DiurnalSource'
+        object has no attribute 'peak_rate'`` on the new rate-based
+        sources until the dispatch was extended; this pins the fix."""
+        scenario = generate_scenario(1)
+        assert scenario.source_kind == "diurnal"
+        assert scenario.forecast and scenario.elasticity
+        assert any(fault.kind == "source_surge" for fault in scenario.faults)
+        result = run_fuzz_case(scenario, "aces")
+        assert not result.failed, (result.error, result.violations)
+
+    def test_shrink_can_disarm_forecast(self):
+        from dataclasses import replace
+
+        from repro.experiments.fuzzing import _shrink_candidates
+
+        scenario = generate_scenario(1)
+        assert scenario.forecast
+        assert replace(scenario, forecast=False) in _shrink_candidates(
+            scenario
+        )
 
     def test_campaign_is_deterministic(self, tmp_path):
         first = tmp_path / "a.jsonl"
